@@ -1,0 +1,98 @@
+"""Figure 5: watermark pieces recovered intact vs. P(successful recovery).
+
+The paper plots, for a 768-bit watermark W, the empirical probability
+of recovering W against the number of statements left intact, next to
+the theoretical approximation of Eq. (1). We regenerate both series:
+
+* *theory* — the exact inclusion-exclusion probability that k
+  surviving random edges of K_n leave no modulus uncovered;
+* *empirical (coverage)* — Monte Carlo over random surviving subsets;
+* *empirical (end-to-end)* — for a few k values, a full bit-level run:
+  statements are enumerated, encrypted, planted in a synthetic trace
+  bit-string, randomly deleted down to k, and handed to the actual
+  recovery algorithm.
+
+Expected shape: a sharp S-curve rising from ~0 to ~1 as k passes the
+coverage threshold, with empirical points tracking the formula.
+"""
+
+import random
+
+from benchmarks._util import monotone_nondecreasing, print_table, run_once
+from repro.bytecode_wm import WatermarkKey
+from repro.core.bitstring import int_to_bits_lsb_first
+from repro.core.enumeration import StatementEnumeration
+from repro.core.primes import choose_moduli
+from repro.core.probability import (
+    simulate_k_intact,
+    success_probability_k_intact,
+)
+from repro.core.recovery import recover
+from repro.core.splitting import split
+
+WATERMARK_BITS = 768
+KEY = WatermarkKey(secret=b"fig5", inputs=[])
+
+
+def _end_to_end_probability(moduli, k, trials=6, watermark=None):
+    """Full recovery probability with k intact pieces, at the bit level."""
+    enum = StatementEnumeration(moduli)
+    cipher = KEY.cipher()
+    watermark = watermark if watermark is not None else (1 << 767) // 7
+    r = len(moduli)
+    pair_count = r * (r - 1) // 2
+    all_pieces = split(watermark, moduli, pair_count)
+    successes = 0
+    for t in range(trials):
+        rng = random.Random(1000 + t)
+        surviving = rng.sample(all_pieces, k)
+        bits = [rng.randint(0, 1) for _ in range(32)]
+        for stmt in surviving:
+            block = cipher.encrypt_block(enum.encode(stmt))
+            bits.extend(int_to_bits_lsb_first(block, 64))
+            bits.extend(rng.randint(0, 1) for _ in range(16))
+        result = recover(bits, cipher, enum)
+        if result.complete and result.value == watermark:
+            successes += 1
+    return successes / trials
+
+
+def test_fig5_recovery_probability(benchmark):
+    moduli = choose_moduli(WATERMARK_BITS)
+    n = len(moduli)
+    pair_count = n * (n - 1) // 2
+
+    def experiment():
+        ks = sorted({max(1, int(pair_count * f)) for f in
+                     (0.02, 0.04, 0.06, 0.08, 0.10, 0.14, 0.18, 0.25, 0.4)})
+        theory = [success_probability_k_intact(n, k) for k in ks]
+        empirical = [simulate_k_intact(n, k, trials=400,
+                                       rng=random.Random(k))
+                     for k in ks]
+        # End-to-end spot checks at a low, a middling, and a high k.
+        spot_ks = [ks[1], ks[len(ks) // 2], ks[-1]]
+        spot = {k: _end_to_end_probability(moduli, k) for k in spot_ks}
+        return ks, theory, empirical, spot
+
+    ks, theory, empirical, spot = run_once(benchmark, experiment)
+
+    rows = []
+    for k, th, em in zip(ks, theory, empirical):
+        e2e = f"{spot[k]:.2f}" if k in spot else ""
+        rows.append((k, f"{th:.3f}", f"{em:.3f}", e2e))
+    print_table(
+        f"Figure 5 - {WATERMARK_BITS}-bit watermark, {n} moduli, "
+        f"{n * (n - 1) // 2} possible pieces",
+        ("pieces intact", "theory Eq.(1)", "empirical", "end-to-end"),
+        rows,
+    )
+
+    # Shape: S-curve from ~0 to ~1; empirical tracks theory closely.
+    assert theory[0] < 0.05
+    assert theory[-1] > 0.95
+    assert monotone_nondecreasing(theory, slack=1e-9)
+    for th, em in zip(theory, empirical):
+        assert abs(th - em) < 0.12
+    # End-to-end recovery agrees with the coverage model.
+    for k, p in spot.items():
+        assert abs(p - success_probability_k_intact(n, k)) < 0.45

@@ -1,0 +1,69 @@
+"""Figure 8(a): Java-side slowdown vs. number of watermark pieces.
+
+The paper's finding: CaffeineMark ("performance-critical code") slows
+down by up to ~80% as pieces are inserted, because once the cold
+locations run out the weighted-random placement starts hitting
+hotspots; Jess (larger, mostly cold) shows an insignificant slowdown
+throughout.
+
+We regenerate both series on the analog workloads. The time metric is
+executed WVM instructions (deterministic simulator; see DESIGN.md).
+"""
+
+from benchmarks._util import print_table, run_once
+from repro.bytecode_wm import WatermarkKey, embed
+from repro.vm import run_module
+from repro.workloads import caffeinemark_module, jess_module
+
+PIECES = [0, 25, 50, 100, 200, 300]
+WATERMARK = (1 << 127) // 3
+CM_INPUT = [10]
+JESS_INPUT = [7, 13]
+
+
+def _slowdown_series(module_factory, inputs, secret):
+    key = WatermarkKey(secret=secret, inputs=inputs)
+    base_module = module_factory()
+    base = run_module(base_module, inputs).steps
+    series = []
+    for pieces in PIECES:
+        if pieces == 0:
+            series.append(0.0)
+            continue
+        marked = embed(base_module, WATERMARK, key, pieces=pieces,
+                       watermark_bits=128)
+        steps = run_module(marked.module, inputs).steps
+        series.append(steps / base - 1.0)
+    return base, series
+
+
+def test_fig8a_bytecode_slowdown(benchmark):
+    def experiment():
+        cm_base, cm = _slowdown_series(
+            caffeinemark_module, CM_INPUT, b"fig8a-cm"
+        )
+        jess_base, jess = _slowdown_series(
+            lambda: jess_module(), JESS_INPUT, b"fig8a-jess"
+        )
+        return cm_base, cm, jess_base, jess
+
+    cm_base, cm, jess_base, jess = run_once(benchmark, experiment)
+
+    print_table(
+        f"Figure 8(a) - slowdown vs pieces "
+        f"(CaffeineMark base {cm_base:,} steps, Jess base {jess_base:,})",
+        ("pieces", "caffeinemark slowdown", "jess slowdown"),
+        [
+            (p, f"{c:+.1%}", f"{j:+.1%}")
+            for p, c, j in zip(PIECES, cm, jess)
+        ],
+    )
+
+    # Paper shape: CaffeineMark degrades substantially at high piece
+    # counts; Jess stays essentially flat; CaffeineMark >> Jess at max.
+    assert cm[-1] > 0.20, "hot workload should slow down noticeably"
+    assert jess[-1] < cm[-1] / 2, "cold workload should be hit far less"
+    assert jess[-1] < 0.40, "Jess-like slowdown should stay modest"
+    # Both grow (weakly) with piece count.
+    assert cm[-1] >= cm[1]
+    assert jess[-1] >= 0.0

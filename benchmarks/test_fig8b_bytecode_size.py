@@ -1,0 +1,71 @@
+"""Figure 8(b): Java-side size increase vs. number of watermark pieces.
+
+Paper: "embedding carries a fixed cost of approximately 5 percent of
+the program size, plus a variable cost of 25 bytes per watermark
+piece" and "the space cost [...] is independent of the size of the
+application being watermarked".
+
+Our generators emit more bytes per piece than SandMark's (the
+contiguous-window loop generator carries 64 explicit branch groups;
+see DESIGN.md §6), so the *slope* differs, but the paper's structural
+claims are asserted: size grows linearly in the piece count, with a
+small fixed component, and the per-piece cost is the same for a small
+and a large application.
+"""
+
+from benchmarks._util import print_table, run_once
+from repro.bytecode_wm import WatermarkKey, embed
+from repro.workloads import caffeinemark_module, jess_module
+
+PIECES = [10, 20, 40, 80, 160]
+WATERMARK = (1 << 127) // 5
+
+
+def _size_series(module_factory, inputs, secret):
+    key = WatermarkKey(secret=secret, inputs=inputs)
+    base_module = module_factory()
+    base_size = base_module.byte_size()
+    increases = []
+    for pieces in PIECES:
+        marked = embed(base_module, WATERMARK, key, pieces=pieces,
+                       watermark_bits=128)
+        increases.append(marked.byte_size_increase)
+    return base_size, increases
+
+
+def test_fig8b_bytecode_size(benchmark):
+    def experiment():
+        cm = _size_series(caffeinemark_module, [10], b"fig8b-cm")
+        jess = _size_series(lambda: jess_module(), [7, 13], b"fig8b-jess")
+        return cm, jess
+
+    (cm_base, cm_inc), (jess_base, jess_inc) = run_once(benchmark, experiment)
+
+    def per_piece(increases):
+        return (increases[-1] - increases[0]) / (PIECES[-1] - PIECES[0])
+
+    rows = [
+        (p, f"{c:,} B", f"{j:,} B")
+        for p, c, j in zip(PIECES, cm_inc, jess_inc)
+    ]
+    rows.append(("bytes/piece", f"{per_piece(cm_inc):,.0f}",
+                 f"{per_piece(jess_inc):,.0f}"))
+    print_table(
+        f"Figure 8(b) - size increase vs pieces "
+        f"(CaffeineMark base {cm_base:,} B, Jess base {jess_base:,} B)",
+        ("pieces", "caffeinemark", "jess"),
+        rows,
+    )
+
+    # Linear growth: marginal cost roughly constant across the sweep.
+    for inc in (cm_inc, jess_inc):
+        early = (inc[1] - inc[0]) / (PIECES[1] - PIECES[0])
+        late = (inc[-1] - inc[-2]) / (PIECES[-1] - PIECES[-2])
+        assert 0.5 < early / late < 2.0
+    # Independence from application size: the per-piece cost on the
+    # small (CaffeineMark) and the 10x larger (Jess) app agree.
+    ratio = per_piece(cm_inc) / per_piece(jess_inc)
+    assert 0.7 < ratio < 1.4, ratio
+    # All increases are positive and monotone in the piece count.
+    assert all(b > a for a, b in zip(cm_inc, cm_inc[1:]))
+    assert all(b > a for a, b in zip(jess_inc, jess_inc[1:]))

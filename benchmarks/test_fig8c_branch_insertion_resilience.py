@@ -1,0 +1,91 @@
+"""Figure 8(c): survivable branch insertion vs. number of pieces.
+
+Paper: "our implementation can withstand a level of random branch
+insertion that varies with the number of watermark pieces embedded in
+the program and with the size of the watermark" — more redundancy
+buys more resilience; a 512-bit watermark dies sooner than a 128-bit
+one at the same piece count (bigger marks need more surviving
+coverage).
+
+For each piece count we scan increasing branch-insertion levels
+(expressed, as in the figure, as the *fractional increase in the
+program's branch count*) and report the largest level at which
+recognition still succeeds in a majority of trials.
+"""
+
+import random
+
+from benchmarks._util import print_table, run_once
+from repro.attacks.bytecode import branch_increase_fraction, insert_branches
+from repro.bytecode_wm import WatermarkKey, embed, recognize
+from repro.vm import VMError
+from repro.workloads import jess_module
+
+PIECE_COUNTS = [10, 20, 40]
+LEVELS = [2, 5, 10, 20, 40, 80, 160, 320]   # inserted branch counts
+TRIALS = 3
+INPUTS = [7, 13]
+
+
+def _survives(marked, key, bits, inserted, trial):
+    attacked = insert_branches(marked.module, inserted,
+                               random.Random(trial * 7919 + inserted))
+    try:
+        found = recognize(attacked, key, watermark_bits=bits)
+    except VMError:
+        return False
+    return found.complete and found.value == marked.watermark
+
+
+def _max_survivable(marked, key, bits, base_module):
+    """Largest insertion level with majority survival, as a fraction."""
+    best = 0.0
+    for inserted in LEVELS:
+        wins = sum(
+            _survives(marked, key, bits, inserted, t) for t in range(TRIALS)
+        )
+        if wins * 2 > TRIALS:
+            attacked = insert_branches(marked.module, inserted,
+                                       random.Random(0))
+            best = branch_increase_fraction(base_module, attacked)
+        else:
+            break
+    return best
+
+
+def test_fig8c_branch_insertion_resilience(benchmark):
+    def experiment():
+        base_module = jess_module(rule_count=36, burn=4000)
+        key = WatermarkKey(secret=b"fig8c", inputs=INPUTS)
+        results = {}
+        for bits in (64, 128):
+            per_pieces = []
+            for pieces in PIECE_COUNTS:
+                marked = embed(base_module, (1 << (bits - 1)) // 3, key,
+                               pieces=pieces, watermark_bits=bits)
+                per_pieces.append(
+                    _max_survivable(marked, key, bits, base_module)
+                )
+            results[bits] = per_pieces
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    print_table(
+        "Figure 8(c) - survivable branch insertion (fraction of "
+        "original branches) vs pieces",
+        ("pieces", "64-bit watermark", "128-bit watermark"),
+        [
+            (p, f"{results[64][i]:.1%}", f"{results[128][i]:.1%}")
+            for i, p in enumerate(PIECE_COUNTS)
+        ],
+    )
+
+    # Shape: resilience grows with the piece count...
+    assert results[64][-1] >= results[64][0]
+    assert results[128][-1] >= results[128][0]
+    # ...the most redundant setting survives a nontrivial attack...
+    assert results[64][-1] > 0.0
+    # ...and the smaller watermark is at least as resilient as the
+    # larger one at equal redundancy (it needs less surviving coverage).
+    assert results[64][-1] >= results[128][-1]

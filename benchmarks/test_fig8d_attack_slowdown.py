@@ -1,0 +1,55 @@
+"""Figure 8(d): the branch-insertion attack's own runtime cost.
+
+Paper: "an adversary can destroy a 512-bit watermark by increasing
+the number of branches in a program by 150 percent, but this attack
+comes at a cost of slowing down the program by 50 percent" — the
+attack's payload (``if (x*(x-1)%2 != 0) x++;``) executes wherever it
+lands, so the attacked program pays for every dynamically-reached
+insertion.
+
+We sweep the branch-increase fraction on the hot workload and report
+the induced slowdown; shape: roughly linear growth.
+"""
+
+import random
+
+from benchmarks._util import monotone_nondecreasing, print_table, run_once
+from repro.attacks.bytecode import branch_increase_fraction, insert_branches
+from repro.vm import count_conditional_branches, run_module
+from repro.workloads import caffeinemark_module
+
+FRACTIONS = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0]
+INPUTS = [10]
+
+
+def test_fig8d_attack_slowdown(benchmark):
+    def experiment():
+        module = caffeinemark_module()
+        base_branches = count_conditional_branches(module)
+        base_steps = run_module(module, INPUTS).steps
+        rows = []
+        for frac in FRACTIONS:
+            inserted = int(round(base_branches * frac))
+            attacked = insert_branches(module, inserted, random.Random(42))
+            actual = branch_increase_fraction(module, attacked)
+            steps = run_module(attacked, INPUTS).steps
+            rows.append((actual, steps / base_steps - 1.0))
+        return base_steps, rows
+
+    base_steps, rows = run_once(benchmark, experiment)
+
+    print_table(
+        f"Figure 8(d) - attack slowdown vs branch increase "
+        f"(base {base_steps:,} steps)",
+        ("branch increase", "slowdown"),
+        [(f"{f:.0%}", f"{s:+.1%}") for f, s in rows],
+    )
+
+    slowdowns = [s for _f, s in rows]
+    assert slowdowns[0] == 0.0
+    assert monotone_nondecreasing(slowdowns, slack=0.05)
+    # A ~150% branch increase costs real time (paper: ~50%); we only
+    # pin the order of magnitude: between 5% and 500%.
+    idx_150 = min(range(len(FRACTIONS)),
+                  key=lambda i: abs(FRACTIONS[i] - 1.5))
+    assert 0.05 < slowdowns[idx_150] < 5.0

@@ -1,0 +1,67 @@
+"""Figure 9(a): native-code size increase per SPEC program and
+watermark size (128 / 256 / 512 bits).
+
+Paper: "the increases are fairly modest, ranging from about 5% for
+crafty to about 16% for mcf. The rate of growth in size is also
+fairly small. The mean increase in size ranges from 10.8%, for
+128-bit watermarks, to 11.4% for 512-bit watermarks."
+
+Our binaries are ~16x smaller than SPEC builds, so the marginal cost
+of the larger watermarks shows more strongly (the 128-bit mean lands
+right at the paper's ~11%; 256/512 grow beyond it — see
+EXPERIMENTS.md). Asserted shape: every increase is modest (<60%),
+grows with watermark size, and the per-program spread is a few
+percentage points.
+"""
+
+from benchmarks._util import print_table, run_once
+from repro.native_wm import embed_native
+from repro.workloads.spec import SPEC_PROGRAMS, TRAIN_INPUT, spec_native
+
+WIDTHS = [128, 256, 512]
+
+
+def test_fig9a_native_size(benchmark):
+    def experiment():
+        table = {}
+        for name in SPEC_PROGRAMS:
+            image = spec_native(name)
+            base = image.file_size()
+            row = []
+            for width in WIDTHS:
+                emb = embed_native(
+                    image, (1 << width) // 3, width, TRAIN_INPUT
+                )
+                row.append((emb.image.file_size() - base) / base)
+            table[name] = row
+        return table
+
+    table = run_once(benchmark, experiment)
+
+    rows = [
+        (name, *(f"{v:.1%}" for v in table[name]))
+        for name in SPEC_PROGRAMS
+    ]
+    means = [
+        sum(table[n][i] for n in SPEC_PROGRAMS) / len(SPEC_PROGRAMS)
+        for i in range(len(WIDTHS))
+    ]
+    rows.append(("MEAN", *(f"{m:.1%}" for m in means)))
+    print_table(
+        "Figure 9(a) - native size increase (text + initialized data)",
+        ("program", "128 bits", "256 bits", "512 bits"),
+        rows,
+    )
+
+    for name in SPEC_PROGRAMS:
+        increases = table[name]
+        assert all(0.0 < v < 0.60 for v in increases), (name, increases)
+        # Growth with watermark size.
+        assert increases[0] <= increases[1] <= increases[2], name
+    # The 128-bit mean matches the paper's ~10.8%.
+    assert 0.05 < means[0] < 0.20, means
+    # Program-to-program spread at a fixed width stays within a few
+    # percentage points, as in the figure.
+    for i in range(len(WIDTHS)):
+        col = [table[n][i] for n in SPEC_PROGRAMS]
+        assert max(col) - min(col) < 0.10, (WIDTHS[i], col)

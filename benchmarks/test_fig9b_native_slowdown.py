@@ -1,0 +1,80 @@
+"""Figure 9(b): native-code slowdown per SPEC program and watermark
+size, measured (as in the paper) on the *ref* inputs after profiling
+on the *train* inputs.
+
+Paper: "For most of the programs tested, the slowdown is quite small
+(less than 2%) [...] mean slowdowns range from -0.65% for 128-bit
+watermarks to 0.85% for 512-bit watermarks." (Cache-effect speedups
+cannot occur in an instruction-count model; see DESIGN.md.)
+
+Our kernels execute 50k-3M instructions rather than SPEC's billions,
+so the fixed cost of the branch-function chain is relatively much
+larger (see EXPERIMENTS.md); the asserted shape is: slowdowns are
+bounded, grow with watermark size, and shrink as the program's own
+running time grows. Extraction is also verified for every cell.
+"""
+
+from benchmarks._util import print_table, run_once
+from repro.native import run_image
+from repro.native_wm import embed_native, extract_native
+from repro.workloads.spec import (
+    REF_INPUT,
+    SPEC_PROGRAMS,
+    TRAIN_INPUT,
+    spec_native,
+)
+
+WIDTHS = [128, 256, 512]
+
+
+def test_fig9b_native_slowdown(benchmark):
+    def experiment():
+        table = {}
+        base_steps = {}
+        for name in SPEC_PROGRAMS:
+            image = spec_native(name)
+            base = run_image(image, REF_INPUT).steps
+            base_steps[name] = base
+            row = []
+            for width in WIDTHS:
+                wm = (1 << width) // 3
+                emb = embed_native(image, wm, width, TRAIN_INPUT)
+                steps = run_image(emb.image, REF_INPUT).steps
+                extracted = extract_native(
+                    emb.image, width, emb.begin, emb.end, TRAIN_INPUT
+                ).watermark == wm
+                row.append((steps / base - 1.0, extracted))
+            table[name] = row
+        return base_steps, table
+
+    base_steps, table = run_once(benchmark, experiment)
+
+    rows = []
+    for name in SPEC_PROGRAMS:
+        cells = [f"{slow:+.2%}{'' if ok else ' (!)'}"
+                 for slow, ok in table[name]]
+        rows.append((name, f"{base_steps[name]:,}", *cells))
+    means = [
+        sum(table[n][i][0] for n in SPEC_PROGRAMS) / len(SPEC_PROGRAMS)
+        for i in range(len(WIDTHS))
+    ]
+    rows.append(("MEAN", "", *(f"{m:+.2%}" for m in means)))
+    print_table(
+        "Figure 9(b) - native slowdown on ref inputs "
+        "(train-input profiles)",
+        ("program", "base steps", "128 bits", "256 bits", "512 bits"),
+        rows,
+    )
+
+    for name in SPEC_PROGRAMS:
+        for slow, extracted in table[name]:
+            assert extracted, f"{name}: watermark lost on ref build"
+            assert -0.01 <= slow < 1.0, (name, slow)
+        # Larger marks never get cheaper.
+        slows = [s for s, _ in table[name]]
+        assert slows[0] <= slows[2] + 0.01, name
+    # Long-running programs amortize the chain: the slowest-running
+    # kernel must show one of the smallest 128-bit slowdowns.
+    longest = max(SPEC_PROGRAMS, key=lambda n: base_steps[n])
+    col128 = sorted(table[n][0][0] for n in SPEC_PROGRAMS)
+    assert table[longest][0][0] <= col128[len(col128) // 2]

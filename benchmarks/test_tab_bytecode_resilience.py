@@ -1,0 +1,88 @@
+"""Section 5.1.2 resilience table (Java-side distortive attacks).
+
+Paper: "SandMark implements 40 distortive attacks against watermarks,
+including basic block copying, statement reordering, and method and
+class splitting and merging. Only class encryption and branch
+insertion were able to destroy the watermark."
+
+We run the layout/reorder/inversion/inlining battery plus heavy branch
+insertion and the class-encryption analog, and assert exactly that
+split: every layout attack leaves the watermark recoverable; heavy
+branch insertion destroys it; class encryption defeats the
+instrumentation-based tracer but not the JVM-level tracer.
+"""
+
+import random
+
+from benchmarks._util import print_table, run_once
+from repro.attacks.bytecode import (
+    SealedAccessError,
+    insert_branches,
+    instrument_for_tracing,
+    jvm_level_trace,
+    run_attack_suite,
+    seal_module,
+)
+from repro.bytecode_wm import WatermarkKey, embed, recognize, recognize_bits
+from repro.core.bitstring import decode_bits
+from repro.vm import VMError
+from repro.workloads import jess_module
+
+WATERMARK = 0xFEED
+INPUTS = [7, 13]
+
+
+def test_tab_bytecode_resilience(benchmark):
+    def experiment():
+        key = WatermarkKey(secret=b"tab51", inputs=INPUTS)
+        marked = embed(jess_module(rule_count=36, burn=4000), WATERMARK, key,
+                       pieces=16, watermark_bits=16)
+        outcomes = run_attack_suite(marked, key, probe_inputs=[[3, 5]])
+
+        # Heavy branch insertion (the one distortive attack that wins).
+        heavy = insert_branches(marked.module, 400, random.Random(5))
+        try:
+            heavy_found = recognize(heavy, key, watermark_bits=16)
+            heavy_ok = heavy_found.complete and heavy_found.value == WATERMARK
+        except VMError:
+            heavy_ok = False
+
+        # Class encryption: instrumentation fails, JVM-level tracing works.
+        sealed = seal_module(marked.module)
+        try:
+            instrument_for_tracing(sealed)
+            instrumentation_blocked = False
+        except SealedAccessError:
+            instrumentation_blocked = True
+        trace = jvm_level_trace(sealed, key.inputs)
+        jvm_found = recognize_bits(
+            decode_bits(trace.trace.branch_pairs()), key, 16
+        )
+        return outcomes, heavy_ok, instrumentation_blocked, jvm_found
+
+    outcomes, heavy_ok, blocked, jvm_found = run_once(benchmark, experiment)
+
+    rows = [(o.name, "yes" if o.program_ok else "NO",
+             "survives" if o.watermark_found else "DESTROYED")
+            for o in outcomes]
+    rows.append(("branch-insertion-heavy-400", "yes",
+                 "survives" if heavy_ok else "DESTROYED"))
+    rows.append(("class-encryption (instrumented tracer)", "yes",
+                 "DESTROYED" if blocked else "survives"))
+    rows.append(("class-encryption (JVM-level tracer)", "yes",
+                 "survives" if jvm_found.value == WATERMARK else "DESTROYED"))
+    print_table(
+        "Section 5.1.2 - distortive attack resilience",
+        ("attack", "program ok", "watermark"),
+        rows,
+    )
+
+    # Paper's split: layout attacks lose, the two heavy hitters win.
+    for o in outcomes:
+        assert o.program_ok, o.name
+        if o.name.startswith("branch-insertion"):
+            continue  # light insertion may or may not land on pieces
+        assert o.watermark_found, o.name
+    assert not heavy_ok, "heavy branch insertion must destroy the mark"
+    assert blocked, "class encryption must defeat the instrumenter"
+    assert jvm_found.complete and jvm_found.value == WATERMARK

@@ -1,0 +1,75 @@
+"""Stealth against statistical attacks (paper Section 2, property 4).
+
+    "branches are ubiquitous in real programs, hopefully making
+    path-based marks invulnerable to statistical attacks."
+
+The attacker's best cheap test is comparing a suspect program's
+opcode mix and branch density against the natural spread of unmarked
+programs. We measure: (a) the natural program-to-program spread
+across the workload population, and (b) how far watermarked variants
+drift from their own original, as a function of the piece count. The
+claim holds where (b) stays inside (a).
+"""
+
+from benchmarks._util import print_table, run_once
+from repro.analysis import (
+    collect_statistics,
+    distribution_distance,
+    population_spread,
+)
+from repro.bytecode_wm import WatermarkKey, embed
+from repro.workloads import (
+    caffeinemark_module,
+    collatz_module,
+    gcd_module,
+    jess_module,
+)
+from repro.workloads.spec import spec_vm
+
+PIECES = [4, 8, 16, 32, 64]
+
+
+def test_tab_stealth(benchmark):
+    def experiment():
+        population = [
+            gcd_module(), collatz_module(), caffeinemark_module(),
+            jess_module(rule_count=36, burn=100),
+            spec_vm("mcf"), spec_vm("gzip"),
+        ]
+        spread = population_spread(population)
+
+        host = jess_module(rule_count=36, burn=100)
+        base_stats = collect_statistics(host)
+        key = WatermarkKey(secret=b"stealth", inputs=[7, 13])
+        rows = []
+        for pieces in PIECES:
+            marked = embed(host, 0xAAAA, key, pieces=pieces,
+                           watermark_bits=16)
+            stats = collect_statistics(marked.module)
+            rows.append((
+                pieces,
+                distribution_distance(base_stats, stats),
+                stats.branch_density,
+            ))
+        return spread, base_stats.branch_density, rows
+
+    spread, base_density, rows = run_once(benchmark, experiment)
+
+    print_table(
+        f"Stealth - opcode-distribution drift vs pieces "
+        f"(natural population spread = {spread:.3f}, "
+        f"host branch density = {base_density:.3f})",
+        ("pieces", "TV distance from original", "branch density"),
+        [(p, f"{d:.3f}", f"{bd:.3f}") for p, d, bd in rows],
+    )
+
+    # Drift grows with the piece count...
+    distances = [d for _p, d, _bd in rows]
+    assert distances[-1] >= distances[0]
+    # ...but small embeddings hide inside natural variation.
+    assert distances[0] < spread, (distances[0], spread)
+    assert distances[1] < spread
+    # Branch density stays in a plausible band (unmarked programs in
+    # the population run roughly 0.1-0.2 branches/instruction).
+    for _p, _d, bd in rows:
+        assert 0.05 < bd < 0.45

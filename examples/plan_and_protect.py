@@ -1,0 +1,68 @@
+"""Threat-model-driven protection: plan redundancy, embed, verify.
+
+Run:  python examples/plan_and_protect.py
+
+Uses the Eq.(1)-backed planner to pick a piece count for an assumed
+attack intensity, embeds accordingly, then simulates the assumed
+attack many times and compares the measured survival rate against the
+planner's prediction — closing the loop between Section 3.3's theory
+and Section 5.1's empirical resilience.
+"""
+
+import random
+
+from repro.attacks.bytecode import insert_branches
+from repro.bytecode_wm import WatermarkKey, embed, recognize
+from repro.core.planner import plan_redundancy
+from repro.vm import VMError
+from repro.workloads import jess_module
+
+WATERMARK_BITS = 64
+WATERMARK = 0xFEEDC0DE
+ASSUMED_PIECE_LOSS = 0.5     # threat model: attacker kills half the pieces
+TARGET_SUCCESS = 0.95
+ATTACK_BRANCHES = 60         # the attack intensity we simulate
+TRIALS = 12
+
+
+def main() -> None:
+    plan = plan_redundancy(WATERMARK_BITS, ASSUMED_PIECE_LOSS,
+                           TARGET_SUCCESS)
+    print("redundancy plan (Eq. 1):")
+    print(f"  {plan.moduli_count} moduli, {plan.pair_count} possible pieces")
+    print(f"  assumed piece loss: {plan.piece_loss_probability:.0%}")
+    print(f"  plan: embed {plan.pieces} pieces "
+          f"-> predicted success {plan.expected_success:.3f}")
+
+    app = jess_module(rule_count=36, burn=2000)
+    key = WatermarkKey(secret=b"planner-demo", inputs=[7, 13])
+    marked = embed(app, WATERMARK, key, pieces=plan.pieces,
+                   watermark_bits=WATERMARK_BITS)
+    print(f"\nembedded {marked.piece_count} pieces "
+          f"(+{marked.byte_size_increase} bytes)")
+
+    survived = 0
+    for trial in range(TRIALS):
+        attacked = insert_branches(marked.module, ATTACK_BRANCHES,
+                                   random.Random(trial))
+        try:
+            found = recognize(attacked, key,
+                              watermark_bits=WATERMARK_BITS)
+            survived += int(found.complete and found.value == WATERMARK)
+        except VMError:
+            pass
+    rate = survived / TRIALS
+    print(f"\nsimulated attack: {ATTACK_BRANCHES} random branch "
+          f"insertions x {TRIALS} trials")
+    print(f"  measured survival: {survived}/{TRIALS} = {rate:.0%} "
+          f"(planned for >= {TARGET_SUCCESS:.0%} at "
+          f"{ASSUMED_PIECE_LOSS:.0%} piece loss)")
+
+    # The planner's model is per-piece loss; the branch-insertion
+    # attack at this intensity destroys well under half the pieces on
+    # this host, so measured survival should meet the planned target.
+    assert rate >= 0.75, "survival collapsed below the planned regime"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project is fully described by pyproject.toml; this file only lets
+`pip install -e . --no-use-pep517` work offline.
+"""
+
+from setuptools import setup
+
+setup()

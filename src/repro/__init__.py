@@ -1,0 +1,24 @@
+"""repro - Dynamic Path-Based Software Watermarking (PLDI 2004).
+
+A full reproduction of Collberg et al., "Dynamic Path-Based Software
+Watermarking" (PLDI 2004), with synthetic substrates standing in for
+the JVM (``repro.vm``, a stack-based virtual machine) and IA-32
+(``repro.native``, a byte-addressed register machine), a mini-language
+compiler (``repro.lang``) used to build realistic workloads, the
+bytecode watermarker of Section 3 (``repro.bytecode_wm``), the
+branch-function watermarker of Section 4 (``repro.native_wm``), and
+the attack suites of Section 5 (``repro.attacks``).
+
+Quick start (bytecode side)::
+
+    from repro.bytecode_wm import WatermarkKey, embed, recognize
+    from repro.workloads import gcd_module
+
+    module = gcd_module()
+    key = WatermarkKey(secret=b"pldi-2004", inputs=[25, 10])
+    marked = embed(module, watermark=1234567, key=key, pieces=24)
+    result = recognize(marked.module, key)
+    assert result.value == 1234567
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,88 @@
+"""Statistical-attack analysis (paper Section 2, fourth property).
+
+    "Fourth, branches are ubiquitous in real programs, hopefully
+    making path-based marks invulnerable to statistical attacks."
+
+A statistical attacker compares a suspect binary's instruction
+statistics against a population of unmarked programs and flags
+anomalies. This module provides the attacker's toolkit — opcode
+histograms, branch density, and a total-variation distance between
+programs — so the stealth claim can be *measured* instead of hoped
+for (see ``benchmarks/test_tab_stealth.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .vm.program import Module
+
+
+@dataclass
+class CodeStatistics:
+    """Instruction-level statistics of one WVM module."""
+
+    opcode_counts: Counter
+    total_instructions: int
+    conditional_branches: int
+    functions: int
+
+    @property
+    def branch_density(self) -> float:
+        """Conditional branches per instruction."""
+        if self.total_instructions == 0:
+            return 0.0
+        return self.conditional_branches / self.total_instructions
+
+    def opcode_distribution(self) -> Dict[str, float]:
+        if self.total_instructions == 0:
+            return {}
+        return {
+            op: count / self.total_instructions
+            for op, count in self.opcode_counts.items()
+        }
+
+
+def collect_statistics(module: Module) -> CodeStatistics:
+    """Static statistics over every real instruction of the module."""
+    counts: Counter = Counter()
+    branches = 0
+    total = 0
+    for fn in module.functions.values():
+        for instr in fn.real_instructions():
+            counts[instr.op] += 1
+            total += 1
+            if instr.is_conditional:
+                branches += 1
+    return CodeStatistics(counts, total, branches, len(module.functions))
+
+
+def distribution_distance(a: CodeStatistics, b: CodeStatistics) -> float:
+    """Total-variation distance between two opcode distributions.
+
+    0.0 = identical opcode mix; 1.0 = disjoint. This is the natural
+    metric for an attacker fingerprinting "unusual" binaries: a
+    watermark scheme is statistically stealthy when marked programs
+    stay within the distance spread of ordinary program-to-program
+    variation.
+    """
+    da = a.opcode_distribution()
+    db = b.opcode_distribution()
+    keys = set(da) | set(db)
+    return 0.5 * sum(abs(da.get(k, 0.0) - db.get(k, 0.0)) for k in keys)
+
+
+def population_spread(modules: List[Module]) -> float:
+    """Largest pairwise distance within an unmarked population.
+
+    The attacker's decision threshold: anything within this spread is
+    indistinguishable from natural variation.
+    """
+    stats = [collect_statistics(m) for m in modules]
+    worst = 0.0
+    for i, a in enumerate(stats):
+        for b in stats[i + 1:]:
+            worst = max(worst, distribution_distance(a, b))
+    return worst

@@ -1,0 +1,6 @@
+"""Attack suites from the paper's Section 5 evaluation.
+
+``repro.attacks.bytecode`` — SandMark-style distortive attacks on WVM
+modules (Section 5.1.2). ``repro.attacks.native`` — the five binary
+attacks on branch-function watermarks (Section 5.2.2).
+"""

@@ -1,0 +1,49 @@
+"""Distortive attack suite against the bytecode watermark (Section 5.1.2)."""
+
+from .chaining import chain_branches, unfold_constants
+from .harness import (
+    AttackOutcome,
+    evaluate_attack,
+    run_attack_suite,
+    standard_attacks,
+)
+from .insertion import branch_increase_fraction, insert_branches, insert_noops
+from .inversion import invert_branch_senses
+from .locals_transform import pad_locals, renumber_locals
+from .method_transforms import inline_call, inline_random_calls, outline_region
+from .reordering import copy_blocks, reorder_blocks, split_blocks
+from .unrolling import peel_loops
+from .sealing import (
+    SealedAccessError,
+    SealedModule,
+    instrument_for_tracing,
+    jvm_level_trace,
+    seal_module,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "SealedAccessError",
+    "SealedModule",
+    "branch_increase_fraction",
+    "chain_branches",
+    "copy_blocks",
+    "evaluate_attack",
+    "inline_call",
+    "inline_random_calls",
+    "insert_branches",
+    "insert_noops",
+    "instrument_for_tracing",
+    "invert_branch_senses",
+    "jvm_level_trace",
+    "outline_region",
+    "peel_loops",
+    "pad_locals",
+    "renumber_locals",
+    "reorder_blocks",
+    "run_attack_suite",
+    "seal_module",
+    "split_blocks",
+    "standard_attacks",
+    "unfold_constants",
+]

@@ -1,0 +1,91 @@
+"""Branch chaining and constant unfolding attacks.
+
+Both are named in the paper's Section 1 list of semantics-preserving
+transformations a watermark must survive ("basic block reordering,
+branch chaining (where the target of a branch instruction is itself a
+branch to some other location), loop unrolling, etc.").
+
+* :func:`chain_branches` — reroutes branch targets through fresh
+  trampoline blocks (`goto`-to-`goto` chains). Unconditional transfers
+  contribute nothing to the trace bit-string, so the watermark is
+  untouched by construction.
+* :func:`unfold_constants` — rewrites ``const c`` into an equivalent
+  two-push-plus-add sequence with randomized addends. Pure non-branch
+  code substitution: invisible to the bit-string.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ...vm.instructions import BRANCHING, ins
+from ...vm.instructions import label as label_ins
+from ...vm.instructions import wrap64
+from ...vm.program import Module
+
+
+def chain_branches(
+    module: Module,
+    count: int,
+    rng: Optional[random.Random] = None,
+    max_hops: int = 3,
+) -> Module:
+    """Reroute up to ``count`` branches through goto-chains.
+
+    Each rerouted branch ``bcc L`` becomes ``bcc C1`` with trampolines
+    ``C1: goto C2; ...; Cn: goto L`` appended at the end of the
+    function (unreachable by fall-through: they follow the function's
+    final transfer).
+    """
+    rng = rng or random.Random(0)
+    attacked = module.copy()
+    candidates = [
+        (fn, idx)
+        for fn in attacked.functions.values()
+        for idx, instr in enumerate(fn.code)
+        if not instr.is_label and instr.op in BRANCHING
+    ]
+    rng.shuffle(candidates)
+    for n, (fn, idx) in enumerate(candidates[:count]):
+        instr = fn.code[idx]
+        hops = rng.randint(1, max_hops)
+        names = fn.fresh_labels(hops, f"chain{n}")
+        original_target = instr.arg
+        instr.arg = names[0]
+        tail: List = []
+        for h, name in enumerate(names):
+            nxt = names[h + 1] if h + 1 < len(names) else original_target
+            tail.append(label_ins(name))
+            tail.append(ins("goto", nxt))
+        fn.code.extend(tail)
+    return attacked
+
+
+def unfold_constants(
+    module: Module,
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> Module:
+    """Rewrite ``const c`` as ``const a; const b; add`` with a+b = c."""
+    rng = rng or random.Random(0)
+    attacked = module.copy()
+    candidates = [
+        (fn, idx)
+        for fn in attacked.functions.values()
+        for idx, instr in enumerate(fn.code)
+        if instr.op == "const" and isinstance(instr.arg, int)
+        # `add` wraps to 64 bits; only constants already inside the
+        # signed-64 range can be rebuilt exactly.
+        and -(1 << 63) <= instr.arg < (1 << 63)
+    ]
+    rng.shuffle(candidates)
+    # Indices shift as we splice; rewrite highest index first per fn.
+    for fn, idx in sorted(candidates[:count],
+                          key=lambda t: (id(t[0]), -t[1])):
+        value = fn.code[idx].arg
+        a = rng.randint(-(1 << 30), 1 << 30)
+        b = wrap64(value - a)
+        fn.code[idx:idx + 1] = [ins("const", a), ins("const", b),
+                                ins("add")]
+    return attacked

@@ -1,0 +1,142 @@
+"""Attack evaluation harness for the bytecode watermark (Section 5.1.2).
+
+Runs an attacked module through the two checks the paper's resilience
+table needs:
+
+* **program_ok** — the attacked program still behaves like the
+  original on the key input and on extra probe inputs (an attack that
+  breaks the program is useless to the adversary);
+* **watermark_found** — dynamic blind recognition still recovers the
+  embedded value.
+
+:func:`run_attack_suite` produces the rows of the Section 5.1.2
+resilience table for a standard battery of distortive attacks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ...bytecode_wm.embedder import EmbeddingResult
+from ...bytecode_wm.keys import WatermarkKey
+from ...bytecode_wm.recognizer import recognize
+from ...vm.interpreter import VMError, run_module
+from ...vm.program import Module
+from ...vm.verifier import is_verifiable
+from .chaining import chain_branches, unfold_constants
+from .insertion import insert_branches, insert_noops
+from .inversion import invert_branch_senses
+from .locals_transform import pad_locals, renumber_locals
+from .method_transforms import inline_random_calls
+from .reordering import copy_blocks, reorder_blocks, split_blocks
+from .unrolling import peel_loops
+
+Attack = Callable[[Module, random.Random], Module]
+
+
+@dataclass
+class AttackOutcome:
+    """One row of the resilience table."""
+
+    name: str
+    verifies: bool
+    program_ok: bool
+    watermark_found: bool
+    recovered: Optional[int] = None
+
+    @property
+    def attack_succeeded(self) -> bool:
+        """The adversary wins iff the program works but the mark is gone."""
+        return self.program_ok and not self.watermark_found
+
+
+def _outputs_match(
+    original: Module,
+    attacked: Module,
+    input_sets: Sequence[Sequence[int]],
+) -> bool:
+    for inputs in input_sets:
+        try:
+            want = run_module(original, inputs).output
+            got = run_module(attacked, inputs).output
+        except VMError:
+            return False
+        if want != got:
+            return False
+    return True
+
+
+def evaluate_attack(
+    name: str,
+    embedded: EmbeddingResult,
+    key: WatermarkKey,
+    attacked: Module,
+    probe_inputs: Sequence[Sequence[int]] = (),
+) -> AttackOutcome:
+    """Judge one attacked module."""
+    verifies = is_verifiable(attacked)
+    input_sets = [list(key.inputs)] + [list(p) for p in probe_inputs]
+    program_ok = verifies and _outputs_match(
+        embedded.module, attacked, input_sets
+    )
+    found = False
+    recovered = None
+    if verifies:
+        try:
+            result = recognize(
+                attacked, key, watermark_bits=embedded.watermark_bits
+            )
+            recovered = result.value
+            found = result.complete and result.value == embedded.watermark
+        except VMError:
+            found = False
+    return AttackOutcome(name, verifies, program_ok, found, recovered)
+
+
+def standard_attacks(rng_seed: int = 2004) -> Dict[str, Attack]:
+    """The distortive battery used for the Section 5.1.2 table."""
+    return {
+        "noop-insertion-100": lambda m, r: insert_noops(m, 100, r),
+        "noop-insertion-1000": lambda m, r: insert_noops(m, 1000, r),
+        "branch-sense-inversion": lambda m, r: invert_branch_senses(m, 1.0, r),
+        "branch-sense-inversion-half": lambda m, r: invert_branch_senses(
+            m, 0.5, r
+        ),
+        "block-reordering": lambda m, r: reorder_blocks(m, r),
+        "block-splitting-50": lambda m, r: split_blocks(m, 50, r),
+        "block-copying-20": lambda m, r: copy_blocks(m, 20, r),
+        "method-inlining-5": lambda m, r: inline_random_calls(m, 5, r),
+        "locals-renumbering": lambda m, r: renumber_locals(m, r),
+        "locals-padding": lambda m, r: pad_locals(m, 4, r),
+        "combined-layout": lambda m, r: reorder_blocks(
+            invert_branch_senses(insert_noops(m, 200, r), 1.0, r), r
+        ),
+        "branch-insertion-light-10": lambda m, r: insert_branches(m, 10, r),
+        "branch-chaining-30": lambda m, r: chain_branches(m, 30, r),
+        "constant-unfolding-50": lambda m, r: unfold_constants(m, 50, r),
+        "loop-peeling-3": lambda m, r: peel_loops(m, 3, r),
+    }
+
+
+def run_attack_suite(
+    embedded: EmbeddingResult,
+    key: WatermarkKey,
+    probe_inputs: Sequence[Sequence[int]] = (),
+    attacks: Optional[Dict[str, Attack]] = None,
+    rng_seed: int = 2004,
+) -> List[AttackOutcome]:
+    """Apply every attack to the watermarked module and judge it."""
+    attacks = attacks if attacks is not None else standard_attacks()
+    outcomes = []
+    for name in sorted(attacks):
+        # zlib.crc32 rather than hash(): str hashing is randomized per
+        # process and would make the suite nondeterministic.
+        import zlib
+        rng = random.Random(rng_seed ^ zlib.crc32(name.encode()))
+        attacked = attacks[name](embedded.module, rng)
+        outcomes.append(
+            evaluate_attack(name, embedded, key, attacked, probe_inputs)
+        )
+    return outcomes

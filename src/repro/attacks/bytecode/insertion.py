@@ -1,0 +1,105 @@
+"""Insertion attacks on WVM bytecode (Section 5.1.2).
+
+* :func:`insert_noops` — sprinkles ``nop`` instructions everywhere.
+  Non-branch insertion does not change the trace bit-string (Section
+  3.1), so the watermark survives any amount of it.
+* :func:`insert_branches` — the paper's *branch insertion* attack, the
+  one distortive attack that (at scale) defeats the Java watermark:
+  "randomly inserts branches into a program. [...] he is likely to
+  cause widespread random changes in the decoded bit-string." The
+  inserted code is exactly the paper's measured attack payload::
+
+      if (x * (x - 1) % 2 != 0) x++;
+
+  which is semantics-preserving because the predicate is opaquely
+  false. Every inserted branch that lands (dynamically) inside one of
+  the 64-bit piece windows splits that window and destroys the piece;
+  pieces survive only when no inserted branch executes between their
+  first and last bit. Figure 8(c) measures survival vs. insertion
+  rate; Figure 8(d) measures the attack's own slowdown.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ...vm.instructions import ins
+from ...vm.instructions import label as label_ins
+from ...vm.program import Function, Module
+
+
+def _insertion_points(fn: Function) -> List[int]:
+    """Indices where straight-line code may be spliced in.
+
+    Anywhere between whole instructions works for stack-neutral
+    payloads, except we never split a label from the instruction it
+    names (cosmetic) and we keep out of the (nonexistent) window
+    between a branch and its label operand — WVM has no delay slots,
+    so every boundary is safe.
+    """
+    return list(range(len(fn.code) + 1))
+
+
+def insert_noops(
+    module: Module, count: int, rng: Optional[random.Random] = None
+) -> Module:
+    """Insert ``count`` nops at random positions across the module."""
+    rng = rng or random.Random(0)
+    attacked = module.copy()
+    functions = sorted(attacked.functions.values(), key=lambda f: f.name)
+    for _ in range(count):
+        fn = rng.choice(functions)
+        idx = rng.choice(_insertion_points(fn))
+        fn.code.insert(idx, ins("nop"))
+    return attacked
+
+
+def _attack_branch_payload(fn: Function, x_slot: int, skip: str) -> list:
+    """``if (x * (x - 1) % 2 != 0) x++;`` — the Figure 8(d) payload."""
+    return [
+        ins("load", x_slot),
+        ins("load", x_slot),
+        ins("const", 1),
+        ins("sub"),
+        ins("mul"),
+        ins("const", 2),
+        ins("mod"),
+        ins("ifeq", skip),
+        ins("iinc", x_slot, 1),
+        label_ins(skip),
+    ]
+
+
+def insert_branches(
+    module: Module, count: int, rng: Optional[random.Random] = None
+) -> Module:
+    """Insert ``count`` opaque conditional branches at random positions.
+
+    Each inserted branch, when executed, contributes a bit to the
+    decoded trace string at its dynamic position — corrupting any
+    watermark piece window it falls inside.
+    """
+    rng = rng or random.Random(0)
+    attacked = module.copy()
+    functions = sorted(attacked.functions.values(), key=lambda f: f.name)
+    for n in range(count):
+        fn = rng.choice(functions)
+        if fn.locals_count == 0:
+            fn.locals_count = 1
+        x_slot = rng.randrange(fn.locals_count)
+        skip = fn.fresh_label(f"atk{n}")
+        payload = _attack_branch_payload(fn, x_slot, skip)
+        idx = rng.choice(_insertion_points(fn))
+        fn.code[idx:idx] = payload
+    return attacked
+
+
+def branch_increase_fraction(original: Module, attacked: Module) -> float:
+    """Relative growth in static conditional-branch count (Fig. 8(c) x-axis)."""
+    from ...vm.rewriter import count_conditional_branches
+
+    base = count_conditional_branches(original)
+    if base == 0:
+        return 0.0
+    return (count_conditional_branches(attacked) - base) / base

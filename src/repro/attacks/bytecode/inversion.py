@@ -1,0 +1,54 @@
+"""Branch sense inversion attack.
+
+Negates the predicate of every (or a random subset of) conditional
+branch and rearranges the targets to preserve semantics::
+
+    if_icmplt L        if_icmpge F
+    fall: ...     =>   goto L
+                       F: fall: ...
+
+This toggles taken/not-taken for every execution of the branch — a
+direct attempt at the "flip the tests" attack the paper's Figure 1
+discussion raises. The bit-string survives because its definition is
+relative to each branch's own first follower: both the first and all
+later followers flip together, so equality comparisons are unchanged
+(Section 3.1: "The resulting bit-string does not change [...] if
+branch senses are inverted").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ...vm.instructions import INVERSES, ins
+from ...vm.instructions import label as label_ins
+from ...vm.program import Module
+
+
+def invert_branch_senses(
+    module: Module,
+    probability: float = 1.0,
+    rng: Optional[random.Random] = None,
+) -> Module:
+    """Invert each conditional branch with the given probability."""
+    rng = rng or random.Random(0)
+    attacked = module.copy()
+    for fn in attacked.functions.values():
+        idx = 0
+        counter = 0
+        while idx < len(fn.code):
+            instr = fn.code[idx]
+            if instr.is_conditional and rng.random() < probability:
+                fall = fn.fresh_label(f"inv{counter}")
+                counter += 1
+                replacement = [
+                    ins(INVERSES[instr.op], fall),
+                    ins("goto", instr.arg),
+                    label_ins(fall),
+                ]
+                fn.code[idx:idx + 1] = replacement
+                idx += len(replacement)
+            else:
+                idx += 1
+    return attacked

@@ -1,0 +1,48 @@
+"""Register-reallocation attacks: local-slot renumbering.
+
+The analog of the register renumbering transformation that defeats
+register-interference watermarks (Qu & Potkonjak [17], discussed in
+Section 6). Path-based watermarks do not care which slot a value
+lives in — condition-codegen predicates move along with the slots
+they reference because the attack rewrites operands consistently.
+
+Parameters keep their slots (the calling convention pins slots
+``0..params-1``); all other locals are permuted.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ...vm.program import Module
+
+
+def renumber_locals(
+    module: Module, rng: Optional[random.Random] = None
+) -> Module:
+    """Apply a random permutation to every function's non-param slots."""
+    rng = rng or random.Random(0)
+    attacked = module.copy()
+    for fn in attacked.functions.values():
+        movable = list(range(fn.params, fn.locals_count))
+        if len(movable) < 2:
+            continue
+        shuffled = list(movable)
+        rng.shuffle(shuffled)
+        mapping: Dict[int, int] = {i: i for i in range(fn.params)}
+        mapping.update(dict(zip(movable, shuffled)))
+        for instr in fn.code:
+            if instr.op in ("load", "store", "iinc"):
+                instr.arg = mapping[instr.arg]
+    return attacked
+
+
+def pad_locals(
+    module: Module, extra: int = 4, rng: Optional[random.Random] = None
+) -> Module:
+    """Grow every frame with unused slots (layout noise)."""
+    attacked = module.copy()
+    for fn in attacked.functions.values():
+        fn.locals_count += extra
+    return attacked

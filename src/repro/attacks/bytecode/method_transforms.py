@@ -1,0 +1,152 @@
+"""Method-level attacks: inlining (merging) and outlining (splitting).
+
+SandMark's "method and class splitting and merging" attacks reshape
+the call graph. Inlining is the aggressive direction: the callee's
+branch instructions are *duplicated* into the caller, so the trace
+contains fresh static instructions at those positions — yet the
+decoded bits are unchanged, because each fresh instruction primes its
+own follower exactly the way the original did.
+
+Outlining extracts a straight-line instruction run into a fresh
+function; ``call``/``ret`` are not conditional branches, so the trace
+bits are again untouched.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ...vm.instructions import Instruction, ins
+from ...vm.instructions import label as label_ins
+from ...vm.program import Function, Module
+from ...vm.verifier import is_verifiable
+
+_INLINE_SIZE_LIMIT = 400
+
+
+def _returns_at_unit_depth(fn: Function) -> bool:
+    """Conservative check that every ``ret`` leaves depth-1 semantics.
+
+    Wee-compiled functions keep the operand stack empty between
+    statements, so their ``ret`` always sits at depth 1; for anything
+    else we inline speculatively and re-verify.
+    """
+    return any(i.op == "ret" for i in fn.code)
+
+
+def inline_call(
+    module: Module,
+    caller_name: str,
+    call_index: int,
+) -> bool:
+    """Inline the ``call`` at ``caller_name``'s code index ``call_index``.
+
+    Returns True on success; on any verification failure the module is
+    left unchanged (the attack harness simply tries another site).
+    """
+    caller = module.function(caller_name)
+    instr = caller.code[call_index]
+    if instr.op != "call":
+        return False
+    callee = module.functions.get(instr.arg)
+    if callee is None or callee.name == caller_name:
+        return False
+    if len(callee.code) > _INLINE_SIZE_LIMIT:
+        return False
+    if not _returns_at_unit_depth(callee):
+        return False
+
+    saved_code = list(caller.code)
+    saved_locals = caller.locals_count
+
+    slot_map = {i: caller.alloc_local() for i in range(callee.locals_count)}
+    done = caller.fresh_label("inl_done")
+    defined = [i.arg for i in callee.code if i.is_label]
+    label_map = {}
+    for name in defined:
+        label_map[name] = caller.fresh_label("inl")
+
+    body: List[Instruction] = []
+    # Parameters are on the caller's stack in push order; pop in reverse.
+    for p in reversed(range(callee.params)):
+        body.append(ins("store", slot_map[p]))
+    for instr_c in callee.code:
+        copy = instr_c.copy()
+        if copy.is_label:
+            copy.arg = label_map[copy.arg]
+        elif copy.op in ("load", "store"):
+            copy.arg = slot_map[copy.arg]
+        elif copy.op == "iinc":
+            copy.arg = slot_map[copy.arg]
+        elif copy.op in ("goto",) or copy.is_conditional:
+            copy.arg = label_map[copy.arg]
+        elif copy.op == "ret":
+            # Leave the return value on the stack, jump to the join.
+            copy = ins("goto", done)
+        body.append(copy)
+    body.append(label_ins(done))
+
+    caller.code[call_index:call_index + 1] = body
+    if not is_verifiable(module):
+        caller.code = saved_code
+        caller.locals_count = saved_locals
+        return False
+    return True
+
+
+def inline_random_calls(
+    module: Module, count: int, rng: Optional[random.Random] = None
+) -> Module:
+    """Attack entry point: inline up to ``count`` random call sites."""
+    rng = rng or random.Random(0)
+    attacked = module.copy()
+    for _ in range(count):
+        sites = [
+            (name, idx)
+            for name, fn in sorted(attacked.functions.items())
+            for idx, instr in enumerate(fn.code)
+            if instr.op == "call"
+        ]
+        if not sites:
+            break
+        name, idx = rng.choice(sites)
+        inline_call(attacked, name, idx)
+    return attacked
+
+
+def outline_region(
+    module: Module,
+    fn_name: str,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """Method splitting: move a straight-line run of stack-neutral,
+    local-free instructions into a fresh function.
+
+    Conservative by construction (the region must not touch locals or
+    control flow) and verified afterwards; returns success.
+    """
+    rng = rng or random.Random(0)
+    fn = module.function(fn_name)
+    runs = []
+    start = None
+    for idx, instr in enumerate(fn.code):
+        movable = instr.op == "nop"
+        if movable and start is None:
+            start = idx
+        elif not movable and start is not None:
+            if idx - start >= 2:
+                runs.append((start, idx))
+            start = None
+    if start is not None and len(fn.code) - start >= 2:
+        runs.append((start, len(fn.code)))
+    if not runs:
+        return False
+    s, e = rng.choice(runs)
+    region = fn.code[s:e]
+    helper_name = f"{fn_name}_out{len(module.functions)}"
+    helper = Function(helper_name, 0, 0,
+                      list(region) + [ins("const", 0), ins("ret")])
+    module.add(helper)
+    fn.code[s:e] = [ins("call", helper_name), ins("pop")]
+    return is_verifiable(module)

@@ -1,0 +1,104 @@
+"""Class-encryption attack (Section 5.1.2) and its countermeasure.
+
+    "In the class encryption attack, every class file in an
+    application is replaced with an encrypted version of itself. The
+    startup code ... decodes and runs the encrypted classes. While
+    this attack has no effect on the branch sequence taken by the
+    program, it does prevent instrumentation by denying the
+    instrumenter access to the bytecode."
+
+We model the whole story:
+
+* :func:`seal_module` produces a :class:`SealedModule` whose code is
+  present only as an encrypted payload plus a loader stub.
+* A *static instrumenter* (:func:`instrument_for_tracing`) needs the
+  plaintext bytecode and therefore fails on a sealed module — the
+  paper's observed "attack succeeds" outcome.
+* A *JVM-level tracer* (:func:`jvm_level_trace`) models the paper's
+  countermeasure: "the JVM necessarily has access to the unencoded
+  form of the bytecode"; the loader stub decrypts at class-load time
+  and the interpreter's built-in tracing sees everything. Recognition
+  through this path survives sealing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ...core.cipher import cipher_for_secret
+from ...vm.assembler import assemble
+from ...vm.disassembler import disassemble
+from ...vm.interpreter import run_module
+from ...vm.program import Module
+from ...vm.tracing import RunResult
+
+
+class SealedAccessError(Exception):
+    """A static tool tried to read sealed (encrypted) bytecode."""
+
+
+def _keystream_xor(data: bytes, secret: bytes) -> bytes:
+    cipher = cipher_for_secret(secret)
+    out = bytearray()
+    counter = 0
+    block = b""
+    for i, byte in enumerate(data):
+        if i % 8 == 0:
+            block = cipher.encrypt_block(counter).to_bytes(8, "big")
+            counter += 1
+        out.append(byte ^ block[i % 8])
+    return bytes(out)
+
+
+@dataclass
+class SealedModule:
+    """An 'encrypted jar': loader stub + ciphertext payload.
+
+    The loader (modelled by :meth:`load`) is what the JVM executes; it
+    decrypts the payload in memory. Static tools only see ``payload``.
+    """
+
+    payload: bytes
+    loader_secret: bytes
+
+    def load(self) -> Module:
+        """What the runtime does at class-load time."""
+        text = _keystream_xor(self.payload, self.loader_secret).decode()
+        return assemble(text)
+
+    def static_bytes(self) -> bytes:
+        """What a static instrumenter can read: ciphertext only."""
+        return self.payload
+
+
+def seal_module(module: Module, loader_secret: bytes = b"sealer") -> SealedModule:
+    """Encrypt a module the way the class-encryption attack does."""
+    text = disassemble(module)
+    return SealedModule(
+        _keystream_xor(text.encode(), loader_secret), loader_secret
+    )
+
+
+def instrument_for_tracing(sealed: SealedModule) -> Module:
+    """A bytecode instrumenter: needs plaintext, so it must fail.
+
+    Raises :class:`SealedAccessError` — this is the failure mode the
+    paper reports for its instrumentation-based tracer.
+    """
+    data = sealed.static_bytes()
+    try:
+        text = data.decode()
+        return assemble(text)
+    except Exception as exc:
+        raise SealedAccessError(
+            "cannot instrument sealed bytecode: payload is encrypted"
+        ) from exc
+
+
+def jvm_level_trace(
+    sealed: SealedModule, inputs: Sequence[int], trace_mode: str = "branch"
+) -> RunResult:
+    """The countermeasure: trace via the runtime, not via rewriting."""
+    module = sealed.load()
+    return run_module(module, inputs, trace_mode=trace_mode)

@@ -1,0 +1,27 @@
+"""Native binary attacks (Section 5.2.2)."""
+
+from .harness import (
+    NativeAttackOutcome,
+    evaluate_native_attack,
+    run_native_attack_suite,
+)
+from .transforms import (
+    bypass_branch_function,
+    double_watermark,
+    insert_noops,
+    invert_branch_senses,
+    observe_call_targets,
+    reroute_branch_function,
+)
+
+__all__ = [
+    "NativeAttackOutcome",
+    "bypass_branch_function",
+    "double_watermark",
+    "evaluate_native_attack",
+    "insert_noops",
+    "invert_branch_senses",
+    "observe_call_targets",
+    "reroute_branch_function",
+    "run_native_attack_suite",
+]

@@ -1,0 +1,53 @@
+"""Path-based watermarking for WVM bytecode (paper Section 3).
+
+The dynamic blind fingerprinting pipeline::
+
+    from repro.bytecode_wm import WatermarkKey, embed, recognize
+
+    key = WatermarkKey(secret=b"...", inputs=[...])
+    result = embed(module, watermark=W, key=key, pieces=24)
+    found = recognize(result.module, key, watermark_bits=result.watermark_bits)
+    assert found.value == W
+"""
+
+from .diversify import diversify, instruction_diff_fraction
+from .condition_codegen import (
+    condition_piece_byte_size,
+    find_predicate_variables,
+    generate_condition_piece,
+)
+from .embedder import (
+    PIECE_BITS,
+    EmbeddingResult,
+    Placement,
+    default_piece_count,
+    embed,
+)
+from .keys import WatermarkKey
+from .loop_codegen import generate_loop_piece, loop_piece_byte_size
+from .opaque import opaquely_false_guard, opaquely_false_value
+from .placement import SitePicker, eligible_sites
+from .recognizer import recognize, recognize_bits, trace_bitstring
+
+__all__ = [
+    "EmbeddingResult",
+    "PIECE_BITS",
+    "Placement",
+    "SitePicker",
+    "WatermarkKey",
+    "condition_piece_byte_size",
+    "default_piece_count",
+    "diversify",
+    "instruction_diff_fraction",
+    "eligible_sites",
+    "embed",
+    "find_predicate_variables",
+    "generate_condition_piece",
+    "generate_loop_piece",
+    "loop_piece_byte_size",
+    "opaquely_false_guard",
+    "opaquely_false_value",
+    "recognize",
+    "recognize_bits",
+    "trace_bitstring",
+]

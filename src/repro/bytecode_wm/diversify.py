@@ -1,0 +1,75 @@
+"""Pre-watermark diversification against collusive attacks.
+
+Section 5.1.2: "collusive attacks can be prevented by obfuscating the
+program before it is watermarked, and thus producing a highly diverse
+program population. Any attempt to find the watermark code through
+comparison of multiple watermarked copies of the program will be
+thwarted by this defense because the differences between any two
+copies of the program will contain much more than just the watermark
+code."
+
+:func:`diversify` applies a seeded pipeline of semantics-preserving
+layout transformations (the same family the attack suite uses —
+they're obfuscations when the defender runs them): no-op padding,
+branch sense inversion, basic-block splitting and reordering, and
+local-slot renumbering. Two copies diversified with different seeds
+differ almost everywhere, so diffing them reveals nothing about which
+differences are watermark pieces.
+
+:func:`instruction_diff_fraction` is the attacker's measuring stick:
+the fraction of instruction positions at which two modules disagree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Tuple
+
+from ..attacks.bytecode.insertion import insert_noops
+from ..attacks.bytecode.inversion import invert_branch_senses
+from ..attacks.bytecode.locals_transform import renumber_locals
+from ..attacks.bytecode.reordering import reorder_blocks, split_blocks
+from ..vm.program import Module
+from ..vm.verifier import verify_module
+
+
+def diversify(module: Module, seed: int, intensity: float = 1.0) -> Module:
+    """A semantics-preserving, seed-dependent re-spin of the module.
+
+    ``intensity`` scales how much churn is applied (1.0 = the default
+    pipeline). The result is re-verified before being returned.
+    """
+    rng = random.Random(seed)
+    size = max(module.instruction_count(), 1)
+    out = insert_noops(module, int(size * 0.05 * intensity) + 1, rng)
+    out = invert_branch_senses(out, min(1.0, 0.5 * intensity), rng)
+    out = split_blocks(out, int(size * 0.02 * intensity) + 1, rng)
+    out = reorder_blocks(out, rng)
+    out = renumber_locals(out, rng)
+    verify_module(out)
+    return out
+
+
+def _aligned_instruction_stream(module: Module) -> Iterator[Tuple]:
+    for name in sorted(module.functions):
+        for instr in module.functions[name].real_instructions():
+            yield (name, instr.op, instr.arg, instr.arg2)
+
+
+def instruction_diff_fraction(a: Module, b: Module) -> float:
+    """Fraction of positions at which two modules' code disagrees.
+
+    A crude collusive attacker's view: align the instruction streams
+    function by function and count mismatches (padding the shorter
+    stream as all-mismatch). 0.0 = identical code; values near 1.0
+    mean diffing is uninformative.
+    """
+    stream_a = list(_aligned_instruction_stream(a))
+    stream_b = list(_aligned_instruction_stream(b))
+    longest = max(len(stream_a), len(stream_b))
+    if longest == 0:
+        return 0.0
+    matches = sum(
+        1 for x, y in zip(stream_a, stream_b) if x == y
+    )
+    return 1.0 - matches / longest

@@ -1,0 +1,51 @@
+"""Watermark keys for the dynamic (path-based) watermarker.
+
+A key bundles the two secrets of Section 3:
+
+* the **secret input sequence** ``inputs`` the program is executed
+  with during tracing and recognition ("file IO, user interaction
+  ..., packets sent or received over a network, etc. The only
+  restriction is that the trace be reproducible during recognition").
+  In WVM, programs consume it through ``input`` instructions.
+* the **cipher secret** from which the 64-bit block cipher key is
+  derived (step B of embedding). The paper folds this into "the
+  watermark key"; we keep both under one object.
+
+The key also seeds the embedder's private RNG so that embedding is
+deterministic given (module, watermark, key) — required for tests and
+for reproducible fingerprinting of distributed copies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..core.cipher import BlockCipher, cipher_for_secret
+from ..core.errors import KeyError_
+
+
+@dataclass(frozen=True)
+class WatermarkKey:
+    """The recognizer's secret: input sequence plus cipher secret."""
+
+    secret: bytes
+    inputs: tuple
+
+    def __init__(self, secret: bytes, inputs: Sequence[int]):
+        if not isinstance(secret, (bytes, bytearray)):
+            raise KeyError_("secret must be bytes")
+        if not all(isinstance(v, int) for v in inputs):
+            raise KeyError_("inputs must be integers")
+        object.__setattr__(self, "secret", bytes(secret))
+        object.__setattr__(self, "inputs", tuple(inputs))
+
+    def cipher(self) -> BlockCipher:
+        """The 64-bit block cipher derived from the secret."""
+        return cipher_for_secret(self.secret)
+
+    def rng(self, purpose: str = "embed") -> random.Random:
+        """A deterministic RNG stream scoped to ``purpose``."""
+        seed = int.from_bytes(self.secret + purpose.encode(), "big")
+        return random.Random(seed)

@@ -1,0 +1,121 @@
+"""Opaque Predicate Library (the paper's SandMark "OPL").
+
+An opaque predicate [Collberg, Thomborson & Low, POPL'98] is a
+boolean-valued expression whose value (always-true / always-false) is
+difficult for an adversary to determine statically. The embedder uses
+*opaquely false* predicates to guard never-executed updates of live
+variables — this is what stops an optimizer from deleting the
+watermark code as dead ("To prevent an optimizer from removing the
+inserted code, we add a never executed assignment to a variable that
+is live at the point of insertion", Section 3.2.2).
+
+Every template receives a local slot holding an arbitrary integer
+``x`` and emits WVM code that pushes the predicate's value (0/1).
+All templates here are *false* for every 64-bit x; each cites its
+little number-theoretic fact. The paper's own example — x(x-1) = 0
+(mod 2), i.e. the negation x(x-1) % 2 != 0 is always false — is
+template 0.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..vm.instructions import Instruction, ins
+
+
+def _template_product_parity(x_slot: int) -> List[Instruction]:
+    """``x * (x - 1) % 2 != 0`` — consecutive integers, one is even."""
+    return [
+        ins("load", x_slot),
+        ins("load", x_slot),
+        ins("const", 1),
+        ins("sub"),
+        ins("mul"),
+        ins("const", 2),
+        ins("mod"),
+        # mod result in {-1, 0, 1}; != 0 would be wrong as plain truth,
+        # so compare |x*(x-1) % 2| with 1 via squaring: square is 0 or 1,
+        # and it is 0 exactly when the product is even — always.
+        ins("dup"),
+        ins("mul"),
+    ]
+
+
+def _template_square_mod4(x_slot: int) -> List[Instruction]:
+    """``x*x % 4 == 2`` — squares are 0 or 1 mod 4, never 2."""
+    return [
+        ins("load", x_slot),
+        ins("load", x_slot),
+        ins("mul"),
+        ins("const", 3),
+        ins("band"),          # x*x & 3 in {0, 1}
+        ins("const", 2),
+        ins("bxor"),          # in {2, 3}, never 0
+        ins("const", 0),
+        # equality materialization without a branch: (v == 0) via
+        # 1 - min(1, v & 3)... keep it simple and branchless:
+        ins("bxor"),          # still {2, 3}
+        ins("const", 2),
+        ins("band"),          # bit 1 set -> nonzero; we need FALSE=0
+        ins("const", 2),
+        ins("bxor"),          # {0, 1}: 0 when bit set (always) -> 0
+    ]
+
+
+def _template_seven_square(x_slot: int) -> List[Instruction]:
+    """``(7*x*x - 1) % 8 == 0`` is false: 7x² mod 8 ∈ {0,4,7}, minus 1
+    is never ≡ 0 (mod 8) ... realized branchlessly as a 0/1 value."""
+    return [
+        ins("load", x_slot),
+        ins("load", x_slot),
+        ins("mul"),
+        ins("const", 7),
+        ins("mul"),
+        ins("const", 1),
+        ins("sub"),
+        ins("const", 7),
+        ins("band"),          # (7x² - 1) mod 8, in {3, 6, 7}
+        ins("const", 8),
+        ins("add"),           # {11, 14, 15}
+        ins("const", 8),
+        ins("div"),           # always 1
+        ins("const", 1),
+        ins("bxor"),          # always 0
+    ]
+
+
+_FALSE_TEMPLATES = [
+    _template_product_parity,
+    _template_square_mod4,
+    _template_seven_square,
+]
+
+
+def opaquely_false_value(
+    x_slot: int, rng: Optional[random.Random] = None
+) -> List[Instruction]:
+    """Code pushing an always-zero value that looks data-dependent."""
+    rng = rng or random.Random(0)
+    template = rng.choice(_FALSE_TEMPLATES)
+    return template(x_slot)
+
+
+def opaquely_false_guard(
+    x_slot: int,
+    body: List[Instruction],
+    skip_label: str,
+    rng: Optional[random.Random] = None,
+) -> List[Instruction]:
+    """``if (PF) { body }`` — the body never executes.
+
+    The caller supplies a fresh ``skip_label`` and is responsible for
+    the body being stack-neutral; the guard leaves the stack unchanged
+    on the (always-taken) skip path.
+    """
+    code = opaquely_false_value(x_slot, rng)
+    code.append(ins("ifeq", skip_label))
+    code.extend(body)
+    code.append(Instruction("label", skip_label))
+    return code

@@ -1,0 +1,66 @@
+"""The bytecode watermark recognizer (paper Section 3.3).
+
+Recognition is *dynamic and blind*: it needs only the (possibly
+attacked) program and the key. The program is re-executed on the
+secret input with branch tracing, the trace is decoded to the bit-
+string of Section 3.1, and the recombination algorithm of
+``repro.core.recovery`` (window decryption, voting, G/H consistency
+graphs, Generalized CRT) extracts the watermark.
+
+The recognizer must know the fingerprint width (a protocol parameter
+shared by embedder and recognizer — it determines the moduli); it
+does not need the unwatermarked program or the watermark value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.bitstring import decode_bits
+from ..core.enumeration import StatementEnumeration
+from ..core.primes import choose_moduli
+from ..core.recovery import RecoveryResult, recover
+from ..vm.interpreter import run_module
+from ..vm.program import Module
+from .keys import WatermarkKey
+
+DEFAULT_WATERMARK_BITS = 64
+
+
+def trace_bitstring(module: Module, key: WatermarkKey,
+                    max_steps: Optional[int] = None) -> List[int]:
+    """Run the program on the key input and decode the trace bits."""
+    kwargs = {} if max_steps is None else {"max_steps": max_steps}
+    result = run_module(module, key.inputs, trace_mode="branch", **kwargs)
+    assert result.trace is not None
+    return decode_bits(result.trace.branch_pairs())
+
+
+def recognize_bits(
+    bits: Sequence[int],
+    key: WatermarkKey,
+    watermark_bits: int = DEFAULT_WATERMARK_BITS,
+    use_voting: bool = True,
+) -> RecoveryResult:
+    """Recover a watermark from an already-decoded bit-string."""
+    moduli = choose_moduli(watermark_bits)
+    return recover(
+        bits, key.cipher(), StatementEnumeration(moduli), use_voting
+    )
+
+
+def recognize(
+    module: Module,
+    key: WatermarkKey,
+    watermark_bits: int = DEFAULT_WATERMARK_BITS,
+    use_voting: bool = True,
+    max_steps: Optional[int] = None,
+) -> RecoveryResult:
+    """End-to-end recognition: trace, decode, recombine.
+
+    Propagates :class:`repro.vm.VMError` if the program is broken (the
+    attack harness distinguishes "program broken" from "watermark
+    gone").
+    """
+    bits = trace_bitstring(module, key, max_steps)
+    return recognize_bits(bits, key, watermark_bits, use_voting)

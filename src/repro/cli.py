@@ -1,0 +1,322 @@
+"""Command-line interface for the path-based watermarking toolchain.
+
+Usage (also via ``python -m repro``)::
+
+    # Compile a wee program to WVM assembly
+    python -m repro compile app.wee -o app.wasm
+
+    # Embed a fingerprint (traces the program on the key inputs)
+    python -m repro embed app.wasm -o marked.wasm \\
+        --watermark 0x1337 --bits 16 --secret vendor --inputs 25,10
+
+    # Recognize (dynamic + blind: only the program and the key)
+    python -m repro recognize marked.wasm \\
+        --bits 16 --secret vendor --inputs 25,10
+
+    # Run a module / apply an attack / plan redundancy
+    python -m repro run app.wasm --inputs 25,10
+    python -m repro attack marked.wasm -o attacked.wasm \\
+        --transform sense-inversion
+    python -m repro plan --bits 128 --loss 0.4 --target 0.99
+
+Modules travel as WVM assembly text (the `.wasm` extension here means
+"watermarking asm", not WebAssembly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from .attacks.bytecode import (
+    insert_branches,
+    insert_noops,
+    invert_branch_senses,
+    renumber_locals,
+    reorder_blocks,
+    split_blocks,
+)
+from .bytecode_wm import WatermarkKey, diversify, embed, recognize
+from .core.planner import plan_redundancy
+from .lang import compile_source
+from .lang.codegen_native import compile_source_native
+from .native import MachineFault, format_listing, run_image
+from .native.imagefile import dump_image, load_image
+from .native_wm import embed_native, extract_native_auto
+from .vm import VMError, assemble, disassemble, run_module, verify_module
+
+ATTACKS = {
+    "noop-insertion": lambda m, r: insert_noops(m, 200, r),
+    "branch-insertion": lambda m, r: insert_branches(m, 50, r),
+    "sense-inversion": lambda m, r: invert_branch_senses(m, 1.0, r),
+    "block-reordering": lambda m, r: reorder_blocks(m, r),
+    "block-splitting": lambda m, r: split_blocks(m, 40, r),
+    "locals-renumbering": lambda m, r: renumber_locals(m, r),
+}
+
+
+def _parse_inputs(text: Optional[str]) -> List[int]:
+    if not text:
+        return []
+    return [int(tok, 0) for tok in text.split(",") if tok.strip()]
+
+
+def _read_module(path: str):
+    with open(path) as fp:
+        return assemble(fp.read())
+
+
+def _write_module(module, path: Optional[str]) -> None:
+    text = disassemble(module)
+    if path is None or path == "-":
+        sys.stdout.write(text)
+    else:
+        with open(path, "w") as fp:
+            fp.write(text)
+
+
+def cmd_compile(args) -> int:
+    with open(args.source) as fp:
+        module = compile_source(fp.read())
+    verify_module(module)
+    _write_module(module, args.output)
+    return 0
+
+
+def cmd_run(args) -> int:
+    module = _read_module(args.module)
+    try:
+        result = run_module(module, _parse_inputs(args.inputs))
+    except VMError as exc:
+        print(f"program trapped: {exc}", file=sys.stderr)
+        return 2
+    for value in result.output:
+        print(value)
+    print(f"[{result.steps} instructions executed]", file=sys.stderr)
+    return 0
+
+
+def cmd_embed(args) -> int:
+    module = _read_module(args.module)
+    key = WatermarkKey(secret=args.secret.encode(),
+                       inputs=_parse_inputs(args.inputs))
+    if args.diversify is not None:
+        module = diversify(module, args.diversify)
+    result = embed(
+        module,
+        watermark=int(args.watermark, 0),
+        key=key,
+        pieces=args.pieces,
+        watermark_bits=args.bits,
+    )
+    _write_module(result.module, args.output)
+    print(
+        f"embedded {result.piece_count} pieces "
+        f"(+{result.byte_size_increase} bytes)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_recognize(args) -> int:
+    module = _read_module(args.module)
+    key = WatermarkKey(secret=args.secret.encode(),
+                       inputs=_parse_inputs(args.inputs))
+    try:
+        found = recognize(module, key, watermark_bits=args.bits)
+    except VMError as exc:
+        print(f"program trapped during tracing: {exc}", file=sys.stderr)
+        return 2
+    if found.complete:
+        print(f"{found.value:#x}")
+        return 0
+    print("no watermark recovered", file=sys.stderr)
+    return 1
+
+
+def cmd_attack(args) -> int:
+    module = _read_module(args.module)
+    transform = ATTACKS[args.transform]
+    attacked = transform(module, random.Random(args.seed))
+    verify_module(attacked)
+    _write_module(attacked, args.output)
+    return 0
+
+
+def cmd_ncompile(args) -> int:
+    with open(args.source) as fp:
+        image = compile_source_native(fp.read())
+    with open(args.output, "w") as fp:
+        dump_image(image, fp)
+    print(f"{image.file_size()} bytes (text+data), "
+          f"entry {image.entry:#x}", file=sys.stderr)
+    return 0
+
+
+def cmd_nrun(args) -> int:
+    with open(args.image) as fp:
+        image = load_image(fp)
+    try:
+        result = run_image(image, _parse_inputs(args.inputs))
+    except MachineFault as exc:
+        print(f"program faulted: {exc}", file=sys.stderr)
+        return 2
+    for value in result.output:
+        print(value)
+    print(f"[{result.steps} instructions executed]", file=sys.stderr)
+    return 0
+
+
+def cmd_nembed(args) -> int:
+    with open(args.image) as fp:
+        image = load_image(fp)
+    emb = embed_native(
+        image,
+        watermark=int(args.watermark, 0),
+        width=args.bits,
+        inputs=_parse_inputs(args.inputs),
+        obfuscate_extra=args.obfuscate_extra,
+    )
+    with open(args.output, "w") as fp:
+        dump_image(emb.image, fp)
+    print(
+        f"chain of {len(emb.call_addresses)} calls, begin={emb.begin:#x} "
+        f"end={emb.end:#x}, {len(emb.tamper_jumps)} lockdown cells, "
+        f"+{emb.image.file_size() - image.file_size()} bytes",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_nextract(args) -> int:
+    with open(args.image) as fp:
+        image = load_image(fp)
+    result = extract_native_auto(
+        image, _parse_inputs(args.inputs),
+        width=args.bits, tracer=args.tracer,
+    )
+    if result.watermark is not None:
+        print(f"{result.watermark:#x}")
+        return 0
+    print("no watermark extracted", file=sys.stderr)
+    return 1
+
+
+def cmd_ndis(args) -> int:
+    with open(args.image) as fp:
+        image = load_image(fp)
+    print(format_listing(image, max_instructions=args.max))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    plan = plan_redundancy(args.bits, args.loss, args.target)
+    print(f"watermark bits:      {plan.watermark_bits}")
+    print(f"moduli:              {plan.moduli_count} "
+          f"({plan.pair_count} possible pieces)")
+    print(f"piece loss assumed:  {plan.piece_loss_probability:.0%}")
+    print(f"pieces to embed:     {plan.pieces}")
+    print(f"expected success:    {plan.expected_success:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic path-based software watermarking (PLDI 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile wee source to WVM assembly")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="execute a WVM module")
+    p.add_argument("module")
+    p.add_argument("--inputs", default="", help="comma-separated integers")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("embed", help="embed a watermark")
+    p.add_argument("module")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--watermark", required=True,
+                   help="integer (0x.. accepted)")
+    p.add_argument("--bits", type=int, required=True,
+                   help="fingerprint width in bits")
+    p.add_argument("--secret", required=True, help="cipher secret")
+    p.add_argument("--inputs", default="",
+                   help="secret input sequence, comma-separated")
+    p.add_argument("--pieces", type=int, default=None)
+    p.add_argument("--diversify", type=int, default=None, metavar="SEED",
+                   help="pre-watermark diversification seed "
+                        "(collusion defense)")
+    p.set_defaults(fn=cmd_embed)
+
+    p = sub.add_parser("recognize", help="recover a watermark")
+    p.add_argument("module")
+    p.add_argument("--bits", type=int, required=True)
+    p.add_argument("--secret", required=True)
+    p.add_argument("--inputs", default="")
+    p.set_defaults(fn=cmd_recognize)
+
+    p = sub.add_parser("attack", help="apply a distortive transformation")
+    p.add_argument("module")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--transform", choices=sorted(ATTACKS), required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_attack)
+
+    p = sub.add_parser("ncompile", help="compile wee source to an N32 image")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_ncompile)
+
+    p = sub.add_parser("nrun", help="execute an N32 image")
+    p.add_argument("image")
+    p.add_argument("--inputs", default="")
+    p.set_defaults(fn=cmd_nrun)
+
+    p = sub.add_parser("nembed",
+                       help="embed a branch-function watermark (native)")
+    p.add_argument("image")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--watermark", required=True)
+    p.add_argument("--bits", type=int, required=True)
+    p.add_argument("--inputs", default="",
+                   help="secret input sequence (profiling + tracing)")
+    p.add_argument("--obfuscate-extra", type=int, default=0)
+    p.set_defaults(fn=cmd_nembed)
+
+    p = sub.add_parser("nextract",
+                       help="extract a native watermark (auto-framed)")
+    p.add_argument("image")
+    p.add_argument("--bits", type=int, default=None)
+    p.add_argument("--inputs", default="")
+    p.add_argument("--tracer", choices=("simple", "smart"), default="smart")
+    p.set_defaults(fn=cmd_nextract)
+
+    p = sub.add_parser("ndis", help="disassemble an N32 image")
+    p.add_argument("image")
+    p.add_argument("--max", type=int, default=200)
+    p.set_defaults(fn=cmd_ndis)
+
+    p = sub.add_parser("plan", help="plan piece redundancy via Eq. (1)")
+    p.add_argument("--bits", type=int, required=True)
+    p.add_argument("--loss", type=float, required=True,
+                   help="probability an individual piece is destroyed")
+    p.add_argument("--target", type=float, default=0.99)
+    p.set_defaults(fn=cmd_plan)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Chinese Remainder Theorem machinery (paper Section 3.2, step A).
+
+The embedding scheme splits a watermark integer ``W`` into statements
+of the form ``W = x mod (p_i * p_j)`` over pairwise relatively prime
+moduli ``p_1 .. p_r``. The *Generalized* Chinese Remainder Theorem
+(Knuth, Seminumerical Algorithms, referenced as [14] in the paper)
+reconstructs ``W`` from any set of such congruences whose moduli need
+not be coprime, provided the congruences are mutually consistent.
+
+This module provides:
+
+* :func:`egcd` / :func:`modinv` — extended Euclid and modular inverse.
+* :func:`crt_pair` — combine two congruences with possibly non-coprime
+  moduli (the building block of the generalized CRT).
+* :func:`generalized_crt` — fold a list of congruences into one.
+* :class:`Congruence` — a single ``W = value (mod modulus)`` statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+def egcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Return ``(g, x, y)`` such that ``a*x + b*y == g == gcd(a, b)``.
+
+    Iterative to avoid recursion limits on pathological inputs.
+
+    >>> egcd(240, 46)
+    (2, -9, 47)
+    """
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    if old_r < 0:
+        old_r, old_s, old_t = -old_r, -old_s, -old_t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m``.
+
+    Raises :class:`ValueError` when ``gcd(a, m) != 1``.
+    """
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return x % m
+
+
+@dataclass(frozen=True)
+class Congruence:
+    """A statement ``W = value (mod modulus)`` about the watermark.
+
+    ``value`` is always normalized into ``[0, modulus)``.
+    """
+
+    value: int
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {self.modulus}")
+        object.__setattr__(self, "value", self.value % self.modulus)
+
+    def reduce(self, m: int) -> "Congruence":
+        """Project this congruence onto a divisor ``m`` of its modulus."""
+        if self.modulus % m != 0:
+            raise ValueError(f"{m} does not divide {self.modulus}")
+        return Congruence(self.value % m, m)
+
+    def consistent_with(self, other: "Congruence") -> bool:
+        """Whether some integer satisfies both congruences.
+
+        By CRT this holds iff the values agree modulo
+        ``gcd(self.modulus, other.modulus)``.
+        """
+        g = gcd(self.modulus, other.modulus)
+        return (self.value - other.value) % g == 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"W = {self.value} (mod {self.modulus})"
+
+
+def crt_pair(c1: Congruence, c2: Congruence) -> Optional[Congruence]:
+    """Combine two congruences into one modulo ``lcm(m1, m2)``.
+
+    Returns ``None`` when the congruences are inconsistent. Moduli need
+    not be coprime (this is what makes the CRT "generalized").
+
+    >>> crt_pair(Congruence(5, 6), Congruence(7, 15))
+    Congruence(value=17, modulus=30)
+    """
+    a1, m1 = c1.value, c1.modulus
+    a2, m2 = c2.value, c2.modulus
+    g, s, _ = egcd(m1, m2)
+    if (a2 - a1) % g != 0:
+        return None
+    lcm = m1 // g * m2
+    # x = a1 + m1 * t where t = (a2 - a1)/g * s mod (m2/g)
+    t = ((a2 - a1) // g * s) % (m2 // g)
+    return Congruence((a1 + m1 * t) % lcm, lcm)
+
+
+def generalized_crt(congruences: Iterable[Congruence]) -> Congruence:
+    """Fold congruences into a single one via the generalized CRT.
+
+    Raises :class:`ValueError` if the system is inconsistent or empty.
+    """
+    acc: Optional[Congruence] = None
+    for c in congruences:
+        if acc is None:
+            acc = c
+            continue
+        combined = crt_pair(acc, c)
+        if combined is None:
+            raise ValueError(f"inconsistent congruences: {acc} vs {c}")
+        acc = combined
+    if acc is None:
+        raise ValueError("cannot combine an empty set of congruences")
+    return acc
+
+
+def pairwise_coprime(moduli: Sequence[int]) -> bool:
+    """Check that every pair of moduli is relatively prime."""
+    for i, a in enumerate(moduli):
+        for b in moduli[i + 1:]:
+            if gcd(a, b) != 1:
+                return False
+    return True

@@ -1,0 +1,120 @@
+"""Bijective enumeration of residue statements (paper Section 3.2, step B).
+
+Each statement ``W = x (mod p_i * p_j)`` with ``i < j`` and
+``0 <= x < p_i * p_j`` is turned into a single integer by an
+enumeration scheme, then block-encrypted and embedded. The scheme is a
+prefix-sum layout of the statement space: pairs ``(i, j)`` are ordered
+lexicographically and each pair owns a contiguous interval of
+``p_i * p_j`` integers:
+
+    code(i, j, x) = sum of p_a * p_b over all pairs (a, b) < (i, j)  +  x
+
+This is a bijection between statements and ``[0, N)`` where
+``N = sum_{i<j} p_i p_j``. Its crucial decoding property: a uniformly
+random 64-bit block falls inside ``[0, N)`` — and therefore decodes to
+a (bogus) statement at all — with probability only ``N / 2**64``, which
+the moduli chooser keeps below 1/256. This is how the recognizer
+discards the overwhelming majority of junk windows.
+
+(The formula printed in the paper's available text is OCR-garbled; this
+is the standard enumeration it describes: an invertible numbering of
+(pair, residue) statements by prefix sums of pair products.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .crt import Congruence
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A residue statement about the watermark: ``W = x (mod p_i*p_j)``.
+
+    ``i`` and ``j`` are indices into the modulus list, with ``i < j``.
+    """
+
+    i: int
+    j: int
+    x: int
+
+    def modulus(self, moduli: Sequence[int]) -> int:
+        return moduli[self.i] * moduli[self.j]
+
+    def congruence(self, moduli: Sequence[int]) -> Congruence:
+        return Congruence(self.x, self.modulus(moduli))
+
+    def primes(self, moduli: Sequence[int]) -> Tuple[int, int]:
+        return moduli[self.i], moduli[self.j]
+
+
+class StatementEnumeration:
+    """Invertible map between :class:`Statement` objects and integers."""
+
+    def __init__(self, moduli: Sequence[int]):
+        if len(moduli) < 2:
+            raise ValueError("need at least two moduli")
+        if any(m <= 1 for m in moduli):
+            raise ValueError("moduli must all exceed 1")
+        self._moduli = list(moduli)
+        # Prefix offsets per lexicographically ordered pair (i, j).
+        self._pairs: List[Tuple[int, int]] = []
+        self._offsets: List[int] = []
+        total = 0
+        r = len(moduli)
+        for i in range(r):
+            for j in range(i + 1, r):
+                self._pairs.append((i, j))
+                self._offsets.append(total)
+                total += moduli[i] * moduli[j]
+        self._total = total
+
+    @property
+    def moduli(self) -> List[int]:
+        return list(self._moduli)
+
+    @property
+    def space_size(self) -> int:
+        """``N = sum_{i<j} p_i p_j``: number of valid statement codes."""
+        return self._total
+
+    @property
+    def pair_count(self) -> int:
+        return len(self._pairs)
+
+    def pair_index(self, i: int, j: int) -> int:
+        """Position of pair ``(i, j)`` in lexicographic pair order."""
+        r = len(self._moduli)
+        if not 0 <= i < j < r:
+            raise ValueError(f"bad pair ({i}, {j}) for r={r}")
+        # Pairs before row i: (r-1) + (r-2) + ... + (r-i)
+        before_rows = i * (2 * r - i - 1) // 2
+        return before_rows + (j - i - 1)
+
+    def encode(self, stmt: Statement) -> int:
+        """Map a statement to its integer code."""
+        m = stmt.modulus(self._moduli)
+        if not 0 <= stmt.x < m:
+            raise ValueError(f"residue {stmt.x} out of range for modulus {m}")
+        return self._offsets[self.pair_index(stmt.i, stmt.j)] + stmt.x
+
+    def decode(self, code: int) -> Optional[Statement]:
+        """Map an integer back to a statement.
+
+        Returns ``None`` for codes outside ``[0, N)`` — the signal that
+        a decrypted trace window is junk rather than a watermark piece.
+        """
+        if not 0 <= code < self._total:
+            return None
+        # Binary search over pair offsets.
+        lo, hi = 0, len(self._offsets) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._offsets[mid] <= code:
+                lo = mid
+            else:
+                hi = mid - 1
+        i, j = self._pairs[lo]
+        return Statement(i, j, code - self._offsets[lo])

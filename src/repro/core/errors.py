@@ -1,0 +1,44 @@
+"""Exception hierarchy for the path-based watermarking library.
+
+All library-specific failures derive from :class:`WatermarkError` so
+callers can catch one type at an API boundary. Substrate failures (VM
+traps, native machine faults) have their own hierarchies in
+``repro.vm`` and ``repro.native`` because they model *program* failure,
+not *library* failure; the attack-evaluation harness deliberately
+distinguishes the two.
+"""
+
+from __future__ import annotations
+
+
+class WatermarkError(Exception):
+    """Base class for all watermarking-related errors."""
+
+
+class EmbeddingError(WatermarkError):
+    """The embedder could not insert the watermark.
+
+    Raised, for example, when a watermark value is too large for the
+    chosen moduli, when the trace contains no usable insertion points,
+    or when a requested piece count exceeds what the splitting scheme
+    can produce.
+    """
+
+
+class RecognitionError(WatermarkError):
+    """The recognizer failed to recover a watermark from a trace."""
+
+
+class KeyError_(WatermarkError):
+    """A watermark key (secret input sequence) is malformed or unusable."""
+
+
+class CodegenError(WatermarkError):
+    """Watermark code generation failed (no satisfiable predicates,
+
+    no suitable loop site, etc.).
+    """
+
+
+class TamperProofError(WatermarkError):
+    """Tamper-proofing could not find or transform candidate branches."""

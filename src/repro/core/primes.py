@@ -1,0 +1,175 @@
+"""Selection of pairwise relatively prime moduli for watermark splitting.
+
+Section 3.2 of the paper requires ``p_1 .. p_r`` pairwise relatively
+prime with ``W < prod(p_k)``, and the recovery argument (Section 3.3)
+notes that "if the p's are large, it is unlikely for statements about W
+to agree mod p_i at random". We therefore pick *primes* (the strongest
+form of pairwise coprimality) of a controllable bit width.
+
+The other constraint is imposed by the 64-bit block cipher: every
+encoded statement integer must fit in a 64-bit block, i.e.
+``sum_{i<j} p_i * p_j <= 2**64`` (see :mod:`repro.core.enumeration`).
+:func:`choose_moduli` balances the two constraints: enough primes, and
+large enough primes, to cover a requested watermark bit width while
+keeping every enumerated statement inside one cipher block.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import log2
+from typing import List
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-ish integers.
+
+    Uses the standard deterministic witness set valid for n < 3.3e24.
+    """
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than ``n``."""
+    candidate = n + 1
+    if candidate <= 2:
+        return 2
+    if candidate % 2 == 0:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def primes_from(start: int, count: int) -> List[int]:
+    """``count`` consecutive primes, the first being >= ``start``."""
+    out: List[int] = []
+    p = start - 1
+    while len(out) < count:
+        p = next_prime(p)
+        out.append(p)
+    return out
+
+
+def product(xs) -> int:
+    acc = 1
+    for x in xs:
+        acc *= x
+    return acc
+
+
+def statement_space_size(moduli: List[int]) -> int:
+    """Total number of enumerable statements, ``sum_{i<j} p_i * p_j``.
+
+    This is the size of the integer range the enumeration scheme maps
+    statements into; it must fit in one 64-bit cipher block.
+    """
+    total = 0
+    for i in range(len(moduli)):
+        for j in range(i + 1, len(moduli)):
+            total += moduli[i] * moduli[j]
+    return total
+
+
+def _capacity_limit(block_bits: int, max_r: int = 4096) -> float:
+    """Analytic upper bound on coverable watermark bits.
+
+    With r primes of at most b bits each under the statement-space
+    budget, capacity is r*b where b <= log2(budget / C(r,2)) / 2;
+    maximize over r without touching any primality test.
+    """
+    from math import log2
+
+    budget = float(1 << (block_bits - 8))
+    best = 0.0
+    for r in range(2, max_r):
+        pair_count = r * (r - 1) / 2
+        max_p_sq = budget / pair_count
+        if max_p_sq < 9:
+            break
+        best = max(best, r * log2(max_p_sq) / 2)
+    return best
+
+
+@lru_cache(maxsize=64)
+def _choose_moduli_cached(watermark_bits: int, block_bits: int) -> tuple:
+    return tuple(_choose_moduli_impl(watermark_bits, block_bits))
+
+
+def choose_moduli(watermark_bits: int, block_bits: int = 64) -> List[int]:
+    """Cached front-end: see :func:`_choose_moduli_impl` for the search."""
+    return list(_choose_moduli_cached(watermark_bits, block_bits))
+
+
+def _choose_moduli_impl(watermark_bits: int, block_bits: int = 64) -> List[int]:
+    """Choose primes ``p_1 < ... < p_r`` for a ``watermark_bits``-bit W.
+
+    Constraints implemented exactly as the paper requires:
+
+    * capacity: ``prod(p_k) > 2**watermark_bits`` so every
+      ``watermark_bits``-bit W is representable;
+    * block fit: ``sum_{i<j} p_i p_j < 2**block_bits`` so every
+      enumerated statement fits in a cipher block;
+    * sparsity: the statement space should occupy only a small fraction
+      of the block space, so random (attacked/junk) blocks rarely decode
+      to a valid statement. We aim for at most ``2**(block_bits - 8)``,
+      giving a <1/256 false-accept rate per inspected window.
+
+    Raises :class:`ValueError` when no prime set satisfies both (a W too
+    wide for the block size; e.g. >~ 3000 bits at 64-bit blocks).
+    """
+    if watermark_bits <= 0:
+        raise ValueError("watermark_bits must be positive")
+    if watermark_bits > _capacity_limit(block_bits):
+        raise ValueError(
+            f"cannot cover a {watermark_bits}-bit watermark with "
+            f"{block_bits}-bit cipher blocks"
+        )
+    budget = 1 << (block_bits - 8)
+    target = 1 << watermark_bits
+    # Grow the prime count until the capacity constraint is met, picking
+    # each candidate set as consecutive primes near the geometric sweet
+    # spot: with r primes near size p, capacity ~ p**r while the
+    # statement space ~ r**2 p**2 / 2 must stay under budget.
+    for r in range(2, 4096):
+        # Largest usable prime size for this r given the block budget.
+        pair_count = r * (r - 1) // 2
+        max_p_sq = budget // max(pair_count, 1)
+        if max_p_sq < 9:
+            break
+        max_p = int(max_p_sq ** 0.5)
+        if max_p < 3:
+            break
+        # Take r consecutive primes ending near max_p.
+        start = max(2, max_p - 64 * (r + 16))
+        candidates = primes_from(start, r + 64)
+        usable = [p for p in candidates if p <= max_p]
+        if len(usable) < r:
+            continue
+        moduli = usable[-r:]
+        if product(moduli) > target and statement_space_size(moduli) <= budget:
+            return moduli
+    raise ValueError(
+        f"cannot cover a {watermark_bits}-bit watermark with "
+        f"{block_bits}-bit cipher blocks"
+    )

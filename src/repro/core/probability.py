@@ -1,0 +1,107 @@
+"""Watermark-recovery success probability (paper Eq. (1) and Fig. 5).
+
+Model: the r moduli are the nodes of the complete graph ``K_n``; each
+statement ``W = x mod p_i p_j`` is the edge ``{p_i, p_j}``. Attacks
+delete edges; recovery succeeds iff no node is isolated (the GCRT needs
+``W mod p_i`` for every i).
+
+Two parametrizations are provided:
+
+* :func:`success_probability_deletion` — the paper's Eq. (1): every
+  edge of ``K_n`` is deleted independently with probability ``q``.
+* :func:`success_probability_k_intact` — the Fig. 5 x-axis: exactly
+  ``k`` uniformly random edges survive.
+
+Both are exact inclusion-exclusion over sets of isolated nodes: the
+number of edges incident to a fixed set of ``j`` nodes in ``K_n`` is
+``j(n-j) + j(j-1)/2``, so
+
+    P_deletion(n, q) = sum_{j=0}^{n} (-1)^j C(n,j) q^{j(n-j) + C(j,2)}
+
+and, with ``E = C(n,2)`` and ``inc(j) = j(n-j) + C(j,2)``,
+
+    P_intact(n, k) = sum_j (-1)^j C(n,j) C(E - inc(j), k) / C(E, k).
+
+Monte Carlo estimators are included for the "empirical" series of
+Fig. 5.
+"""
+
+from __future__ import annotations
+
+import random
+from math import comb
+from typing import Optional
+
+
+def incident_edges(n: int, j: int) -> int:
+    """Edges of ``K_n`` incident to a fixed set of ``j`` nodes."""
+    return j * (n - j) + j * (j - 1) // 2
+
+
+def success_probability_deletion(n: int, q: float) -> float:
+    """Eq. (1): P(no isolated node) under iid edge deletion prob ``q``."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be a probability")
+    total = 0.0
+    for j in range(n + 1):
+        total += (-1) ** j * comb(n, j) * q ** incident_edges(n, j)
+    return max(0.0, min(1.0, total))
+
+
+def success_probability_k_intact(n: int, k: int) -> float:
+    """P(coverage) when exactly ``k`` uniform random edges survive."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    edges = comb(n, 2)
+    if k < 0 or k > edges:
+        raise ValueError(f"k must be in [0, {edges}]")
+    if k == 0:
+        return 1.0 if n == 1 else 0.0
+    denom = comb(edges, k)
+    total = 0.0
+    for j in range(n + 1):
+        remaining = edges - incident_edges(n, j)
+        if remaining < k:
+            # C(remaining, k) = 0: cannot place k edges avoiding the set.
+            continue
+        total += (-1) ** j * comb(n, j) * comb(remaining, k) / denom
+    return max(0.0, min(1.0, total))
+
+
+def simulate_deletion(
+    n: int, q: float, trials: int, rng: Optional[random.Random] = None
+) -> float:
+    """Monte Carlo estimate matching :func:`success_probability_deletion`."""
+    rng = rng or random.Random(0)
+    successes = 0
+    for _ in range(trials):
+        degree = [0] * n
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() >= q:
+                    degree[i] += 1
+                    degree[j] += 1
+        if all(d > 0 for d in degree):
+            successes += 1
+    return successes / trials
+
+
+def simulate_k_intact(
+    n: int, k: int, trials: int, rng: Optional[random.Random] = None
+) -> float:
+    """Monte Carlo estimate matching :func:`success_probability_k_intact`."""
+    rng = rng or random.Random(0)
+    all_edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    if k > len(all_edges):
+        raise ValueError("k exceeds the number of edges")
+    successes = 0
+    for _ in range(trials):
+        covered = set()
+        for i, j in rng.sample(all_edges, k):
+            covered.add(i)
+            covered.add(j)
+        if len(covered) == n:
+            successes += 1
+    return successes / trials

@@ -1,0 +1,264 @@
+"""Watermark recombination from a trace bit-string (paper Section 3.3).
+
+The recognizer's decoding algorithm, exactly as described:
+
+1. **Windowing / decryption.** The trace bit-string ``b_0 b_1 ... b_n``
+   is split into every 64-bit window ``B_t = b_t .. b_{t+63}``; each is
+   decrypted with the embedding cipher and passed through the inverse
+   enumeration. Windows decoding outside the statement space are junk
+   and are dropped (the cipher makes attacked/unrelated windows look
+   uniform, so the out-of-range check rejects almost all of them).
+
+2. **Voting.** For each modulus ``p_i`` a vote is held on the value of
+   ``W mod p_i``. If there is a *clear winner* — "the first-place
+   vote-getter being strictly greater than twice second-place" — all
+   statements contradicting the winner are removed. This prefilter
+   "greatly improves the average-case running time [...] while having
+   a negligible effect on the probability of success" (we ablate it in
+   ``benchmarks/test_ablation_voting.py``).
+
+3. **Consistency graphs.** Over the surviving statements, graph ``G``
+   joins *inconsistent* pairs; graph ``H`` joins pairs consistent
+   *because their residues agree mod some shared* ``p_i`` (pairs with
+   no shared modulus are consistent merely by CRT and appear in
+   neither graph). Repeatedly: take the vertex of maximum ``H``-degree
+   (presumed true), delete its ``G``-neighbours, until ``G`` is
+   edge-free. The survivors are mutually consistent and are combined
+   by the Generalized CRT.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .bitstring import sliding_windows
+from .cipher import BlockCipher
+from .crt import Congruence, generalized_crt
+from .enumeration import Statement, StatementEnumeration
+
+BLOCK_BITS = 64
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of a recognition attempt.
+
+    ``value`` is the recovered watermark when ``complete`` is true;
+    otherwise ``congruence`` (if any) carries the partial information
+    recovered. Diagnostic counters describe how much work was done and
+    how the candidate set was whittled down.
+    """
+
+    complete: bool
+    value: Optional[int]
+    congruence: Optional[Congruence]
+    accepted: List[Statement] = field(default_factory=list)
+    windows_inspected: int = 0
+    candidates_found: int = 0
+    candidates_after_voting: int = 0
+    votes: Dict[int, Counter] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.complete
+
+
+def extract_candidates(
+    bits: Sequence[int],
+    cipher: BlockCipher,
+    enumeration: StatementEnumeration,
+) -> Tuple[Counter, int]:
+    """Decrypt every 64-bit window and keep in-range statements.
+
+    Returns a multiset of statements (duplicates feed the vote) and the
+    number of windows inspected.
+    """
+    candidates: Counter = Counter()
+    inspected = 0
+    for _, packed in sliding_windows(list(bits), BLOCK_BITS):
+        inspected += 1
+        stmt = enumeration.decode(cipher.decrypt_block(packed))
+        if stmt is not None:
+            candidates[stmt] += 1
+    return candidates, inspected
+
+
+def hold_votes(
+    candidates: Counter, moduli: Sequence[int]
+) -> Tuple[Dict[int, Counter], Dict[int, int]]:
+    """Per-modulus vote on ``W mod p_i``; returns (tallies, clear winners).
+
+    A winner is *clear* when its vote count strictly exceeds twice the
+    runner-up's count (a lone candidate wins against a runner-up of 0).
+    """
+    votes: Dict[int, Counter] = {i: Counter() for i in range(len(moduli))}
+    for stmt, count in candidates.items():
+        votes[stmt.i][stmt.x % moduli[stmt.i]] += count
+        votes[stmt.j][stmt.x % moduli[stmt.j]] += count
+    winners: Dict[int, int] = {}
+    for i, tally in votes.items():
+        ranked = tally.most_common(2)
+        if not ranked:
+            continue
+        first_count = ranked[0][1]
+        second_count = ranked[1][1] if len(ranked) > 1 else 0
+        if first_count > 2 * second_count:
+            winners[i] = ranked[0][0]
+    return votes, winners
+
+
+def apply_vote_filter(
+    candidates: Counter, winners: Dict[int, int], moduli: Sequence[int]
+) -> Counter:
+    """Drop statements contradicting any clear vote winner."""
+    filtered: Counter = Counter()
+    for stmt, count in candidates.items():
+        ok = True
+        for idx in (stmt.i, stmt.j):
+            if idx in winners and stmt.x % moduli[idx] != winners[idx]:
+                ok = False
+                break
+        if ok:
+            filtered[stmt] = count
+    return filtered
+
+
+def _shared_agreement(a: Statement, b: Statement, moduli: Sequence[int]) -> Optional[bool]:
+    """Classify a statement pair.
+
+    Returns ``None`` when the pair shares no modulus (consistent by the
+    CRT alone — in neither graph); ``True`` when they agree modulo every
+    shared modulus (an ``H`` edge); ``False`` otherwise (a ``G`` edge).
+    """
+    shared = {a.i, a.j} & {b.i, b.j}
+    if not shared:
+        return None
+    for idx in shared:
+        if (a.x - b.x) % moduli[idx] != 0:
+            return False
+    return True
+
+
+def _resolve_conflicts(
+    statements: List[Statement],
+    counts: Counter,
+    moduli: Sequence[int],
+) -> List[Statement]:
+    """The greedy G/H elimination loop of Section 3.3, step C.
+
+    Vertices are unique statements. While ``G`` has edges, presume true
+    the vertex of maximum ``H``-degree (ties broken by vote weight, then
+    deterministically by statement identity) and delete its
+    ``G``-neighbours. If every vertex has already been presumed true but
+    conflicts remain (possible only under heavy forgery), drop the
+    weaker endpoint of a remaining conflict and continue.
+    """
+    alive: Set[Statement] = set(statements)
+    g_adj: Dict[Statement, Set[Statement]] = {s: set() for s in statements}
+    h_adj: Dict[Statement, Set[Statement]] = {s: set() for s in statements}
+    ordered = sorted(alive, key=lambda s: (s.i, s.j, s.x))
+    for idx_a, a in enumerate(ordered):
+        for b in ordered[idx_a + 1:]:
+            verdict = _shared_agreement(a, b, moduli)
+            if verdict is None:
+                continue
+            if verdict:
+                h_adj[a].add(b)
+                h_adj[b].add(a)
+            else:
+                g_adj[a].add(b)
+                g_adj[b].add(a)
+
+    def g_has_edges() -> bool:
+        return any(g_adj[s] & alive for s in alive)
+
+    def sort_key(s: Statement):
+        h_degree = len(h_adj[s] & alive)
+        return (-h_degree, -counts[s], s.i, s.j, s.x)
+
+    presumed: Set[Statement] = set()
+    while g_has_edges():
+        pool = [s for s in alive if s not in presumed]
+        if pool:
+            v = min(pool, key=sort_key)
+            victims = g_adj[v] & alive
+            alive -= victims
+            presumed.add(v)
+        else:
+            # All survivors presumed true yet still conflicting: drop the
+            # endpoint with smaller support from some remaining conflict.
+            u = next(s for s in alive if g_adj[s] & alive)
+            w = next(iter(g_adj[u] & alive))
+            loser = max((u, w), key=sort_key)
+            alive.discard(loser)
+            presumed.discard(loser)
+    return sorted(alive, key=lambda s: (s.i, s.j, s.x))
+
+
+def recover(
+    bits: Sequence[int],
+    cipher: BlockCipher,
+    enumeration: StatementEnumeration,
+    use_voting: bool = True,
+) -> RecoveryResult:
+    """Full recognition pipeline: bits -> candidate statements -> W.
+
+    ``use_voting`` toggles the per-modulus vote prefilter (step 2) for
+    the ablation study; the graph elimination always runs.
+    """
+    moduli = enumeration.moduli
+    candidates, inspected = extract_candidates(bits, cipher, enumeration)
+    found = sum(candidates.values())
+    votes: Dict[int, Counter] = {}
+    if use_voting and candidates:
+        votes, winners = hold_votes(candidates, moduli)
+        candidates = apply_vote_filter(candidates, winners, moduli)
+    after_voting = sum(candidates.values())
+
+    result = RecoveryResult(
+        complete=False,
+        value=None,
+        congruence=None,
+        windows_inspected=inspected,
+        candidates_found=found,
+        candidates_after_voting=after_voting,
+        votes=votes,
+    )
+    if not candidates:
+        return result
+
+    accepted = _resolve_conflicts(list(candidates.keys()), candidates, moduli)
+    result.accepted = accepted
+    if not accepted:
+        return result
+    congruence = generalized_crt(s.congruence(moduli) for s in accepted)
+    result.congruence = congruence
+    covered = set()
+    for s in accepted:
+        covered.add(s.i)
+        covered.add(s.j)
+    if covered == set(range(len(moduli))):
+        result.complete = True
+        result.value = congruence.value
+    return result
+
+
+def expected_modulus(moduli: Sequence[int]) -> int:
+    """Product of all moduli: the modulus of a complete recovery."""
+    acc = 1
+    for m in moduli:
+        acc *= m
+    return acc
+
+
+def gcd_consistency_check(statements: Sequence[Statement], moduli: Sequence[int]) -> bool:
+    """Pairwise consistency of a statement set (used by tests)."""
+    for idx, a in enumerate(statements):
+        for b in statements[idx + 1:]:
+            ca, cb = a.congruence(moduli), b.congruence(moduli)
+            g = gcd(ca.modulus, cb.modulus)
+            if (ca.value - cb.value) % g != 0:
+                return False
+    return True

@@ -1,0 +1,122 @@
+"""Watermark splitting into redundant residue statements (Section 3.2).
+
+    "W is split into up to r(r-1)/2 pieces, each piece being of the
+    form W = x_k mod p_ik p_jk. [...] To increase robustness we make
+    the pieces redundant so that finding a subset of them will be
+    enough to extract the watermark."
+
+A watermark ``W`` over moduli ``p_1 .. p_r`` yields one potential
+statement per unordered pair of moduli. Recovery needs, for every
+``p_i``, at least one surviving statement whose pair includes ``p_i``
+(think of statements as edges of the complete graph ``K_r`` on the
+moduli: success requires no isolated vertex — this is exactly the
+model behind the paper's Eq. (1) and our Fig. 5 reproduction).
+
+:func:`split` chooses which pairs to emit. For ``piece_count`` up to
+``r(r-1)/2`` it picks distinct pairs in an order that covers every
+modulus as early as possible (a Hamiltonian-path-first ordering), so
+even tiny piece counts give full coverage. Beyond the pair count it
+cycles, duplicating statements for extra redundancy — this matches the
+paper's evaluation, which inserts up to 500 pieces for watermarks
+whose pair spaces are smaller than that.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .crt import Congruence, generalized_crt
+from .enumeration import Statement
+from .errors import EmbeddingError
+
+
+def product(xs: Sequence[int]) -> int:
+    acc = 1
+    for x in xs:
+        acc *= x
+    return acc
+
+
+def coverage_first_pair_order(r: int, rng: Optional[random.Random] = None) -> List[tuple]:
+    """All pairs ``(i, j)``, ``i < j``, ordered so early pairs cover all nodes.
+
+    The first ``ceil(r/2)`` pairs form a perfect (or near-perfect)
+    matching plus a linking pair, guaranteeing every index appears
+    within the first ``r - 1`` pairs; remaining pairs follow in a
+    shuffled order (shuffle only when ``rng`` is supplied, keeping the
+    default deterministic for reproducibility).
+    """
+    indices = list(range(r))
+    if rng is not None:
+        rng.shuffle(indices)
+    # A Hamiltonian path covers every node with r-1 edges.
+    path = [(min(indices[k], indices[k + 1]), max(indices[k], indices[k + 1]))
+            for k in range(r - 1)]
+    path_set = set(path)
+    rest = [(i, j) for i in range(r) for j in range(i + 1, r)
+            if (i, j) not in path_set]
+    if rng is not None:
+        rng.shuffle(rest)
+    return path + rest
+
+
+def split(
+    watermark: int,
+    moduli: Sequence[int],
+    piece_count: int,
+    rng: Optional[random.Random] = None,
+) -> List[Statement]:
+    """Split ``watermark`` into ``piece_count`` residue statements.
+
+    Raises :class:`EmbeddingError` when the watermark does not fit the
+    moduli (``W >= prod(p_k)``) or when ``piece_count`` cannot cover all
+    moduli (fewer than ``r - 1`` pieces can never achieve coverage).
+    """
+    r = len(moduli)
+    if r < 2:
+        raise EmbeddingError("need at least two moduli to split a watermark")
+    if watermark < 0:
+        raise EmbeddingError("watermark must be non-negative")
+    if watermark >= product(moduli):
+        raise EmbeddingError(
+            f"watermark {watermark} exceeds the capacity {product(moduli)} "
+            f"of the chosen moduli"
+        )
+    if piece_count < r - 1:
+        raise EmbeddingError(
+            f"{piece_count} pieces cannot cover {r} moduli; "
+            f"need at least {r - 1}"
+        )
+    order = coverage_first_pair_order(r, rng)
+    out: List[Statement] = []
+    k = 0
+    while len(out) < piece_count:
+        i, j = order[k % len(order)]
+        out.append(Statement(i, j, watermark % (moduli[i] * moduli[j])))
+        k += 1
+    return out
+
+
+def reconstruct(statements: Sequence[Statement], moduli: Sequence[int]) -> Congruence:
+    """Recombine consistent statements via the Generalized CRT.
+
+    Returns the combined congruence ``W = v (mod lcm of pair moduli)``.
+    The caller decides whether the modulus is large enough to pin down
+    the watermark (it is iff every modulus index is covered).
+    """
+    return generalized_crt(s.congruence(moduli) for s in statements)
+
+
+def covered_indices(statements: Sequence[Statement]) -> set:
+    """Set of modulus indices touched by at least one statement."""
+    out: set = set()
+    for s in statements:
+        out.add(s.i)
+        out.add(s.j)
+    return out
+
+
+def is_full_coverage(statements: Sequence[Statement], r: int) -> bool:
+    """Whether the statements determine W mod every ``p_i``."""
+    return covered_indices(statements) == set(range(r))

@@ -1,0 +1,30 @@
+"""The wee mini-language: lexer, parser, analysis, and code generators.
+
+Workload programs (CaffeineMark-like, Jess-like, SPEC-like; see
+``repro.workloads``) are written once in wee and compiled to both
+substrates:
+
+* :func:`compile_source` — wee source → WVM module (``repro.vm``);
+* :func:`repro.lang.codegen_native.compile_source_native` — wee source
+  → N32 binary (``repro.native``).
+"""
+
+from .analysis import ProgramInfo, SemanticError, analyze
+from .ast_nodes import Program
+from .codegen_vm import compile_program, compile_source
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "Program",
+    "ProgramInfo",
+    "SemanticError",
+    "Token",
+    "analyze",
+    "compile_program",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,219 @@
+"""Semantic analysis for wee programs.
+
+Checks performed before code generation:
+
+* duplicate function, parameter, global, or local names (within one
+  scope — nested blocks may shadow);
+* use of undeclared variables; assignment targets exist;
+* calls name a declared function with the right arity;
+* ``break`` / ``continue`` only inside loops;
+* a ``main`` function with no parameters exists (it becomes the
+  module entry point).
+
+Scoping is lexical: every ``{ }`` block (and each ``for`` header)
+introduces a scope; declarations shadow outer bindings and die with
+their block. Each declaration gets its own local slot (no reuse), and
+the analyzer records a per-*node* resolution — ``FnInfo.resolution``
+maps each variable reference to its slot (or to ``None`` for a
+global) — which both code generators consume, so name lookup happens
+exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from . import ast_nodes as A
+
+
+class SemanticError(Exception):
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass
+class FnInfo:
+    """Analysis results for one function.
+
+    ``frame`` maps names to slots for the *outermost* bindings (kept
+    for introspection and tests); codegen must use ``resolution``,
+    which disambiguates shadowed names per reference node.
+    """
+
+    decl: A.FnDecl
+    frame: Dict[str, int] = field(default_factory=dict)  # name -> slot
+    #: id(node) -> slot for locals, or None for globals; covers every
+    #: Var reference and VarDecl in the function.
+    resolution: Dict[int, "int | None"] = field(default_factory=dict)
+    slot_count: int = 0
+
+    @property
+    def locals_count(self) -> int:
+        return self.slot_count
+
+    def slot_of(self, node) -> "int | None":
+        """Resolved local slot of a Var/VarDecl node (None = global)."""
+        return self.resolution.get(id(node))
+
+
+@dataclass
+class ProgramInfo:
+    """Analysis results for a whole program."""
+
+    program: A.Program
+    functions: Dict[str, FnInfo] = field(default_factory=dict)
+    globals: Dict[str, int] = field(default_factory=dict)  # name -> index
+
+
+def analyze(program: A.Program) -> ProgramInfo:
+    """Run all checks; raise :class:`SemanticError` on the first failure."""
+    info = ProgramInfo(program)
+
+    for g in program.globals:
+        if g.name in info.globals:
+            raise SemanticError(g.line, f"duplicate global {g.name!r}")
+        info.globals[g.name] = len(info.globals)
+
+    for fn in program.functions:
+        if fn.name in info.functions:
+            raise SemanticError(fn.line, f"duplicate function {fn.name!r}")
+        if fn.name in info.globals:
+            raise SemanticError(
+                fn.line, f"{fn.name!r} is both a global and a function"
+            )
+        info.functions[fn.name] = FnInfo(fn)
+
+    if "main" not in info.functions:
+        raise SemanticError(0, "program must define fn main()")
+    if info.functions["main"].decl.params:
+        raise SemanticError(
+            info.functions["main"].decl.line, "fn main() takes no parameters"
+        )
+
+    for fn_info in info.functions.values():
+        _analyze_function(fn_info, info)
+    return info
+
+
+def _analyze_function(fn_info: FnInfo, info: ProgramInfo) -> None:
+    fn = fn_info.decl
+    scopes: list = [{}]  # innermost last
+
+    def new_slot(name: str) -> int:
+        slot = fn_info.slot_count
+        fn_info.slot_count += 1
+        if name not in fn_info.frame:
+            fn_info.frame[name] = slot
+        return slot
+
+    for p in fn.params:
+        if p in scopes[0]:
+            raise SemanticError(fn.line, f"duplicate parameter {p!r}")
+        scopes[0][p] = new_slot(p)
+
+    def declare(node: A.VarDecl) -> None:
+        if node.name in scopes[-1]:
+            raise SemanticError(
+                node.line, f"redeclaration of {node.name!r}"
+            )
+        slot = new_slot(node.name)
+        scopes[-1][node.name] = slot
+        fn_info.resolution[id(node)] = slot
+
+    def resolve(name: str, line: int, node) -> None:
+        for scope in reversed(scopes):
+            if name in scope:
+                fn_info.resolution[id(node)] = scope[name]
+                return
+        if name in info.globals:
+            fn_info.resolution[id(node)] = None
+            return
+        raise SemanticError(line, f"undeclared variable {name!r}")
+
+    def walk_expr(e: A.Expr) -> None:
+        if isinstance(e, A.IntLit) or isinstance(e, A.Input):
+            return
+        if isinstance(e, A.Var):
+            resolve(e.name, e.line, e)
+        elif isinstance(e, A.Unary):
+            walk_expr(e.operand)
+        elif isinstance(e, (A.Binary, A.Logical)):
+            walk_expr(e.left)
+            walk_expr(e.right)
+        elif isinstance(e, A.Call):
+            callee = info.functions.get(e.name)
+            if callee is None:
+                raise SemanticError(e.line, f"call to unknown function "
+                                            f"{e.name!r}")
+            if len(e.args) != len(callee.decl.params):
+                raise SemanticError(
+                    e.line,
+                    f"{e.name} expects {len(callee.decl.params)} args, "
+                    f"got {len(e.args)}",
+                )
+            for a in e.args:
+                walk_expr(a)
+        elif isinstance(e, A.NewArray):
+            walk_expr(e.size)
+        elif isinstance(e, A.Index):
+            walk_expr(e.base)
+            walk_expr(e.index)
+        elif isinstance(e, A.Len):
+            walk_expr(e.base)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(e.line, f"unknown expression {type(e).__name__}")
+
+    def walk_stmts(stmts: List[A.Stmt], loop_depth: int,
+                   own_scope: bool = True) -> None:
+        if own_scope:
+            scopes.append({})
+        for s in stmts:
+            if isinstance(s, A.VarDecl):
+                if s.init is not None:
+                    walk_expr(s.init)
+                declare(s)
+            elif isinstance(s, A.Assign):
+                walk_expr(s.value)
+                if isinstance(s.target, A.Var):
+                    resolve(s.target.name, s.target.line, s.target)
+                else:
+                    walk_expr(s.target)
+            elif isinstance(s, A.If):
+                walk_expr(s.cond)
+                walk_stmts(s.then, loop_depth)
+                walk_stmts(s.otherwise, loop_depth)
+            elif isinstance(s, A.While):
+                walk_expr(s.cond)
+                walk_stmts(s.body, loop_depth + 1)
+            elif isinstance(s, A.For):
+                # The for-header introduces its own scope covering the
+                # init declaration, condition, body and step.
+                scopes.append({})
+                if s.init is not None:
+                    walk_stmts([s.init], loop_depth, own_scope=False)
+                if s.cond is not None:
+                    walk_expr(s.cond)
+                walk_stmts(s.body, loop_depth + 1)
+                if s.step is not None:
+                    walk_stmts([s.step], loop_depth + 1, own_scope=False)
+                scopes.pop()
+            elif isinstance(s, A.Return):
+                if s.value is not None:
+                    walk_expr(s.value)
+            elif isinstance(s, (A.Break, A.Continue)):
+                if loop_depth == 0:
+                    kind = "break" if isinstance(s, A.Break) else "continue"
+                    raise SemanticError(s.line, f"{kind} outside a loop")
+            elif isinstance(s, A.Print):
+                walk_expr(s.value)
+            elif isinstance(s, A.ExprStmt):
+                walk_expr(s.value)
+            else:  # pragma: no cover
+                raise SemanticError(s.line, f"unknown statement "
+                                            f"{type(s).__name__}")
+        if own_scope:
+            scopes.pop()
+
+    walk_stmts(fn.body, 0, own_scope=False)

@@ -1,0 +1,163 @@
+"""Abstract syntax tree for the wee mini-language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    """Base class; ``line`` supports error reporting."""
+
+    line: int = field(default=0, compare=False)
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class IntLit(Node):
+    value: int = 0
+
+
+@dataclass
+class Var(Node):
+    name: str = ""
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""            # "-", "!", "~"
+    operand: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""            # arithmetic/comparison/bitwise operator text
+    left: "Expr" = None     # type: ignore[assignment]
+    right: "Expr" = None    # type: ignore[assignment]
+
+
+@dataclass
+class Logical(Node):
+    """Short-circuiting ``&&`` / ``||``."""
+
+    op: str = ""
+    left: "Expr" = None     # type: ignore[assignment]
+    right: "Expr" = None    # type: ignore[assignment]
+
+
+@dataclass
+class Call(Node):
+    name: str = ""
+    args: List["Expr"] = field(default_factory=list)
+
+
+@dataclass
+class Input(Node):
+    """``input()`` — read the next secret-input value."""
+
+
+@dataclass
+class NewArray(Node):
+    size: "Expr" = None     # type: ignore[assignment]
+
+
+@dataclass
+class Index(Node):
+    base: "Expr" = None     # type: ignore[assignment]
+    index: "Expr" = None    # type: ignore[assignment]
+
+
+@dataclass
+class Len(Node):
+    base: "Expr" = None     # type: ignore[assignment]
+
+
+Expr = Node  # informal union; analysis narrows
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Node):
+    target: Expr = None     # Var or Index
+    value: Expr = None      # type: ignore[assignment]
+
+
+@dataclass
+class If(Node):
+    cond: Expr = None       # type: ignore[assignment]
+    then: List["Stmt"] = field(default_factory=list)
+    otherwise: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Expr = None       # type: ignore[assignment]
+    body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class For(Node):
+    init: Optional["Stmt"] = None
+    cond: Optional[Expr] = None
+    step: Optional["Stmt"] = None
+    body: List["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Print(Node):
+    value: Expr = None      # type: ignore[assignment]
+
+
+@dataclass
+class ExprStmt(Node):
+    value: Expr = None      # type: ignore[assignment]
+
+
+Stmt = Node
+
+
+# -- top level ----------------------------------------------------------------
+
+
+@dataclass
+class FnDecl(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FnDecl] = field(default_factory=list)

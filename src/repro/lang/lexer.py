@@ -1,0 +1,104 @@
+"""Lexer for the "wee" mini-language.
+
+Wee is the small C-like language the workload programs are written in
+(see DESIGN.md): integer-only, with functions, globals, arrays,
+``input()``/``print()`` builtins, and the usual operators. One source
+program compiles to both substrates (WVM bytecode and N32 native
+code), which is how the evaluation runs the same benchmark on both
+sides of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset({
+    "fn", "var", "global", "if", "else", "while", "for", "return",
+    "break", "continue", "print", "input", "new", "len",
+})
+
+SYMBOLS = [
+    # longest first
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # "int", "name", "keyword", "symbol", "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+class LexError(Exception):
+    def __init__(self, line: int, column: int, message: str):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a wee program; comments are ``//`` to end of line."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if c.isdigit():
+            start = i
+            start_col = col
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                if i == start + 2:
+                    raise LexError(line, start_col, "bad hex literal")
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            col += i - start
+            tokens.append(Token("int", text, line, start_col))
+            continue
+        if c.isalpha() or c == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            col += i - start
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("symbol", sym, line, col))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise LexError(line, col, f"unexpected character {c!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

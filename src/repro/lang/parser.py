@@ -1,0 +1,324 @@
+"""Recursive-descent parser for the wee mini-language.
+
+Grammar (precedence from loosest to tightest)::
+
+    program   := (global | fn)*
+    global    := 'global' NAME ';'
+    fn        := 'fn' NAME '(' [NAME (',' NAME)*] ')' block
+    block     := '{' stmt* '}'
+    stmt      := 'var' NAME ['=' expr] ';'
+               | 'if' '(' expr ')' block ['else' (block | if-stmt)]
+               | 'while' '(' expr ')' block
+               | 'for' '(' [simple] ';' [expr] ';' [simple] ')' block
+               | 'return' [expr] ';'
+               | 'break' ';' | 'continue' ';'
+               | 'print' '(' expr ')' ';'
+               | simple ';'
+    simple    := lvalue '=' expr | 'var' NAME ['=' expr] | expr
+    expr      := or
+    or        := and ('||' and)*
+    and       := cmp ('&&' cmp)*
+    cmp       := bitor (('=='|'!='|'<'|'<='|'>'|'>=') bitor)*
+    bitor     := bitxor ('|' bitxor)*
+    bitxor    := bitand ('^' bitand)*
+    bitand    := shift ('&' shift)*
+    shift     := sum (('<<'|'>>') sum)*
+    sum       := term (('+'|'-') term)*
+    term      := unary (('*'|'/'|'%') unary)*
+    unary     := ('-'|'!'|'~') unary | postfix
+    postfix   := primary ('[' expr ']')*
+    primary   := INT | NAME | NAME '(' args ')' | 'input' '(' ')'
+               | 'new' '(' expr ')' | 'len' '(' expr ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as A
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, token: Token, message: str):
+        super().__init__(f"{token.line}:{token.column}: {message}")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(tok, f"expected {want!r}, found {tok.text!r}")
+        return self.advance()
+
+    # -- top level -------------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        program = A.Program()
+        while not self.check("eof"):
+            if self.check("keyword", "global"):
+                tok = self.advance()
+                name = self.expect("name").text
+                self.expect("symbol", ";")
+                program.globals.append(A.GlobalDecl(tok.line, name))
+            elif self.check("keyword", "fn"):
+                program.functions.append(self.parse_fn())
+            else:
+                raise ParseError(
+                    self.peek(), "expected 'fn' or 'global' at top level"
+                )
+        return program
+
+    def parse_fn(self) -> A.FnDecl:
+        tok = self.expect("keyword", "fn")
+        name = self.expect("name").text
+        self.expect("symbol", "(")
+        params: List[str] = []
+        if not self.check("symbol", ")"):
+            params.append(self.expect("name").text)
+            while self.match("symbol", ","):
+                params.append(self.expect("name").text)
+        self.expect("symbol", ")")
+        body = self.parse_block()
+        return A.FnDecl(tok.line, name, params, body)
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_block(self) -> List[A.Stmt]:
+        self.expect("symbol", "{")
+        stmts: List[A.Stmt] = []
+        while not self.check("symbol", "}"):
+            stmts.append(self.parse_stmt())
+        self.expect("symbol", "}")
+        return stmts
+
+    def parse_stmt(self) -> A.Stmt:
+        tok = self.peek()
+        if self.check("keyword", "var"):
+            stmt = self.parse_var_decl()
+            self.expect("symbol", ";")
+            return stmt
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.check("keyword", "while"):
+            self.advance()
+            self.expect("symbol", "(")
+            cond = self.parse_expr()
+            self.expect("symbol", ")")
+            body = self.parse_block()
+            return A.While(tok.line, cond, body)
+        if self.check("keyword", "for"):
+            return self.parse_for()
+        if self.check("keyword", "return"):
+            self.advance()
+            value = None if self.check("symbol", ";") else self.parse_expr()
+            self.expect("symbol", ";")
+            return A.Return(tok.line, value)
+        if self.check("keyword", "break"):
+            self.advance()
+            self.expect("symbol", ";")
+            return A.Break(tok.line)
+        if self.check("keyword", "continue"):
+            self.advance()
+            self.expect("symbol", ";")
+            return A.Continue(tok.line)
+        if self.check("keyword", "print"):
+            self.advance()
+            self.expect("symbol", "(")
+            value = self.parse_expr()
+            self.expect("symbol", ")")
+            self.expect("symbol", ";")
+            return A.Print(tok.line, value)
+        stmt = self.parse_simple()
+        self.expect("symbol", ";")
+        return stmt
+
+    def parse_var_decl(self) -> A.VarDecl:
+        tok = self.expect("keyword", "var")
+        name = self.expect("name").text
+        init = None
+        if self.match("symbol", "="):
+            init = self.parse_expr()
+        return A.VarDecl(tok.line, name, init)
+
+    def parse_if(self) -> A.If:
+        tok = self.expect("keyword", "if")
+        self.expect("symbol", "(")
+        cond = self.parse_expr()
+        self.expect("symbol", ")")
+        then = self.parse_block()
+        otherwise: List[A.Stmt] = []
+        if self.match("keyword", "else"):
+            if self.check("keyword", "if"):
+                otherwise = [self.parse_if()]
+            else:
+                otherwise = self.parse_block()
+        return A.If(tok.line, cond, then, otherwise)
+
+    def parse_for(self) -> A.For:
+        tok = self.expect("keyword", "for")
+        self.expect("symbol", "(")
+        init = None if self.check("symbol", ";") else self.parse_simple_or_var()
+        self.expect("symbol", ";")
+        cond = None if self.check("symbol", ";") else self.parse_expr()
+        self.expect("symbol", ";")
+        step = None if self.check("symbol", ")") else self.parse_simple()
+        self.expect("symbol", ")")
+        body = self.parse_block()
+        return A.For(tok.line, init, cond, step, body)
+
+    def parse_simple_or_var(self) -> A.Stmt:
+        if self.check("keyword", "var"):
+            return self.parse_var_decl()
+        return self.parse_simple()
+
+    def parse_simple(self) -> A.Stmt:
+        """Assignment or bare expression (no trailing semicolon)."""
+        tok = self.peek()
+        expr = self.parse_expr()
+        if self.match("symbol", "="):
+            if not isinstance(expr, (A.Var, A.Index)):
+                raise ParseError(tok, "assignment target must be a variable "
+                                      "or array element")
+            value = self.parse_expr()
+            return A.Assign(tok.line, expr, value)
+        return A.ExprStmt(tok.line, expr)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> A.Expr:
+        left = self.parse_and()
+        while self.check("symbol", "||"):
+            tok = self.advance()
+            left = A.Logical(tok.line, "||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> A.Expr:
+        left = self.parse_cmp()
+        while self.check("symbol", "&&"):
+            tok = self.advance()
+            left = A.Logical(tok.line, "&&", left, self.parse_cmp())
+        return left
+
+    _CMP = ("==", "!=", "<", "<=", ">", ">=")
+
+    def parse_cmp(self) -> A.Expr:
+        left = self.parse_bitor()
+        while self.peek().kind == "symbol" and self.peek().text in self._CMP:
+            tok = self.advance()
+            left = A.Binary(tok.line, tok.text, left, self.parse_bitor())
+        return left
+
+    def _left_assoc(self, sub, ops) -> A.Expr:
+        left = sub()
+        while self.peek().kind == "symbol" and self.peek().text in ops:
+            tok = self.advance()
+            left = A.Binary(tok.line, tok.text, left, sub())
+        return left
+
+    def parse_bitor(self) -> A.Expr:
+        return self._left_assoc(self.parse_bitxor, ("|",))
+
+    def parse_bitxor(self) -> A.Expr:
+        return self._left_assoc(self.parse_bitand, ("^",))
+
+    def parse_bitand(self) -> A.Expr:
+        return self._left_assoc(self.parse_shift, ("&",))
+
+    def parse_shift(self) -> A.Expr:
+        return self._left_assoc(self.parse_sum, ("<<", ">>"))
+
+    def parse_sum(self) -> A.Expr:
+        return self._left_assoc(self.parse_term, ("+", "-"))
+
+    def parse_term(self) -> A.Expr:
+        return self._left_assoc(self.parse_unary, ("*", "/", "%"))
+
+    def parse_unary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "symbol" and tok.text in ("-", "!", "~"):
+            self.advance()
+            return A.Unary(tok.line, tok.text, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while self.check("symbol", "["):
+            tok = self.advance()
+            index = self.parse_expr()
+            self.expect("symbol", "]")
+            expr = A.Index(tok.line, expr, index)
+        return expr
+
+    def parse_primary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return A.IntLit(tok.line, int(tok.text, 0))
+        if tok.kind == "keyword" and tok.text == "input":
+            self.advance()
+            self.expect("symbol", "(")
+            self.expect("symbol", ")")
+            return A.Input(tok.line)
+        if tok.kind == "keyword" and tok.text == "new":
+            self.advance()
+            self.expect("symbol", "(")
+            size = self.parse_expr()
+            self.expect("symbol", ")")
+            return A.NewArray(tok.line, size)
+        if tok.kind == "keyword" and tok.text == "len":
+            self.advance()
+            self.expect("symbol", "(")
+            base = self.parse_expr()
+            self.expect("symbol", ")")
+            return A.Len(tok.line, base)
+        if tok.kind == "name":
+            self.advance()
+            if self.match("symbol", "("):
+                args: List[A.Expr] = []
+                if not self.check("symbol", ")"):
+                    args.append(self.parse_expr())
+                    while self.match("symbol", ","):
+                        args.append(self.parse_expr())
+                self.expect("symbol", ")")
+                return A.Call(tok.line, tok.text, args)
+            return A.Var(tok.line, tok.text)
+        if self.match("symbol", "("):
+            expr = self.parse_expr()
+            self.expect("symbol", ")")
+            return expr
+        raise ParseError(tok, f"unexpected token {tok.text!r} in expression")
+
+
+def parse(source: str) -> A.Program:
+    """Parse wee source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

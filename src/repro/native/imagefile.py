@@ -1,0 +1,75 @@
+"""N32 binary image file format.
+
+A minimal executable container (think "statically linked ELF for the
+simulator"): a JSON header with the section geometry, entry point and
+symbol table, followed by hex-encoded text and initialized data. The
+.bss-like heap travels as a length, not as bytes, so image files stay
+small even with megabyte heaps.
+
+Used by the CLI's native subcommands so watermarked binaries can be
+shipped between the embedding and extraction sides.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import zlib
+from typing import TextIO
+
+from .image import BinaryImage
+
+MAGIC = "n32-image"
+FORMAT_VERSION = 2
+
+
+class ImageFormatError(Exception):
+    """The file is not a valid N32 image."""
+
+
+def dump_image(image: BinaryImage, fp: TextIO) -> None:
+    """Serialize an image to a file object.
+
+    The data section is stored whole (embedders may append initialized
+    tables *after* the zero heap, so "bss is a trailing suffix" does
+    not hold) but compressed - megabytes of heap zeros cost nothing.
+    """
+    doc = {
+        "magic": MAGIC,
+        "version": FORMAT_VERSION,
+        "text_base": image.text_base,
+        "data_base": image.data_base,
+        "entry": image.entry,
+        "bss_bytes": image.bss_bytes,
+        "symbols": dict(image.symbols),
+        "text": bytes(image.text).hex(),
+        "data_z": base64.b64encode(
+            zlib.compress(bytes(image.data), 6)
+        ).decode("ascii"),
+    }
+    json.dump(doc, fp)
+
+
+def load_image(fp: TextIO) -> BinaryImage:
+    """Load an image previously written by :func:`dump_image`."""
+    try:
+        doc = json.load(fp)
+    except json.JSONDecodeError as exc:
+        raise ImageFormatError(f"not an image file: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("magic") != MAGIC:
+        raise ImageFormatError("missing n32-image magic")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ImageFormatError(f"unsupported version {doc.get('version')!r}")
+    try:
+        data = bytearray(zlib.decompress(base64.b64decode(doc["data_z"])))
+        return BinaryImage(
+            text=bytes.fromhex(doc["text"]),
+            data=data,
+            data_base=int(doc["data_base"]),
+            entry=int(doc["entry"]),
+            text_base=int(doc["text_base"]),
+            symbols={str(k): int(v) for k, v in doc["symbols"].items()},
+            bss_bytes=int(doc["bss_bytes"]),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ImageFormatError(f"malformed image file: {exc}") from exc

@@ -1,0 +1,80 @@
+"""objdump-style listings of N32 binaries.
+
+Used by the examples and handy when debugging embeddings: renders the
+text section (with symbol anchors and branch-target annotations) and
+the interesting part of the data section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .image import BinaryImage
+from .isa import Imm, RELATIVE_TRANSFERS
+
+
+def _symbol_names(image: BinaryImage) -> Dict[int, List[str]]:
+    by_addr: Dict[int, List[str]] = {}
+    for name, addr in sorted(image.symbols.items()):
+        by_addr.setdefault(addr, []).append(name)
+    return by_addr
+
+
+def format_listing(
+    image: BinaryImage,
+    start: Optional[int] = None,
+    end: Optional[int] = None,
+    max_instructions: int = 200,
+) -> str:
+    """Render ``[start, end)`` of the text section (defaults: all).
+
+    Each line: address, raw bytes, mnemonic/operands, and a symbolic
+    annotation for direct branch targets.
+    """
+    start = image.text_base if start is None else start
+    end = image.text_end if end is None else end
+    names = _symbol_names(image)
+    lines: List[str] = []
+    addr = image.text_base
+    emitted = 0
+    while addr < image.text_end and emitted < max_instructions:
+        instr, length = image.decode_at(addr)
+        if addr >= start:
+            for name in names.get(addr, []):
+                lines.append(f"{name}:")
+            raw = image.text[addr - image.text_base:
+                             addr - image.text_base + length].hex()
+            note = ""
+            if instr.mnemonic in RELATIVE_TRANSFERS and isinstance(
+                instr.operands[0], Imm
+            ):
+                target = instr.operands[0].value
+                labels = names.get(target)
+                if labels:
+                    note = f"   ; -> {labels[0]}"
+            lines.append(f"  {addr:#010x}: {raw:<20s} {instr!r}{note}")
+            emitted += 1
+        addr += length
+        if addr >= end:
+            break
+    if addr < end and emitted >= max_instructions:
+        lines.append(f"  ... truncated at {max_instructions} instructions")
+    return "\n".join(lines)
+
+
+def format_data_words(
+    image: BinaryImage, start: int, count: int
+) -> str:
+    """Render ``count`` 32-bit data words starting at address ``start``."""
+    lines = []
+    names = _symbol_names(image)
+    for i in range(count):
+        addr = start + 4 * i
+        if not image.in_data(addr):
+            lines.append(f"  {addr:#010x}: <outside data section>")
+            break
+        word = image.read_data_word(addr)
+        name = names.get(addr)
+        anchor = f"   ; {name[0]}" if name else ""
+        lines.append(f"  {addr:#010x}: {word:#010x}{anchor}")
+    return "\n".join(lines)

@@ -1,0 +1,409 @@
+"""Native watermark embedding (paper Section 4.2.2 + 4.3).
+
+Pipeline:
+
+1. **Profile** the binary on the key input (PLTO instrumentation mode)
+   to find a cold, executed, unconditional edge ``begin -> end``.
+2. **Chain construction**: replace the ``begin`` jump with ``call
+   bf_entry`` (= ``a_0``), then for each watermark bit scan forward
+   (bit 1) or backward (bit 0) for the nearest unused *no-fall-through
+   slot* — a position whose preceding instruction is an unconditional
+   transfer — and insert the next call there, so that
+   ``addr(a_i) < addr(a_{i+1})`` iff ``w_i = 1``.
+3. **Branch function**: append the Figure 7 routine chain; lay the
+   program out once with placeholder parameters (lengths are final),
+   read back the call addresses, build the perfect hash over the
+   return addresses ``k_i = a_i + 5``, then re-emit with real
+   parameters and lay out again (byte-for-byte same addresses).
+4. **Tables**: extend the data section with the displacement table
+   ``g``, the XOR table ``T[h(k_i)] = k_i ^ b_i`` (so the data section
+   never contains raw text addresses — footnote 2), and the lockdown
+   records.
+5. **Tamper-proofing**: up to ``k`` cold, loop-free, post-``begin``
+   direct jumps become indirect jumps through lockdown records that
+   only the corresponding branch-function call initializes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.bitstring import int_to_bits_lsb_first
+from ..core.errors import EmbeddingError
+from ..native.image import BinaryImage
+from ..native.isa import (
+    Imm,
+    Label,
+    Mem,
+    NInstruction,
+    UNCONDITIONAL_FLOW,
+    ni,
+)
+from ..native.cfg import build_native_cfg
+from ..native.profiler import Profile, profile_image
+from ..native.rewriter import LiftedProgram, RewriteError, lift, lower
+from .branch_function import (
+    BranchFunctionSpec,
+    ENTRY_LABEL,
+    emit_branch_function,
+)
+from .perfect_hash import PerfectHash, build_perfect_hash, hash_geometry
+
+CALL_LENGTH = 5  # bytes; k_i = a_i + CALL_LENGTH
+
+
+@dataclass
+class NativeEmbedding:
+    """A watermarked binary plus the recognizer-relevant bracket."""
+
+    image: BinaryImage
+    watermark: int
+    width: int
+    begin: int                      # address of a_0
+    end: int                        # address execution reaches after a_k
+    bf_entry: int
+    call_addresses: List[int] = field(default_factory=list)
+    tamper_jumps: List[int] = field(default_factory=list)
+    #: addresses of non-watermark transfers routed through the branch
+    #: function for stealth (Section 4.2.1's "can also be used to
+    #: obfuscate other control transfers")
+    obfuscated_calls: List[int] = field(default_factory=list)
+    original_size: int = 0
+
+    @property
+    def size_increase(self) -> int:
+        return self.image.total_size() - self.original_size
+
+
+def _item_addresses(prog: LiftedProgram) -> Tuple[Dict[int, int], Dict[str, int]]:
+    """(id(item) -> address, label -> address) matching lower()'s layout."""
+    instr_addr: Dict[int, int] = {}
+    label_addr: Dict[str, int] = {}
+    addr = prog.image.text_base
+    for item in prog.items:
+        if isinstance(item, tuple):
+            label_addr[item[1]] = addr
+        else:
+            instr_addr[id(item)] = addr
+            addr += item.length
+    return instr_addr, label_addr
+
+
+def _slot_positions(prog: LiftedProgram, used: Set[int]) -> List[int]:
+    """Item indices where a call can be inserted without ever executing.
+
+    A slot is the position *immediately* after an unconditional
+    transfer, before any label: a label in between would make the
+    position reachable (branches land on labels), and so would a
+    fall-through from any non-transfer instruction. One slot per
+    transfer; ``used`` holds the transfers already consumed.
+    """
+    slots: List[int] = []
+    pending: Optional[NInstruction] = None
+    for idx, item in enumerate(prog.items):
+        if pending is not None and id(pending) not in used:
+            slots.append(idx)
+        if isinstance(item, tuple):
+            pending = None  # a label makes the next position reachable
+        elif item.mnemonic in UNCONDITIONAL_FLOW:
+            pending = item
+        else:
+            pending = None
+    if pending is not None and id(pending) not in used:
+        slots.append(len(prog.items))
+    return slots
+
+
+def _preceding_instr(prog: LiftedProgram, index: int) -> Optional[NInstruction]:
+    for item in reversed(prog.items[:index]):
+        if not isinstance(item, tuple):
+            return item
+    return None
+
+
+def _begin_candidates(
+    prog: LiftedProgram, profile: Profile
+) -> List[Tuple[int, int]]:
+    """(address, item index) of cold executed direct jumps, best first.
+
+    Cold jumps (a handful of executions) are bucketed together and
+    ordered by *earliest first execution*: an early begin edge keeps
+    the chain's runtime cost low AND leaves the most later-executing
+    cold jumps available as tamper-proofing candidates.
+    """
+    out = []
+    for addr, idx in prog.index_of_addr.items():
+        item = prog.items[idx]
+        if isinstance(item, tuple) or item.mnemonic != "jmp":
+            continue
+        if not isinstance(item.operands[0], Label):
+            continue
+        count = profile.count(addr)
+        if count == 0:
+            continue
+        bucket = count if count > 4 else 1
+        out.append((bucket, profile.first_seen.get(addr, 0), addr, idx))
+    out.sort()
+    return [(addr, idx) for _b, _f, addr, idx in out]
+
+
+def embed_native(
+    image: BinaryImage,
+    watermark: int,
+    width: int,
+    inputs: Sequence[int] = (),
+    rng_seed: int = 2004,
+    tamper_proof: bool = True,
+    max_tamper_count: int = 16,
+    obfuscate_extra: int = 0,
+) -> NativeEmbedding:
+    """Embed a ``width``-bit watermark into a copy of ``image``.
+
+    ``inputs`` is the secret input the binary is profiled (and later
+    traced) with. ``obfuscate_extra`` additionally routes up to that
+    many ordinary (non-watermark) jumps through the branch function,
+    so that watermark call sites are not the only callers — a stealth
+    measure the paper inherits from Linn & Debray [15]. Raises
+    :class:`EmbeddingError` when no suitable begin edge or not enough
+    slots exist.
+    """
+    if watermark < 0 or watermark >= (1 << width):
+        raise EmbeddingError(f"watermark does not fit in {width} bits")
+    bits = int_to_bits_lsb_first(watermark, width)
+    profile = profile_image(image, inputs)
+    # Static loop membership for the paper's tamper-proofing criterion
+    # ("... and is not part of a loop", Section 4.3).
+    loop_addresses = build_native_cfg(image).loop_instruction_addresses()
+    base_prog = lift(image)
+    candidates = _begin_candidates(base_prog, profile)
+    if not candidates:
+        raise EmbeddingError("no executed direct jmp available as begin edge")
+
+    last_error: Optional[Exception] = None
+    fallback: Optional[NativeEmbedding] = None
+    for begin_addr, _idx in candidates[:8]:
+        try:
+            result = _embed_at(
+                image, watermark, width, bits, begin_addr, profile,
+                random.Random(rng_seed), tamper_proof, max_tamper_count,
+                inputs, obfuscate_extra, loop_addresses,
+            )
+        except (EmbeddingError, RewriteError) as exc:
+            last_error = exc
+            continue
+        if not tamper_proof or result.tamper_jumps:
+            return result
+        # Embedding worked but found no lockdown candidates from this
+        # begin edge; remember it and try a begin that leaves some cold
+        # jumps executing after it.
+        if fallback is None:
+            fallback = result
+    if fallback is not None:
+        return fallback
+    raise EmbeddingError(f"embedding failed at every begin edge: {last_error}")
+
+
+def _embed_at(
+    image: BinaryImage,
+    watermark: int,
+    width: int,
+    bits: List[int],
+    begin_addr: int,
+    profile: Profile,
+    rng: random.Random,
+    tamper_proof: bool,
+    max_tamper_count: int,
+    inputs: Sequence[int],
+    obfuscate_extra: int = 0,
+    loop_addresses: Optional[Set[int]] = None,
+) -> NativeEmbedding:
+    loop_addresses = loop_addresses if loop_addresses is not None else set()
+    prog = lift(image)
+    begin_idx = prog.find(begin_addr)
+    begin_jmp = prog.items[begin_idx]
+    assert isinstance(begin_jmp, NInstruction) and begin_jmp.mnemonic == "jmp"
+    end_label = begin_jmp.operands[0].name
+
+    # a_0 replaces the begin jump (both are 5 bytes).
+    a0 = ni("call", Label(ENTRY_LABEL))
+    prog.items[begin_idx] = a0
+    calls: List[NInstruction] = [a0]
+    used: Set[int] = set()
+    cur = begin_idx
+    for bit in bits:
+        slots = _slot_positions(prog, used)
+        if bit:
+            choices = [s for s in slots if s > cur]
+            if not choices:
+                # Extend the text with a dead halt to mint a new slot.
+                prog.items.append(ni("halt"))
+                choices = [len(prog.items)]
+            target_idx = choices[0]
+        else:
+            choices = [s for s in slots if s <= cur]
+            if not choices:
+                # Mint a dead slot at the very top of the text: a halt
+                # nothing falls into, with the call right after it.
+                prog.insert(0, [ni("halt")])
+                cur += 1
+                choices = [1]
+            target_idx = choices[-1]
+        call = ni("call", Label(ENTRY_LABEL))
+        prog.insert(target_idx, [call])
+        marker = _preceding_instr(prog, target_idx)
+        if marker is not None:
+            used.add(id(marker))
+        calls.append(call)
+        cur = prog.items.index(call)  # identity equality: finds this call
+
+    # Extra obfuscated transfers: ordinary executed jumps rerouted
+    # through the branch function. Same 5-byte size, so this is a
+    # plain item replacement; the end target itself is excluded so
+    # auto-framing's chain-linkage never absorbs an extra.
+    extra_calls: List[Tuple[NInstruction, str]] = []
+    if obfuscate_extra > 0:
+        for addr in sorted(prog.index_of_addr):
+            if len(extra_calls) >= obfuscate_extra:
+                break
+            idx = prog.index_of_addr[addr]
+            item = prog.items[idx]
+            if not isinstance(item, NInstruction) or item.mnemonic != "jmp":
+                continue
+            if item is begin_jmp or not isinstance(item.operands[0], Label):
+                continue
+            if item.operands[0].name == end_label:
+                continue
+            if profile.count(addr) == 0:
+                continue
+            call = ni("call", Label(ENTRY_LABEL))
+            prog.items[idx] = call
+            extra_calls.append((call, item.operands[0].name))
+
+    # Data-extension layout (absolute addresses known up front).
+    data_cursor = image.data_base + len(image.data)
+    # Phase A cannot know table sizes precisely (they depend on the
+    # perfect hash size, which depends only on the key count). The
+    # hash range M is deterministic in len(keys): compute it now.
+    n_keys = len(calls) + len(extra_calls)
+    m, g_size = hash_geometry(n_keys)
+    g_base = data_cursor
+    t_base = g_base + 4 * g_size
+    lock_base = t_base + 4 * m
+
+    pad = 4 * rng.randrange(2, 10)
+    spec = BranchFunctionSpec(
+        g_base=g_base, t_base=t_base, lock_base=lock_base, helper_pad=pad
+    )
+    bf_start = len(prog.items)
+    prog.items.extend(emit_branch_function(spec))
+
+    # Tamper-proofing: convert cold post-begin jumps to indirect jumps.
+    # The paper's candidate rule - "infrequently executed portion of
+    # the code and not part of a loop" (Section 4.3) - is applied as a
+    # preference: loop-free candidates first, then (for tight kernels
+    # that keep every cold jump inside some loop) cold in-loop ones,
+    # whose execution counts the max_tamper_count cap already bounds.
+    tamper_items: List[Tuple[NInstruction, str]] = []
+    if tamper_proof:
+        t0 = profile.first_seen.get(begin_addr, 0)
+        candidates: List[Tuple[bool, int, int]] = []
+        for addr in sorted(prog.index_of_addr):
+            idx = prog.index_of_addr[addr]
+            item = prog.items[idx]
+            if not isinstance(item, NInstruction) or item.mnemonic != "jmp":
+                continue
+            if item is begin_jmp or not isinstance(item.operands[0], Label):
+                continue
+            count = profile.count(addr)
+            if count == 0 or count > max_tamper_count:
+                continue
+            if profile.first_seen.get(addr, -1) <= t0:
+                continue
+            candidates.append((addr in loop_addresses, addr, idx))
+        candidates.sort()  # loop-free (False) first, then by address
+        for _in_loop, addr, idx in candidates[:len(calls)]:
+            item = prog.items[idx]
+            target_label = item.operands[0].name
+            indirect = ni("jmp_a", Mem(disp=0))  # rec address filled later
+            prog.items[idx] = indirect
+            tamper_items.append((indirect, target_label))
+
+    # Phase B: first layout, compute addresses and the perfect hash.
+    instr_addr, label_addr = _item_addresses(prog)
+    call_addrs = [instr_addr[id(c)] for c in calls]
+    extra_addrs = [instr_addr[id(c)] for c, _t in extra_calls]
+    keys = [a + CALL_LENGTH for a in call_addrs + extra_addrs]
+    ph = build_perfect_hash(keys, rng)
+    if ph.size != m or len(ph.g) != g_size:
+        raise EmbeddingError(
+            "perfect hash geometry diverged from reserved layout"
+        )
+    end_addr = label_addr[end_label]
+    targets = call_addrs[1:] + [end_addr] + [
+        label_addr[t] for _c, t in extra_calls
+    ]
+    slots = [ph.evaluate(k) for k in keys]
+
+    # Phase C: re-emit with final parameters; lengths are unchanged.
+    spec = BranchFunctionSpec(
+        mul=ph.mul, shift=ph.shift, g_mask=ph.g_mask,
+        slot_mask=ph.slot_mask, g_base=g_base, t_base=t_base,
+        lock_base=lock_base, helper_pad=pad,
+    )
+    prog.items[bf_start:] = emit_branch_function(spec)
+    tamper_slots: List[Tuple[int, str, int]] = []
+    for j, (indirect, target_label) in enumerate(tamper_items):
+        rec_addr = lock_base + slots[j] * 8
+        indirect.operands = (Mem(disp=rec_addr),)
+        tamper_slots.append((slots[j], target_label, rec_addr))
+
+    final = lower(prog)
+    # Sanity: layout must not have moved between phases.
+    instr_addr2, label_addr2 = _item_addresses(prog)
+    if [instr_addr2[id(c)] for c in calls] != call_addrs:
+        raise EmbeddingError("layout shifted between phases")
+
+    # Phase D: write the tables into the extended data section.
+    extension = bytearray(4 * g_size + 4 * m + 8 * m)
+    def put(addr: int, value: int) -> None:
+        off = addr - data_cursor
+        extension[off:off + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    for b, disp in enumerate(ph.g):
+        put(g_base + 4 * b, disp)
+    junk_slots = set(range(m)) - set(slots)
+    for s in junk_slots:
+        put(t_base + 4 * s, rng.randrange(1 << 32))
+    # Re-resolve targets against the final layout (identical to the
+    # first: lengths did not change).
+    final_targets = (
+        call_addrs[1:] + [label_addr2[end_label]]
+        + [label_addr2[t] for _c, t in extra_calls]
+    )
+    for k, t, s in zip(keys, final_targets, slots):
+        put(t_base + 4 * s, k ^ t)
+    for slot, target_label, rec_addr in tamper_slots:
+        correct = label_addr2[target_label]
+        patch = rng.randrange(1, 1 << 32)
+        while patch == correct:
+            patch = rng.randrange(1, 1 << 32)
+        put(rec_addr, correct ^ patch)
+        put(rec_addr + 4, patch)
+    final.data.extend(extension)
+
+    final.symbols["__wm_begin"] = call_addrs[0]
+    final.symbols["__wm_end"] = end_addr
+    return NativeEmbedding(
+        image=final,
+        watermark=watermark,
+        width=width,
+        begin=call_addrs[0],
+        end=end_addr,
+        bf_entry=label_addr2[ENTRY_LABEL],
+        call_addresses=call_addrs,
+        tamper_jumps=[rec for _s, _t, rec in tamper_slots],
+        obfuscated_calls=extra_addrs,
+        original_size=image.total_size(),
+    )

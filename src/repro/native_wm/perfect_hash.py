@@ -1,0 +1,142 @@
+"""Perfect hashing for branch functions (paper Section 4.1).
+
+    "We address the second problem using perfect hashing [12]. Given
+    the control flow mapping phi = {a_1 -> b_1, ..., a_n -> b_n} we
+    want the branch function to implement, we create a perfect hash
+    function h_phi : {a_1, ..., a_n} -> {1, ..., n}."
+
+The construction is a two-level displacement scheme in the FKS/CHD
+family, chosen so that its *evaluation* compiles to the same shape as
+the paper's Figure 7 hash code (multiply, shift, displacement-table
+lookup, xor, mask):
+
+    h(k) = (((k * MUL) mod 2^32) >> SHIFT) ^ g[k & (G-1)]) & (M-1)
+
+where ``g`` is a table of G displacement words and M (a power of two,
+at most 4n) is the hash range. Keys are bucketed by their low bits;
+buckets are assigned xor-displacements greedily, largest first, until
+all slots are distinct — the classic CHD search, which succeeds with
+overwhelming probability at load factor <= 1/2 (we retry with a new
+multiplier otherwise).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.errors import EmbeddingError
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+@dataclass
+class PerfectHash:
+    """A collision-free map from the key set into ``[0, size)``."""
+
+    mul: int
+    shift: int
+    g: List[int]
+    size: int  # M, a power of two
+
+    @property
+    def g_mask(self) -> int:
+        return len(self.g) - 1
+
+    @property
+    def slot_mask(self) -> int:
+        return self.size - 1
+
+    def mix(self, key: int) -> int:
+        return ((key * self.mul) & 0xFFFFFFFF) >> self.shift
+
+    def evaluate(self, key: int) -> int:
+        return (self.mix(key) ^ self.g[key & self.g_mask]) & self.slot_mask
+
+
+def hash_geometry(n: int) -> tuple:
+    """(hash range M, displacement table size G) for n keys.
+
+    Deterministic in n so the embedder can reserve data-section space
+    before the keys (call-site addresses) are known. M is the smallest
+    power of two giving a load factor of at most 2/3 — comfortably
+    inside the region where the greedy displacement search succeeds,
+    without doubling the table cost the way a fixed 2x rule would for
+    key counts just above a power of two.
+    """
+    m = max(2, _next_pow2((3 * n + 1) // 2))
+    return m, max(2, m // 4)
+
+
+def build_perfect_hash(
+    keys: Sequence[int],
+    rng: random.Random,
+    max_attempts: int = 64,
+) -> PerfectHash:
+    """Construct a perfect hash for ``keys`` (distinct 32-bit values)."""
+    keys = list(keys)
+    if len(set(keys)) != len(keys):
+        raise EmbeddingError("perfect hash keys must be distinct")
+    if not keys:
+        raise EmbeddingError("need at least one key")
+    n = len(keys)
+    size, g_size = hash_geometry(n)
+
+    for _attempt in range(max_attempts):
+        mul = rng.randrange(1, 1 << 32) | 1  # odd multiplier
+        shift = max(0, 32 - size.bit_length() - 3)
+        ph = PerfectHash(mul, shift, [0] * g_size, size)
+
+        buckets: Dict[int, List[int]] = {}
+        for k in keys:
+            buckets.setdefault(k & (g_size - 1), []).append(k)
+        # Distinct keys may still collide within a bucket after mixing;
+        # a displacement cannot separate equal mixed values.
+        ok = True
+        for bucket in buckets.values():
+            mixed = [ph.mix(k) & ph.slot_mask for k in bucket]
+            if len(set(mixed)) != len(mixed):
+                ok = False
+                break
+        if not ok:
+            continue
+
+        used = [False] * size
+        order = sorted(buckets, key=lambda b: -len(buckets[b]))
+        for b in order:
+            bucket = buckets[b]
+            placed = False
+            for d in range(size):
+                slots = [(ph.mix(k) ^ d) & ph.slot_mask for k in bucket]
+                if len(set(slots)) == len(slots) and not any(
+                    used[s] for s in slots
+                ):
+                    ph.g[b] = d
+                    for s in slots:
+                        used[s] = True
+                    placed = True
+                    break
+            if not placed:
+                ok = False
+                break
+        if ok:
+            _validate(ph, keys)
+            return ph
+    raise EmbeddingError(
+        f"could not build a perfect hash for {n} keys in "
+        f"{max_attempts} attempts"
+    )
+
+
+def _validate(ph: PerfectHash, keys: Sequence[int]) -> None:
+    slots = [ph.evaluate(k) for k in keys]
+    if len(set(slots)) != len(slots):  # pragma: no cover - defensive
+        raise EmbeddingError("perfect hash validation failed")
+    if any(not 0 <= s < ph.size for s in slots):  # pragma: no cover
+        raise EmbeddingError("perfect hash slot out of range")

@@ -1,0 +1,154 @@
+"""Textual assembler for WVM modules.
+
+The assembly format is line-based:
+
+.. code-block:: text
+
+    ; comment
+    .globals 2
+    .entry main
+
+    .func main params=0 locals=2
+        const 25
+        store 0
+    loop:
+        load 0
+        ifle done
+        iinc 0 -1
+        goto loop
+    done:
+        const 0
+        ret
+    .end
+
+Labels are ``name:`` lines; directives start with ``.``; everything
+else is ``opcode [operand [operand]]``. Integer operands accept
+decimal and ``0x`` hex with optional sign. The assembler is the
+canonical way tests and examples build small programs, and the
+disassembler's output round-trips through it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .instructions import (
+    GLOBAL_OPERANDS,
+    LABEL_OPERANDS,
+    LOCAL_OPERANDS,
+    OPCODES,
+    Instruction,
+)
+from .program import Function, Module
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.$]*):$")
+_FUNC_RE = re.compile(
+    r"^\.func\s+([A-Za-z_][A-Za-z0-9_.$]*)\s+params=(\d+)\s+locals=(\d+)$"
+)
+_INT_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+
+
+class AssemblyError(Exception):
+    """Syntax or structural error in WVM assembly text."""
+
+    def __init__(self, line_no: int, message: str):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _parse_int(token: str) -> int:
+    return int(token, 0)
+
+
+def assemble(text: str) -> Module:
+    """Assemble source text into a validated :class:`Module`."""
+    module = Module()
+    current: Optional[Function] = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith("."):
+            current = _handle_directive(line, line_no, module, current)
+            continue
+
+        if current is None:
+            raise AssemblyError(line_no, f"code outside .func: {line!r}")
+
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            current.code.append(Instruction("label", label_match.group(1)))
+            continue
+
+        current.code.append(_parse_instruction(line, line_no))
+
+    if current is not None:
+        raise AssemblyError(0, f"missing .end for function {current.name!r}")
+    module.validate_structure()
+    return module
+
+
+def _handle_directive(
+    line: str, line_no: int, module: Module, current: Optional[Function]
+) -> Optional[Function]:
+    if line.startswith(".func"):
+        if current is not None:
+            raise AssemblyError(line_no, "nested .func")
+        m = _FUNC_RE.match(line)
+        if not m:
+            raise AssemblyError(
+                line_no, ".func needs: .func NAME params=N locals=N"
+            )
+        name, params, locals_count = m.group(1), int(m.group(2)), int(m.group(3))
+        fn = Function(name, params, locals_count)
+        module.add(fn)
+        return fn
+    if line == ".end":
+        if current is None:
+            raise AssemblyError(line_no, ".end without .func")
+        return None
+    if line.startswith(".globals"):
+        parts = line.split()
+        if len(parts) != 2 or not parts[1].isdigit():
+            raise AssemblyError(line_no, ".globals needs a count")
+        module.globals_count = int(parts[1])
+        return current
+    if line.startswith(".entry"):
+        parts = line.split()
+        if len(parts) != 2:
+            raise AssemblyError(line_no, ".entry needs a function name")
+        module.entry = parts[1]
+        return current
+    raise AssemblyError(line_no, f"unknown directive {line.split()[0]!r}")
+
+
+def _parse_instruction(line: str, line_no: int) -> Instruction:
+    parts = line.split()
+    op = parts[0]
+    if op not in OPCODES:
+        raise AssemblyError(line_no, f"unknown opcode {op!r}")
+    if op == "label":
+        raise AssemblyError(line_no, "use 'name:' syntax for labels")
+    operands = parts[1:]
+
+    if op == "iinc":
+        if len(operands) != 2:
+            raise AssemblyError(line_no, "iinc needs slot and delta")
+        return Instruction(op, _parse_int(operands[0]), _parse_int(operands[1]))
+
+    if op in LABEL_OPERANDS or op == "call":
+        if len(operands) != 1:
+            raise AssemblyError(line_no, f"{op} needs one operand")
+        return Instruction(op, operands[0])
+
+    if op in LOCAL_OPERANDS or op in GLOBAL_OPERANDS or op == "const":
+        if len(operands) != 1 or not _INT_RE.match(operands[0]):
+            raise AssemblyError(line_no, f"{op} needs one integer operand")
+        return Instruction(op, _parse_int(operands[0]))
+
+    if operands:
+        raise AssemblyError(line_no, f"{op} takes no operands")
+    return Instruction(op)

@@ -1,0 +1,42 @@
+"""WVM disassembler: the inverse of :mod:`repro.vm.assembler`.
+
+``disassemble(assemble(text))`` produces text that re-assembles into a
+structurally identical module (round-trip property tested in
+``tests/test_vm_asm.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .program import Function, Module
+
+
+def disassemble_function(fn: Function) -> str:
+    lines: List[str] = [
+        f".func {fn.name} params={fn.params} locals={fn.locals_count}"
+    ]
+    for instr in fn.code:
+        if instr.is_label:
+            lines.append(f"{instr.arg}:")
+        elif instr.op == "iinc":
+            lines.append(f"    iinc {instr.arg} {instr.arg2}")
+        elif instr.arg is not None:
+            lines.append(f"    {instr.op} {instr.arg}")
+        else:
+            lines.append(f"    {instr.op}")
+    lines.append(".end")
+    return "\n".join(lines)
+
+
+def disassemble(module: Module) -> str:
+    """Render a module as assemblable text."""
+    parts: List[str] = []
+    if module.globals_count:
+        parts.append(f".globals {module.globals_count}")
+    parts.append(f".entry {module.entry}")
+    parts.append("")
+    for name in sorted(module.functions):
+        parts.append(disassemble_function(module.functions[name]))
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,183 @@
+"""WVM instruction set.
+
+WVM is the stack-based virtual machine standing in for Java bytecode
+(see DESIGN.md, substitution table). The design mirrors the properties
+path-based watermarking actually relies on:
+
+* values are integers; arrays are heap references;
+* locals live in numbered slots, globals in a module-wide table;
+* conditional branches are two-way (taken / fall-through) and binary
+  in nature — the property Section 2 of the paper builds on;
+* code is a list of :class:`Instruction` objects; branch targets are
+  symbolic *labels* (pseudo-instructions), which makes semantics-
+  preserving rewriting — both by the watermark embedder and by the
+  attack suite — a matter of list splicing, exactly as convenient as
+  bytecode rewriting frameworks like SandMark make it;
+* every instruction has a defined encoded byte size, so program growth
+  (Figures 8(b) and 9(a)) is measured in bytes, not instruction counts.
+
+Signed 64-bit arithmetic with wraparound is used, matching Java's
+``long`` semantics (division truncates toward zero and traps on zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Opcode tables
+# ---------------------------------------------------------------------------
+
+#: opcode -> (stack pops, stack pushes, encoded byte size)
+#: ``None`` pops means variable (determined by the operand, e.g. call).
+OPCODES: Dict[str, Tuple[Optional[int], int, int]] = {
+    # stack manipulation
+    "const": (0, 1, 5),      # push immediate
+    "dup": (1, 2, 1),
+    "pop": (1, 0, 1),
+    "swap": (2, 2, 1),
+    # locals / globals
+    "load": (0, 1, 2),       # push locals[arg]
+    "store": (1, 0, 2),      # locals[arg] = pop
+    "iinc": (0, 0, 3),       # locals[arg0] += arg1  (no stack traffic)
+    "gload": (0, 1, 3),      # push globals[arg]
+    "gstore": (1, 0, 3),     # globals[arg] = pop
+    # arithmetic (binary ops pop b then a, push a OP b)
+    "add": (2, 1, 1),
+    "sub": (2, 1, 1),
+    "mul": (2, 1, 1),
+    "div": (2, 1, 1),
+    "mod": (2, 1, 1),
+    "neg": (1, 1, 1),
+    # bitwise
+    "band": (2, 1, 1),
+    "bor": (2, 1, 1),
+    "bxor": (2, 1, 1),
+    "bnot": (1, 1, 1),
+    "shl": (2, 1, 1),
+    "shr": (2, 1, 1),        # arithmetic shift right
+    # control flow: two-operand compare-and-branch (pop b, a)
+    "if_icmpeq": (2, 0, 3),
+    "if_icmpne": (2, 0, 3),
+    "if_icmplt": (2, 0, 3),
+    "if_icmple": (2, 0, 3),
+    "if_icmpgt": (2, 0, 3),
+    "if_icmpge": (2, 0, 3),
+    # control flow: compare-with-zero (pop a)
+    "ifeq": (1, 0, 3),
+    "ifne": (1, 0, 3),
+    "iflt": (1, 0, 3),
+    "ifle": (1, 0, 3),
+    "ifgt": (1, 0, 3),
+    "ifge": (1, 0, 3),
+    "goto": (0, 0, 3),
+    # calls
+    "call": (None, 1, 3),    # pops callee.params, pushes return value
+    "ret": (1, 0, 1),        # return top of stack
+    # arrays
+    "newarray": (1, 1, 1),   # pop length, push reference
+    "aload": (2, 1, 1),      # pop index, ref; push ref[index]
+    "astore": (3, 0, 1),     # pop value, index, ref; ref[index] = value
+    "alen": (1, 1, 1),       # pop ref, push length
+    # i/o and misc
+    "print": (1, 0, 1),      # pop, append to program output
+    "input": (0, 1, 1),      # push next secret-input value
+    "nop": (0, 0, 1),
+    "halt": (0, 0, 1),
+    # pseudo-instruction: branch target marker, zero encoded size
+    "label": (0, 0, 0),
+}
+
+CONDITIONAL_BRANCHES = frozenset({
+    "if_icmpeq", "if_icmpne", "if_icmplt",
+    "if_icmple", "if_icmpgt", "if_icmpge",
+    "ifeq", "ifne", "iflt", "ifle", "ifgt", "ifge",
+})
+
+#: Opposite-sense opcode for each conditional branch (used by the
+#: branch-sense-inversion attack and by code generators).
+INVERSES: Dict[str, str] = {
+    "if_icmpeq": "if_icmpne", "if_icmpne": "if_icmpeq",
+    "if_icmplt": "if_icmpge", "if_icmpge": "if_icmplt",
+    "if_icmple": "if_icmpgt", "if_icmpgt": "if_icmple",
+    "ifeq": "ifne", "ifne": "ifeq",
+    "iflt": "ifge", "ifge": "iflt",
+    "ifle": "ifgt", "ifgt": "ifle",
+}
+
+UNCONDITIONAL_TRANSFERS = frozenset({"goto", "ret", "halt"})
+
+BRANCHING = CONDITIONAL_BRANCHES | frozenset({"goto"})
+
+#: Opcodes whose operand is a label name.
+LABEL_OPERANDS = CONDITIONAL_BRANCHES | frozenset({"goto", "label"})
+
+#: Opcodes whose operand is a local-variable slot.
+LOCAL_OPERANDS = frozenset({"load", "store"})
+
+#: Opcodes whose operand is a global index.
+GLOBAL_OPERANDS = frozenset({"gload", "gstore"})
+
+# 64-bit signed wraparound helpers (Java long semantics).
+_MASK64 = (1 << 64) - 1
+_SIGN64 = 1 << 63
+
+
+def wrap64(v: int) -> int:
+    """Wrap a Python int to signed 64-bit two's-complement."""
+    v &= _MASK64
+    return v - (1 << 64) if v & _SIGN64 else v
+
+
+@dataclass(eq=False)
+class Instruction:
+    """A single WVM instruction.
+
+    Identity (not value) equality is deliberate: the trace bit-string
+    decoder keys on the *static instruction itself*, which is exactly
+    what survives reordering and renaming attacks. ``eq=False`` keeps
+    the default id-based ``__hash__``/``__eq__``.
+    """
+
+    op: str
+    arg: Any = None
+    arg2: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPCODES:
+            raise ValueError(f"unknown opcode {self.op!r}")
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.op in CONDITIONAL_BRANCHES
+
+    @property
+    def is_label(self) -> bool:
+        return self.op == "label"
+
+    @property
+    def byte_size(self) -> int:
+        return OPCODES[self.op][2]
+
+    def copy(self) -> "Instruction":
+        """A fresh instruction with the same opcode and operands."""
+        return Instruction(self.op, self.arg, self.arg2)
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.arg is not None:
+            parts.append(str(self.arg))
+        if self.arg2 is not None:
+            parts.append(str(self.arg2))
+        return f"<{' '.join(parts)}>"
+
+
+def ins(op: str, arg: Any = None, arg2: Any = None) -> Instruction:
+    """Shorthand constructor used heavily by code generators and tests."""
+    return Instruction(op, arg, arg2)
+
+
+def label(name: str) -> Instruction:
+    """A label pseudo-instruction."""
+    return Instruction("label", name)

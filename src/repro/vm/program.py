@@ -1,0 +1,201 @@
+"""WVM program containers: functions and modules.
+
+A :class:`Module` is the unit the watermarker operates on (the analog
+of a jar file in the paper's SandMark implementation). It owns a set
+of named functions and a global-variable table. Functions carry their
+code as a flat list of :class:`Instruction` objects with symbolic
+labels.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .instructions import Instruction, LABEL_OPERANDS, OPCODES
+
+
+class VMFormatError(Exception):
+    """Structural problem in a module or function (pre-verification)."""
+
+
+@dataclass
+class Function:
+    """A WVM function.
+
+    ``params`` parameters arrive in local slots ``0 .. params-1``;
+    ``locals_count`` is the total number of local slots (``>= params``).
+    """
+
+    name: str
+    params: int
+    locals_count: int
+    code: List[Instruction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.params < 0:
+            raise VMFormatError(f"{self.name}: negative params")
+        if self.locals_count < self.params:
+            raise VMFormatError(
+                f"{self.name}: locals_count {self.locals_count} < "
+                f"params {self.params}"
+            )
+
+    # -- labels ------------------------------------------------------------
+
+    def labels(self) -> Dict[str, int]:
+        """Map from label name to its index in ``code``.
+
+        Raises :class:`VMFormatError` on duplicate labels.
+        """
+        out: Dict[str, int] = {}
+        for idx, instr in enumerate(self.code):
+            if instr.is_label:
+                if instr.arg in out:
+                    raise VMFormatError(
+                        f"{self.name}: duplicate label {instr.arg!r}"
+                    )
+                out[instr.arg] = idx
+        return out
+
+    def fresh_label(self, hint: str = "wm") -> str:
+        """A label name unused in this function."""
+        existing = {i.arg for i in self.code if i.is_label}
+        for n in itertools.count():
+            candidate = f"{hint}_{n}"
+            if candidate not in existing:
+                return candidate
+        raise AssertionError("unreachable")
+
+    def fresh_labels(self, count: int, hint: str = "wm") -> List[str]:
+        """``count`` distinct unused label names."""
+        existing = {i.arg for i in self.code if i.is_label}
+        out: List[str] = []
+        counter = itertools.count()
+        while len(out) < count:
+            candidate = f"{hint}_{next(counter)}"
+            if candidate not in existing:
+                existing.add(candidate)
+                out.append(candidate)
+        return out
+
+    def alloc_local(self) -> int:
+        """Allocate a fresh local slot and return its index."""
+        slot = self.locals_count
+        self.locals_count += 1
+        return slot
+
+    # -- size --------------------------------------------------------------
+
+    #: Fixed per-function container overhead (name table entry, header).
+    HEADER_BYTES = 16
+
+    def byte_size(self) -> int:
+        """Encoded size of this function in bytes (labels are free)."""
+        return self.HEADER_BYTES + sum(i.byte_size for i in self.code)
+
+    def real_instructions(self) -> Iterator[Instruction]:
+        """All non-label instructions, in order."""
+        return (i for i in self.code if not i.is_label)
+
+    def instruction_count(self) -> int:
+        return sum(1 for _ in self.real_instructions())
+
+    def copy(self) -> "Function":
+        """Deep copy: fresh Instruction objects, same structure."""
+        return Function(
+            self.name,
+            self.params,
+            self.locals_count,
+            [i.copy() for i in self.code],
+        )
+
+
+@dataclass
+class Module:
+    """A WVM module: named functions plus a global table."""
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    globals_count: int = 0
+    entry: str = "main"
+
+    #: Fixed module container overhead (magic, version, tables).
+    HEADER_BYTES = 32
+
+    def add(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise VMFormatError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise VMFormatError(f"no function named {name!r}") from None
+
+    def alloc_global(self) -> int:
+        idx = self.globals_count
+        self.globals_count += 1
+        return idx
+
+    def byte_size(self) -> int:
+        """Encoded size of the whole module in bytes."""
+        return self.HEADER_BYTES + sum(
+            f.byte_size() for f in self.functions.values()
+        )
+
+    def instruction_count(self) -> int:
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def copy(self) -> "Module":
+        """Deep copy with fresh Instruction objects throughout."""
+        m = Module(
+            {name: fn.copy() for name, fn in self.functions.items()},
+            self.globals_count,
+            self.entry,
+        )
+        return m
+
+    def validate_structure(self) -> None:
+        """Cheap structural checks (full checking lives in the verifier).
+
+        * entry exists and takes no parameters,
+        * every label operand refers to an existing label,
+        * every call target exists,
+        * local/global indices are in range.
+        """
+        if self.entry not in self.functions:
+            raise VMFormatError(f"entry function {self.entry!r} missing")
+        if self.functions[self.entry].params != 0:
+            raise VMFormatError("entry function must take no parameters")
+        for fn in self.functions.values():
+            labels = fn.labels()
+            for instr in fn.code:
+                if instr.op in LABEL_OPERANDS and not instr.is_label:
+                    if instr.arg not in labels:
+                        raise VMFormatError(
+                            f"{fn.name}: branch to unknown label {instr.arg!r}"
+                        )
+                elif instr.op == "call":
+                    if instr.arg not in self.functions:
+                        raise VMFormatError(
+                            f"{fn.name}: call to unknown function {instr.arg!r}"
+                        )
+                elif instr.op in ("load", "store"):
+                    if not 0 <= instr.arg < fn.locals_count:
+                        raise VMFormatError(
+                            f"{fn.name}: local slot {instr.arg} out of range"
+                        )
+                elif instr.op == "iinc":
+                    if not 0 <= instr.arg < fn.locals_count:
+                        raise VMFormatError(
+                            f"{fn.name}: iinc slot {instr.arg} out of range"
+                        )
+                elif instr.op in ("gload", "gstore"):
+                    if not 0 <= instr.arg < self.globals_count:
+                        raise VMFormatError(
+                            f"{fn.name}: global {instr.arg} out of range"
+                        )

@@ -1,0 +1,50 @@
+"""Benchmark workloads, written in wee and compiled per substrate.
+
+* :func:`gcd_module`, :func:`argc_secret_module`, :func:`collatz_module`
+  — the paper's walkthrough examples (Figures 1 and 2);
+* :func:`caffeinemark_module` — hot microbenchmark suite (Fig. 8);
+* :func:`jess_module` — large, cold rule engine (Fig. 8);
+* :mod:`repro.workloads.spec` — ten SPEC-like kernels (Fig. 9).
+"""
+
+from .caffeinemark import CAFFEINEMARK_SRC, caffeinemark_module
+from .caffeinemark import DEFAULT_INPUT as CAFFEINEMARK_INPUT
+from .jesslike import DEFAULT_INPUT as JESS_INPUT
+from .jesslike import jess_module, jess_source
+from .spec import (
+    REF_INPUT as SPEC_REF_INPUT,
+    SPEC_PROGRAMS,
+    SPEC_SOURCES,
+    TRAIN_INPUT as SPEC_TRAIN_INPUT,
+    spec_native,
+    spec_vm,
+)
+from .simple import (
+    ARGC_SECRET_SRC,
+    COLLATZ_SRC,
+    GCD_SRC,
+    argc_secret_module,
+    collatz_module,
+    gcd_module,
+)
+
+__all__ = [
+    "ARGC_SECRET_SRC",
+    "SPEC_PROGRAMS",
+    "SPEC_REF_INPUT",
+    "SPEC_SOURCES",
+    "SPEC_TRAIN_INPUT",
+    "spec_native",
+    "spec_vm",
+    "CAFFEINEMARK_INPUT",
+    "CAFFEINEMARK_SRC",
+    "COLLATZ_SRC",
+    "GCD_SRC",
+    "JESS_INPUT",
+    "argc_secret_module",
+    "caffeinemark_module",
+    "collatz_module",
+    "gcd_module",
+    "jess_module",
+    "jess_source",
+]

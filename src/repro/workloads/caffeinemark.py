@@ -1,0 +1,125 @@
+"""CaffeineMark-like microbenchmark suite (WVM workload).
+
+The paper's first Java benchmark is CaffeineMark: "several
+microbenchmarks that test the performance of integer and floating
+point arithmetic operations, loops, logical operations, and method
+calls. A high percentage of the instructions in CaffeineMark are
+executed frequently" — i.e. the program is small and almost entirely
+hot, which is why watermark pieces eventually land in hotspots and
+cause the sharp slowdown of Figure 8(a).
+
+This suite mirrors that profile: six kernels (loop, sieve, logic,
+method, string/array, fixed-point "float"), all driven from a compact
+``main``, with essentially no cold code. The secret input selects the
+iteration scale, making every run reproducible from the watermark key.
+"""
+
+from __future__ import annotations
+
+from ..lang import compile_source
+from ..vm import Module
+
+CAFFEINEMARK_SRC = """
+// ---- loop kernel: tight counting loops ---------------------------------
+fn loop_bench(n) {
+    var total = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        total = total + i;
+        if (total > 1000000) { total = total - 1000000; }
+    }
+    return total;
+}
+
+// ---- sieve kernel: prime counting --------------------------------------
+fn sieve_bench(limit) {
+    var flags = new(limit);
+    var count = 0;
+    for (var i = 2; i < limit; i = i + 1) {
+        if (flags[i] == 0) {
+            count = count + 1;
+            for (var j = i + i; j < limit; j = j + i) { flags[j] = 1; }
+        }
+    }
+    return count;
+}
+
+// ---- logic kernel: bit twiddling with branches --------------------------
+fn logic_bench(n) {
+    var x = 0x1a;
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        x = (x << 1) ^ (x >> 3) ^ i;
+        x = x & 0xffff;
+        if ((x & 1) == 1) { acc = acc + 1; }
+        if ((x & 2) == 2) { acc = acc + 2; } else { acc = acc - 1; }
+        if ((x & 4) == 4) { acc = acc ^ x; }
+    }
+    return acc;
+}
+
+// ---- method kernel: call-heavy chain ------------------------------------
+fn m_leaf(x) { return x + 1; }
+fn m_mid(x) { return m_leaf(x) + m_leaf(x + 1); }
+fn m_top(x) { return m_mid(x) + m_mid(x + 2); }
+fn method_bench(n) {
+    var total = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        total = total + m_top(i & 0xff);
+    }
+    return total;
+}
+
+// ---- string kernel: array copy/reverse/compare --------------------------
+fn string_bench(n) {
+    var a = new(64);
+    var b = new(64);
+    for (var i = 0; i < 64; i = i + 1) { a[i] = (i * 7 + 3) & 0x7f; }
+    var checksum = 0;
+    for (var round = 0; round < n; round = round + 1) {
+        // copy a -> b reversed
+        for (var j = 0; j < 64; j = j + 1) { b[63 - j] = a[j]; }
+        // compare halves
+        for (var k = 0; k < 32; k = k + 1) {
+            if (a[k] == b[k]) { checksum = checksum + 1; }
+        }
+        a[round & 63] = round & 0x7f;
+    }
+    return checksum;
+}
+
+// ---- "float" kernel: 16.16 fixed-point arithmetic ------------------------
+fn fx_mul(a, b) { return (a * b) >> 16; }
+fn fx_div(a, b) { return (a << 16) / b; }
+fn float_bench(n) {
+    var x = 1 << 16;            // 1.0
+    var acc = 0;
+    for (var i = 1; i <= n; i = i + 1) {
+        x = fx_mul(x, (3 << 14));        // * 0.75
+        x = x + fx_div(1 << 16, i + 1);  // + 1/(i+1)
+        if (x > (10 << 16)) { x = x - (9 << 16); }
+        acc = acc + (x >> 12);
+    }
+    return acc;
+}
+
+fn main() {
+    var scale = input();    // the secret input drives the workload
+    print(loop_bench(scale * 40));
+    print(sieve_bench(200 + scale * 8));
+    print(logic_bench(scale * 30));
+    print(method_bench(scale * 10));
+    print(string_bench(scale * 2));
+    print(float_bench(scale * 20));
+    return 0;
+}
+"""
+
+
+def caffeinemark_module() -> Module:
+    """Compile the CaffeineMark-like suite to a fresh WVM module."""
+    return compile_source(CAFFEINEMARK_SRC)
+
+
+#: Default secret input: a modest scale so unwatermarked runs take a
+#: few hundred thousand WVM steps, matching "performance-critical code".
+DEFAULT_INPUT = [25]

@@ -1,0 +1,74 @@
+"""Small example programs (the paper's walkthrough examples).
+
+``gcd`` is the running example of Figure 2; ``argc_secret`` mirrors
+Figure 1's program whose watermark code is guarded by the secret input
+(there, ``argc == 3``; here, ``input() == 3``).
+"""
+
+from __future__ import annotations
+
+from ..lang import compile_source
+from ..vm import Module
+
+GCD_SRC = """
+// Figure 2: greatest common divisor of two secret inputs.
+fn gcd(a, b) {
+    while (a % b != 0) {
+        var t = a % b;
+        a = b;
+        b = t;
+    }
+    return b;
+}
+
+fn main() {
+    var a = input();
+    var b = input();
+    print(gcd(a, b));
+    return 0;
+}
+"""
+
+ARGC_SECRET_SRC = """
+// Figure 1(a): prints a secret marker when the key input is 3.
+fn main() {
+    var argc = input();
+    if (argc == 3) {
+        print(777);   // stands in for printf("secret")
+    }
+    return 0;
+}
+"""
+
+COLLATZ_SRC = """
+// A branchy little program useful for trace tests.
+fn steps(n) {
+    var count = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; }
+        else { n = 3 * n + 1; }
+        count = count + 1;
+    }
+    return count;
+}
+
+fn main() {
+    print(steps(input()));
+    return 0;
+}
+"""
+
+
+def gcd_module() -> Module:
+    """The paper's Figure 2 GCD program, compiled to WVM."""
+    return compile_source(GCD_SRC)
+
+
+def argc_secret_module() -> Module:
+    """The paper's Figure 1 example, compiled to WVM."""
+    return compile_source(ARGC_SECRET_SRC)
+
+
+def collatz_module() -> Module:
+    """A small branch-heavy program for tests and examples."""
+    return compile_source(COLLATZ_SRC)

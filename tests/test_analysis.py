@@ -1,0 +1,67 @@
+"""Tests for the statistical-attack analysis module."""
+
+from repro.analysis import (
+    CodeStatistics,
+    collect_statistics,
+    distribution_distance,
+    population_spread,
+)
+from repro.vm import Function, Module, ins
+from repro.workloads import collatz_module, gcd_module
+
+
+def tiny(ops):
+    m = Module()
+    m.add(Function("main", 0, 1, [ins(op, *args) for op, *args in ops]))
+    return m
+
+
+class TestCollectStatistics:
+    def test_counts(self):
+        m = tiny([("const", 1), ("const", 2), ("add",),
+                  ("ifeq", "x"), ("label", "x"), ("const", 0), ("ret",)])
+        stats = collect_statistics(m)
+        assert stats.total_instructions == 6  # label excluded
+        assert stats.opcode_counts["const"] == 3
+        assert stats.conditional_branches == 1
+        assert stats.functions == 1
+
+    def test_branch_density(self):
+        stats = collect_statistics(collatz_module())
+        assert 0.0 < stats.branch_density < 0.5
+
+    def test_empty_module(self):
+        stats = CodeStatistics(
+            opcode_counts={}, total_instructions=0,
+            conditional_branches=0, functions=0,
+        )
+        assert stats.branch_density == 0.0
+        assert stats.opcode_distribution() == {}
+
+
+class TestDistances:
+    def test_identity(self):
+        a = collect_statistics(gcd_module())
+        assert distribution_distance(a, a) == 0.0
+
+    def test_symmetry_and_range(self):
+        a = collect_statistics(gcd_module())
+        b = collect_statistics(collatz_module())
+        d1 = distribution_distance(a, b)
+        d2 = distribution_distance(b, a)
+        assert d1 == d2
+        assert 0.0 <= d1 <= 1.0
+
+    def test_disjoint_is_one(self):
+        a = collect_statistics(tiny([("nop",), ("const", 0), ("ret",)]))
+        b = collect_statistics(tiny([("pop",), ("dup",), ("halt",)]))
+        import pytest
+        assert distribution_distance(a, b) == pytest.approx(1.0)
+
+    def test_population_spread(self):
+        mods = [gcd_module(), collatz_module()]
+        spread = population_spread(mods)
+        assert spread == distribution_distance(
+            collect_statistics(mods[0]), collect_statistics(mods[1])
+        )
+        assert population_spread([gcd_module()]) == 0.0

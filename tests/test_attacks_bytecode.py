@@ -1,0 +1,202 @@
+"""Tests for the bytecode attack suite and the resilience claims.
+
+The key invariants from Section 3.1/5.1.2:
+
+* noop insertion, block reordering, sense inversion, splitting,
+  renumbering, inlining: semantics preserved AND watermark survives;
+* branch insertion: semantics preserved, watermark degrades with rate;
+* class encryption: blocks instrumentation-based tracing but not
+  JVM-level tracing.
+"""
+
+import random
+
+import pytest
+
+from repro.attacks.bytecode import (
+    SealedAccessError,
+    branch_increase_fraction,
+    copy_blocks,
+    evaluate_attack,
+    inline_random_calls,
+    insert_branches,
+    insert_noops,
+    instrument_for_tracing,
+    invert_branch_senses,
+    jvm_level_trace,
+    renumber_locals,
+    reorder_blocks,
+    run_attack_suite,
+    seal_module,
+    split_blocks,
+)
+from repro.bytecode_wm import WatermarkKey, embed, recognize, recognize_bits
+from repro.core.bitstring import decode_bits
+from repro.vm import run_module, verify_module
+from repro.workloads import collatz_module, gcd_module
+
+KEY = WatermarkKey(secret=b"attacks", inputs=[27])
+WM = 0xFACE
+
+
+@pytest.fixture(scope="module")
+def embedded():
+    return embed(collatz_module(), WM, KEY, watermark_bits=16, pieces=8)
+
+
+def trace_bits(module, inputs):
+    result = run_module(module, inputs, trace_mode="branch")
+    return decode_bits(result.trace.branch_pairs())
+
+
+class TestSemanticPreservation:
+    """Every attack must produce a working, verifiable program."""
+
+    @pytest.mark.parametrize("attack", [
+        lambda m, r: insert_noops(m, 500, r),
+        lambda m, r: insert_branches(m, 50, r),
+        lambda m, r: invert_branch_senses(m, 1.0, r),
+        lambda m, r: reorder_blocks(m, r),
+        lambda m, r: split_blocks(m, 30, r),
+        lambda m, r: copy_blocks(m, 10, r),
+        lambda m, r: inline_random_calls(m, 3, r),
+        lambda m, r: renumber_locals(m, r),
+    ])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_attacked_program_works(self, attack, seed, embedded):
+        rng = random.Random(seed)
+        attacked = attack(embedded.module, rng)
+        verify_module(attacked)
+        for inputs in ([27], [7], [1], [97]):
+            assert run_module(attacked, inputs).output == \
+                run_module(embedded.module, inputs).output
+
+
+class TestBitstringInvariance:
+    """The decoded bit-string itself is unchanged by static layout
+    attacks (the Section 3.1 definition's whole point)."""
+
+    def _bits(self, module):
+        return trace_bits(module, [27])
+
+    def test_noop_invariance(self, embedded):
+        attacked = insert_noops(embedded.module, 1000, random.Random(1))
+        assert self._bits(attacked) == self._bits(embedded.module)
+
+    def test_sense_inversion_invariance(self, embedded):
+        attacked = invert_branch_senses(embedded.module, 1.0, random.Random(1))
+        assert self._bits(attacked) == self._bits(embedded.module)
+
+    def test_reordering_invariance(self, embedded):
+        attacked = reorder_blocks(embedded.module, random.Random(1))
+        assert self._bits(attacked) == self._bits(embedded.module)
+
+    def test_splitting_invariance(self, embedded):
+        attacked = split_blocks(embedded.module, 40, random.Random(1))
+        assert self._bits(attacked) == self._bits(embedded.module)
+
+    def test_renumbering_invariance(self, embedded):
+        attacked = renumber_locals(embedded.module, random.Random(1))
+        assert self._bits(attacked) == self._bits(embedded.module)
+
+    def test_branch_insertion_changes_bits(self, embedded):
+        attacked = insert_branches(embedded.module, 30, random.Random(1))
+        assert self._bits(attacked) != self._bits(embedded.module)
+
+
+class TestWatermarkSurvival:
+    def _recognizes(self, module):
+        found = recognize(module, KEY, watermark_bits=16)
+        return found.complete and found.value == WM
+
+    @pytest.mark.parametrize("attack_name", [
+        "noop", "inversion", "reorder", "split", "copy", "inline",
+        "renumber", "stacked",
+    ])
+    def test_survives(self, attack_name, embedded):
+        rng = random.Random(7)
+        attacks = {
+            "noop": lambda m: insert_noops(m, 800, rng),
+            "inversion": lambda m: invert_branch_senses(m, 1.0, rng),
+            "reorder": lambda m: reorder_blocks(m, rng),
+            "split": lambda m: split_blocks(m, 50, rng),
+            "copy": lambda m: copy_blocks(m, 15, rng),
+            "inline": lambda m: inline_random_calls(m, 4, rng),
+            "renumber": lambda m: renumber_locals(m, rng),
+            "stacked": lambda m: reorder_blocks(
+                invert_branch_senses(insert_noops(m, 300, rng), 1.0, rng), rng
+            ),
+        }
+        attacked = attacks[attack_name](embedded.module)
+        assert self._recognizes(attacked), attack_name
+
+    def test_heavy_branch_insertion_destroys(self, embedded):
+        attacked = insert_branches(embedded.module, 300, random.Random(3))
+        assert not self._recognizes(attacked)
+
+    def test_survival_decreases_with_insertion_rate(self, embedded):
+        """More inserted branches -> fewer surviving recognitions
+        (Figure 8(c) mechanism), tested across seeds."""
+        def survival(count):
+            hits = 0
+            for seed in range(6):
+                attacked = insert_branches(
+                    embedded.module, count, random.Random(seed)
+                )
+                hits += self._recognizes(attacked)
+            return hits
+        assert survival(2) >= survival(120)
+
+    def test_branch_increase_fraction_metric(self, embedded):
+        attacked = insert_branches(embedded.module, 25, random.Random(0))
+        frac = branch_increase_fraction(embedded.module, attacked)
+        assert frac > 0
+        base_branches = sum(
+            1 for fn in embedded.module.functions.values()
+            for i in fn.real_instructions() if i.is_conditional
+        )
+        assert frac == pytest.approx(25 / base_branches)
+
+
+class TestAttackHarness:
+    def test_outcome_fields(self, embedded):
+        attacked = insert_noops(embedded.module, 10, random.Random(0))
+        outcome = evaluate_attack("noop", embedded, KEY, attacked,
+                                  probe_inputs=[[7]])
+        assert outcome.verifies and outcome.program_ok
+        assert outcome.watermark_found
+        assert outcome.recovered == WM
+        assert not outcome.attack_succeeded
+
+    def test_suite_runs_standard_battery(self, embedded):
+        outcomes = run_attack_suite(embedded, KEY, probe_inputs=[[7]])
+        names = {o.name for o in outcomes}
+        assert "branch-sense-inversion" in names
+        assert all(o.program_ok for o in outcomes)
+        layout = [o for o in outcomes if "insertion" not in o.name
+                  or o.name.startswith("noop")]
+        assert all(o.watermark_found for o in layout)
+
+
+class TestClassEncryption:
+    def test_instrumentation_blocked(self, embedded):
+        sealed = seal_module(embedded.module)
+        with pytest.raises(SealedAccessError):
+            instrument_for_tracing(sealed)
+
+    def test_payload_is_ciphertext(self, embedded):
+        sealed = seal_module(embedded.module)
+        assert b".func" not in sealed.static_bytes()
+
+    def test_loader_roundtrip(self, embedded):
+        sealed = seal_module(embedded.module)
+        module = sealed.load()
+        assert run_module(module, [27]).output == \
+            run_module(embedded.module, [27]).output
+
+    def test_jvm_level_tracing_survives(self, embedded):
+        sealed = seal_module(embedded.module)
+        result = jvm_level_trace(sealed, KEY.inputs)
+        bits = decode_bits(result.trace.branch_pairs())
+        found = recognize_bits(bits, KEY, watermark_bits=16)
+        assert found.complete and found.value == WM

@@ -1,0 +1,125 @@
+"""Tests for the branch-chaining, constant-unfolding and loop-peeling
+attacks (the remaining transformations named in the paper's Section 1)."""
+
+import random
+
+import pytest
+
+from repro.attacks.bytecode import (
+    chain_branches,
+    peel_loops,
+    unfold_constants,
+)
+from repro.attacks.bytecode.unrolling import peel_one_loop
+from repro.bytecode_wm import WatermarkKey, embed, recognize
+from repro.core.bitstring import decode_bits
+from repro.vm import run_module, verify_module
+from repro.workloads import (
+    CAFFEINEMARK_INPUT,
+    caffeinemark_module,
+    collatz_module,
+    gcd_module,
+)
+
+KEY = WatermarkKey(secret=b"chain", inputs=[27])
+
+
+@pytest.fixture(scope="module")
+def embedded():
+    return embed(collatz_module(), 0xC0DE, KEY, watermark_bits=16, pieces=8)
+
+
+def bits_of(module, inputs):
+    result = run_module(module, inputs, trace_mode="branch")
+    return decode_bits(result.trace.branch_pairs())
+
+
+class TestBranchChaining:
+    def test_semantics(self, embedded):
+        attacked = chain_branches(embedded.module, 40, random.Random(1))
+        verify_module(attacked)
+        for inputs in ([27], [7], [95]):
+            assert run_module(attacked, inputs).output == \
+                run_module(embedded.module, inputs).output
+
+    def test_bitstring_invariant(self, embedded):
+        """Chained gotos are unconditional: zero effect on the bits."""
+        attacked = chain_branches(embedded.module, 40, random.Random(1))
+        assert bits_of(attacked, [27]) == bits_of(embedded.module, [27])
+
+    def test_watermark_survives(self, embedded):
+        attacked = chain_branches(embedded.module, 40, random.Random(2))
+        found = recognize(attacked, KEY, watermark_bits=16)
+        assert found.value == 0xC0DE
+
+    def test_grows_code(self, embedded):
+        attacked = chain_branches(embedded.module, 20, random.Random(3))
+        assert attacked.byte_size() > embedded.module.byte_size()
+
+
+class TestConstantUnfolding:
+    def test_semantics(self, embedded):
+        attacked = unfold_constants(embedded.module, 80, random.Random(1))
+        verify_module(attacked)
+        for inputs in ([27], [7]):
+            assert run_module(attacked, inputs).output == \
+                run_module(embedded.module, inputs).output
+
+    def test_bitstring_invariant(self, embedded):
+        attacked = unfold_constants(embedded.module, 80, random.Random(1))
+        assert bits_of(attacked, [27]) == bits_of(embedded.module, [27])
+
+    def test_watermark_survives(self, embedded):
+        attacked = unfold_constants(embedded.module, 80, random.Random(4))
+        assert recognize(attacked, KEY, watermark_bits=16).value == 0xC0DE
+
+    def test_actually_unfolds(self):
+        module = gcd_module()
+        attacked = unfold_constants(module, 10, random.Random(0))
+        before = sum(1 for fn in module.functions.values()
+                     for i in fn.real_instructions() if i.op == "const")
+        after = sum(1 for fn in attacked.functions.values()
+                    for i in fn.real_instructions() if i.op == "const")
+        assert after > before
+
+
+class TestLoopPeeling:
+    def test_peels_a_real_loop(self):
+        module = caffeinemark_module()
+        fn = module.functions["loop_bench"]
+        before = module.byte_size()
+        assert peel_one_loop(module, fn, random.Random(0))
+        assert module.byte_size() > before
+        verify_module(module)
+        assert run_module(module, CAFFEINEMARK_INPUT).output == \
+            run_module(caffeinemark_module(), CAFFEINEMARK_INPUT).output
+
+    def test_semantics_across_inputs(self, embedded):
+        attacked = peel_loops(embedded.module, 3, random.Random(1))
+        verify_module(attacked)
+        for inputs in ([27], [7], [871]):
+            assert run_module(attacked, inputs).output == \
+                run_module(embedded.module, inputs).output
+
+    def test_watermark_survives(self, embedded):
+        attacked = peel_loops(embedded.module, 3, random.Random(2))
+        assert recognize(attacked, KEY, watermark_bits=16).value == 0xC0DE
+
+    def test_failure_leaves_module_untouched(self):
+        """A function with no loops cannot be peeled, and trying must
+        not corrupt it (regression: entry-edge retargeting must not
+        leak through shared instruction objects)."""
+        module = gcd_module()
+        fn = module.functions["main"]  # straight-line; no loops
+        code_before = [(i.op, i.arg) for i in fn.code]
+        assert not peel_one_loop(module, fn, random.Random(0))
+        assert [(i.op, i.arg) for i in fn.code] == code_before
+        verify_module(module)
+
+    def test_peeling_is_stackable(self, embedded):
+        once = peel_loops(embedded.module, 1, random.Random(5))
+        twice = peel_loops(once, 1, random.Random(6))
+        verify_module(twice)
+        assert run_module(twice, [27]).output == \
+            run_module(embedded.module, [27]).output
+        assert recognize(twice, KEY, watermark_bits=16).value == 0xC0DE

@@ -1,0 +1,167 @@
+"""Tests for the five native attacks and the §5.2.2 resilience table."""
+
+import pytest
+
+from repro.attacks.native import (
+    bypass_branch_function,
+    double_watermark,
+    insert_noops,
+    invert_branch_senses,
+    observe_call_targets,
+    reroute_branch_function,
+    run_native_attack_suite,
+)
+from repro.lang.codegen_native import compile_source_native
+from repro.native import MachineFault, run_image
+from repro.native_wm import embed_native, extract_native
+
+HOST_SRC = """
+fn hot(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) { acc = acc + i * i; }
+    return acc;
+}
+fn late_a(x) {
+    var y = 0;
+    if (x % 2 == 0) { y = x + 1; } else { y = x - 1; }
+    return y;
+}
+fn late_b(x) {
+    var y = 0;
+    if (x > 10) { y = x * 3; } else { y = x * 5; }
+    return y;
+}
+fn late_c(x) {
+    var y = 0;
+    if (x != 7) { y = 1; } else { y = 2; }
+    return y;
+}
+fn main() {
+    var n = input();
+    print(hot(n));
+    if (n > 2) { print(n * 2); } else { print(n); }
+    print(late_a(n));
+    print(late_b(n));
+    print(late_c(n));
+    return 0;
+}
+"""
+
+KEY = [50]
+
+
+@pytest.fixture(scope="module")
+def host():
+    return compile_source_native(HOST_SRC)
+
+
+@pytest.fixture(scope="module")
+def embedded(host):
+    return embed_native(host, watermark=0xACE, width=12, inputs=KEY)
+
+
+def broken(image, inputs, expected):
+    try:
+        return run_image(image, inputs, max_steps=5_000_000).output != expected
+    except MachineFault:
+        return True
+
+
+class TestAttacksOnUnwatermarkedBinaries:
+    """Sanity: the transformations themselves are semantics-preserving
+    when there is no watermark to break."""
+
+    def test_noop_insertion(self, host):
+        want = run_image(host, KEY).output
+        attacked = insert_noops(host, 25, at_start=True)
+        assert run_image(attacked, KEY).output == want
+
+    def test_sense_inversion(self, host):
+        want = run_image(host, KEY).output
+        attacked = invert_branch_senses(host)
+        assert run_image(attacked, KEY).output == want
+        for probe in ([3], [11]):
+            assert run_image(attacked, probe).output == \
+                run_image(host, probe).output
+
+
+class TestAttacksOnWatermarkedBinaries:
+    def test_single_noop_breaks(self, embedded):
+        want = run_image(embedded.image, KEY).output
+        attacked = insert_noops(embedded.image, 1, at_start=True)
+        assert broken(attacked, KEY, want)
+
+    def test_sense_inversion_breaks(self, embedded):
+        want = run_image(embedded.image, KEY).output
+        attacked = invert_branch_senses(embedded.image)
+        assert broken(attacked, KEY, want)
+
+    def test_double_watermark_breaks(self, embedded):
+        want = run_image(embedded.image, KEY).output
+        attacked = double_watermark(embedded.image, 0x123, 12, KEY)
+        assert broken(attacked, KEY, want)
+
+    def test_bypass_breaks_tamper_proofed(self, embedded):
+        assert embedded.tamper_jumps, "fixture must have lockdown cells"
+        want = run_image(embedded.image, KEY).output
+        attacked = bypass_branch_function(
+            embedded.image, embedded.bf_entry, KEY
+        )
+        assert broken(attacked, KEY, want)
+
+    def test_bypass_succeeds_without_tamper_proofing(self, host):
+        """Ablation: tamper-proofing is what defeats the subtractive
+        attack — without it the bypass yields a working, unwatermarked
+        program."""
+        emb = embed_native(host, 0xACE, 12, KEY, tamper_proof=False)
+        assert not emb.tamper_jumps
+        want = run_image(emb.image, KEY).output
+        attacked = bypass_branch_function(emb.image, emb.bf_entry, KEY)
+        assert run_image(attacked, KEY).output == want  # program fine
+        res = extract_native(attacked, 12, emb.begin, emb.end, KEY,
+                             tracer="smart", bf_entry=emb.bf_entry)
+        assert res.watermark != 0xACE  # but the mark is gone
+
+    def test_reroute_preserves_program(self, embedded):
+        want = run_image(embedded.image, KEY).output
+        attacked = reroute_branch_function(
+            embedded.image, embedded.bf_entry, KEY
+        )
+        assert run_image(attacked, KEY).output == want
+
+    def test_reroute_defeats_simple_tracer_only(self, embedded):
+        attacked = reroute_branch_function(
+            embedded.image, embedded.bf_entry, KEY
+        )
+        simple = extract_native(
+            attacked, embedded.width, embedded.begin, embedded.end, KEY,
+            tracer="simple", bf_entry=embedded.bf_entry,
+        )
+        smart = extract_native(
+            attacked, embedded.width, embedded.begin, embedded.end, KEY,
+            tracer="smart", bf_entry=embedded.bf_entry,
+        )
+        assert simple.watermark != embedded.watermark
+        assert smart.watermark == embedded.watermark
+
+    def test_observe_call_targets_learns_chain(self, embedded):
+        pairs = observe_call_targets(embedded.image, embedded.bf_entry, KEY)
+        sources = [a for a, _b in pairs]
+        for call_addr in embedded.call_addresses:
+            assert call_addr in sources
+
+
+class TestResilienceTable:
+    def test_matches_paper(self, embedded):
+        outcomes = {
+            o.name: o for o in run_native_attack_suite(embedded, KEY)
+        }
+        # Attacks 1-4 break the program.
+        for name in ("1-noop-insertion", "2-branch-sense-inversion",
+                     "3-double-watermarking", "4-bypass-branch-function"):
+            assert not outcomes[name].program_ok, name
+        # Attack 5 keeps it alive and splits the tracers.
+        reroute = outcomes["5-reroute-branch-function"]
+        assert reroute.program_ok
+        assert not reroute.extracted_simple
+        assert reroute.extracted_smart

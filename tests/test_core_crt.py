@@ -1,0 +1,139 @@
+"""Unit and property tests for repro.core.crt."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.crt import (
+    Congruence,
+    crt_pair,
+    egcd,
+    generalized_crt,
+    modinv,
+    pairwise_coprime,
+)
+
+
+class TestEgcd:
+    def test_textbook_example(self):
+        assert egcd(240, 46) == (2, -9, 47)
+
+    def test_zero_left(self):
+        g, x, y = egcd(0, 7)
+        assert g == 7 and 0 * x + 7 * y == 7
+
+    def test_zero_right(self):
+        g, x, y = egcd(7, 0)
+        assert g == 7 and 7 * x + 0 * y == 7
+
+    @given(st.integers(0, 10**12), st.integers(0, 10**12))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert g == math.gcd(a, b)
+
+
+class TestModinv:
+    @given(st.integers(1, 10**9), st.integers(2, 10**9))
+    def test_inverse_property(self, a, m):
+        if math.gcd(a, m) != 1:
+            with pytest.raises(ValueError):
+                modinv(a, m)
+        else:
+            inv = modinv(a, m)
+            assert 0 <= inv < m
+            assert a * inv % m == 1
+
+    def test_no_inverse(self):
+        with pytest.raises(ValueError):
+            modinv(4, 8)
+
+
+class TestCongruence:
+    def test_normalizes_value(self):
+        assert Congruence(17, 5).value == 2
+        assert Congruence(-1, 5).value == 4
+
+    def test_rejects_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            Congruence(1, 0)
+
+    def test_reduce(self):
+        c = Congruence(17, 30)
+        assert c.reduce(5) == Congruence(2, 5)
+        with pytest.raises(ValueError):
+            c.reduce(7)
+
+    def test_consistency(self):
+        # W = 17: 17 mod 6 = 5 and 17 mod 15 = 2 share gcd 3 and agree.
+        assert Congruence(5, 6).consistent_with(Congruence(2, 15))
+        # 5 mod 3 = 2 but 7 mod 3 = 1: no common solution.
+        assert not Congruence(5, 6).consistent_with(Congruence(7, 15))
+        # Coprime moduli are always consistent.
+        assert Congruence(1, 4).consistent_with(Congruence(2, 9))
+
+
+class TestCrtPair:
+    def test_paper_example(self):
+        # Figure 3/4: W = 17 with p1=2, p2=3, p3=5.
+        a = Congruence(17 % 6, 6)     # W mod p1 p2
+        b = Congruence(17 % 10, 10)   # W mod p1 p3
+        combined = crt_pair(a, b)
+        assert combined is not None
+        assert combined.modulus == 30
+        assert combined.value == 17
+
+    def test_inconsistent_returns_none(self):
+        assert crt_pair(Congruence(0, 6), Congruence(1, 4)) is None
+
+    @given(
+        st.integers(0, 10**6),
+        st.integers(2, 1000),
+        st.integers(2, 1000),
+    )
+    def test_roundtrip_from_common_solution(self, w, m1, m2):
+        combined = crt_pair(Congruence(w, m1), Congruence(w, m2))
+        assert combined is not None
+        lcm = m1 * m2 // math.gcd(m1, m2)
+        assert combined.modulus == lcm
+        assert combined.value == w % lcm
+
+
+class TestGeneralizedCrt:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            generalized_crt([])
+
+    def test_single(self):
+        assert generalized_crt([Congruence(3, 7)]) == Congruence(3, 7)
+
+    def test_figure4_recombination(self):
+        # Statements surviving the attack in Figure 4.
+        stmts = [Congruence(5, 6), Congruence(7, 10)]
+        combined = generalized_crt(stmts)
+        assert combined.value == 17
+        assert combined.modulus == 30
+
+    def test_inconsistent_raises(self):
+        with pytest.raises(ValueError):
+            generalized_crt([Congruence(0, 6), Congruence(1, 6)])
+
+    @given(
+        st.integers(0, 10**9),
+        st.lists(st.integers(2, 500), min_size=1, max_size=6),
+    )
+    def test_reconstructs_w_mod_lcm(self, w, moduli):
+        combined = generalized_crt(Congruence(w, m) for m in moduli)
+        lcm = 1
+        for m in moduli:
+            lcm = lcm * m // math.gcd(lcm, m)
+        assert combined.modulus == lcm
+        assert combined.value == w % lcm
+
+
+def test_pairwise_coprime():
+    assert pairwise_coprime([2, 3, 5])
+    assert not pairwise_coprime([2, 3, 6])
+    assert pairwise_coprime([])
+    assert pairwise_coprime([10])

@@ -1,0 +1,90 @@
+"""Tests for the statement enumeration scheme (Section 3.2, step B)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.enumeration import Statement, StatementEnumeration
+from repro.core.primes import statement_space_size
+
+
+MODULI = [2, 3, 5]  # The paper's running example (Figures 3 and 4).
+
+
+class TestStatement:
+    def test_modulus_and_primes(self):
+        s = Statement(0, 2, 7)
+        assert s.modulus(MODULI) == 10
+        assert s.primes(MODULI) == (2, 5)
+
+    def test_congruence(self):
+        s = Statement(0, 1, 5)
+        c = s.congruence(MODULI)
+        assert c.value == 5 and c.modulus == 6
+
+
+class TestEnumerationConstruction:
+    def test_rejects_single_modulus(self):
+        with pytest.raises(ValueError):
+            StatementEnumeration([7])
+
+    def test_rejects_unit_moduli(self):
+        with pytest.raises(ValueError):
+            StatementEnumeration([1, 5])
+
+    def test_space_size_matches_pair_products(self):
+        e = StatementEnumeration(MODULI)
+        assert e.space_size == 2 * 3 + 2 * 5 + 3 * 5
+        assert e.space_size == statement_space_size(MODULI)
+        assert e.pair_count == 3
+
+
+class TestPairIndex:
+    def test_lexicographic_order(self):
+        e = StatementEnumeration([2, 3, 5, 7])
+        expected = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        for pos, (i, j) in enumerate(expected):
+            assert e.pair_index(i, j) == pos
+
+    def test_rejects_bad_pairs(self):
+        e = StatementEnumeration(MODULI)
+        with pytest.raises(ValueError):
+            e.pair_index(1, 1)
+        with pytest.raises(ValueError):
+            e.pair_index(2, 1)
+        with pytest.raises(ValueError):
+            e.pair_index(0, 3)
+
+
+class TestEncodeDecode:
+    def test_encode_rejects_out_of_range_residue(self):
+        e = StatementEnumeration(MODULI)
+        with pytest.raises(ValueError):
+            e.encode(Statement(0, 1, 6))
+
+    def test_decode_out_of_range_is_none(self):
+        e = StatementEnumeration(MODULI)
+        assert e.decode(-1) is None
+        assert e.decode(e.space_size) is None
+        assert e.decode(2**63) is None
+
+    def test_exhaustive_bijection_small(self):
+        e = StatementEnumeration(MODULI)
+        seen = set()
+        for code in range(e.space_size):
+            stmt = e.decode(code)
+            assert stmt is not None
+            assert e.encode(stmt) == code
+            seen.add(stmt)
+        assert len(seen) == e.space_size
+
+    @given(st.data())
+    def test_roundtrip_random_moduli(self, data):
+        moduli = data.draw(
+            st.lists(st.integers(2, 50), min_size=2, max_size=6, unique=True)
+        )
+        e = StatementEnumeration(moduli)
+        code = data.draw(st.integers(0, e.space_size - 1))
+        stmt = e.decode(code)
+        assert stmt is not None
+        assert e.encode(stmt) == code
+        assert 0 <= stmt.x < stmt.modulus(moduli)

@@ -1,0 +1,78 @@
+"""Tests for modulus selection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.crt import pairwise_coprime
+from repro.core.primes import (
+    choose_moduli,
+    is_prime,
+    next_prime,
+    primes_from,
+    product,
+    statement_space_size,
+)
+
+
+class TestIsPrime:
+    def test_small_values(self):
+        primality = {
+            0: False, 1: False, 2: True, 3: True, 4: False, 5: True,
+            25: False, 29: True, 97: True, 91: False,
+        }
+        for n, expected in primality.items():
+            assert is_prime(n) == expected, n
+
+    def test_carmichael_numbers(self):
+        for n in (561, 1105, 1729, 41041):
+            assert not is_prime(n)
+
+    def test_large_known_prime(self):
+        assert is_prime(2**61 - 1)
+        assert not is_prime(2**62 - 1)
+
+    @given(st.integers(2, 10**6))
+    def test_matches_trial_division(self, n):
+        trial = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == trial
+
+
+class TestNextPrime:
+    def test_basics(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(13) == 17
+        assert next_prime(14) == 17
+
+    def test_primes_from(self):
+        assert primes_from(10, 4) == [11, 13, 17, 19]
+
+
+class TestChooseModuli:
+    @pytest.mark.parametrize("bits", [8, 32, 64, 128, 256, 512, 768])
+    def test_constraints_hold(self, bits):
+        moduli = choose_moduli(bits)
+        assert pairwise_coprime(moduli)
+        assert all(is_prime(p) for p in moduli)
+        assert product(moduli) > 2**bits
+        # Statement space fits one cipher block with the 8-bit sparsity
+        # margin that bounds false-accepts below 1/256 per window.
+        assert statement_space_size(moduli) <= 2**56
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            choose_moduli(0)
+
+    def test_rejects_impossible_width(self):
+        with pytest.raises(ValueError):
+            choose_moduli(100_000)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 800))
+    def test_random_widths(self, bits):
+        moduli = choose_moduli(bits)
+        assert product(moduli) > 2**bits
+        assert statement_space_size(moduli) <= 2**56
+
+    def test_deterministic(self):
+        assert choose_moduli(128) == choose_moduli(128)

@@ -1,0 +1,106 @@
+"""Tests for the Eq. (1) success-probability model behind Figure 5."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.probability import (
+    incident_edges,
+    simulate_deletion,
+    simulate_k_intact,
+    success_probability_deletion,
+    success_probability_k_intact,
+)
+
+
+class TestIncidentEdges:
+    def test_known_counts(self):
+        assert incident_edges(5, 0) == 0
+        assert incident_edges(5, 1) == 4
+        assert incident_edges(5, 5) == 10  # all edges of K5
+        assert incident_edges(4, 2) == 2 * 2 + 1
+
+    @given(st.integers(1, 30), st.data())
+    def test_monotone_in_j(self, n, data):
+        j = data.draw(st.integers(0, n - 1))
+        assert incident_edges(n, j) <= incident_edges(n, j + 1)
+
+
+class TestDeletionProbability:
+    def test_extremes(self):
+        assert success_probability_deletion(5, 0.0) == pytest.approx(1.0)
+        assert success_probability_deletion(5, 1.0) == pytest.approx(0.0)
+
+    def test_single_node(self):
+        # A single node has no edges, so it can never acquire an
+        # incident edge: the model gives probability 0 for every q.
+        assert success_probability_deletion(1, 0.0) == pytest.approx(0.0)
+        assert success_probability_deletion(1, 1.0) == pytest.approx(0.0)
+
+    def test_two_nodes_closed_form(self):
+        # Success iff the single edge survives: 1 - q.
+        for q in (0.0, 0.25, 0.5, 0.9):
+            assert success_probability_deletion(2, q) == pytest.approx(1 - q)
+
+    def test_three_nodes_closed_form(self):
+        # P(no isolated vertex in K3) = 1 - 3q^2 + 2q^3.
+        for q in (0.1, 0.5, 0.8):
+            expected = 1 - 3 * q**2 + 2 * q**3
+            assert success_probability_deletion(3, q) == pytest.approx(expected)
+
+    @given(st.integers(2, 25), st.floats(0, 1))
+    def test_is_probability(self, n, q):
+        p = success_probability_deletion(n, q)
+        assert 0.0 <= p <= 1.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 8), st.sampled_from([0.1, 0.3, 0.5, 0.7]))
+    def test_matches_monte_carlo(self, n, q):
+        exact = success_probability_deletion(n, q)
+        est = simulate_deletion(n, q, trials=3000)
+        assert abs(exact - est) < 0.05
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            success_probability_deletion(0, 0.5)
+        with pytest.raises(ValueError):
+            success_probability_deletion(5, 1.5)
+
+
+class TestKIntactProbability:
+    def test_extremes(self):
+        n = 6
+        edges = math.comb(n, 2)
+        assert success_probability_k_intact(n, edges) == pytest.approx(1.0)
+        assert success_probability_k_intact(n, 0) == pytest.approx(0.0)
+        # Fewer than ceil(n/2) edges cannot cover n nodes.
+        assert success_probability_k_intact(n, 2) == pytest.approx(0.0)
+
+    def test_minimum_cover_is_matching(self):
+        # n=4, k=2: covering needs a perfect matching; 3 of C(6,2)=15.
+        assert success_probability_k_intact(4, 2) == pytest.approx(3 / 15)
+
+    @given(st.integers(2, 12), st.data())
+    def test_is_probability_and_monotone(self, n, data):
+        edges = math.comb(n, 2)
+        k = data.draw(st.integers(0, edges - 1))
+        p1 = success_probability_k_intact(n, k)
+        p2 = success_probability_k_intact(n, k + 1)
+        assert 0.0 <= p1 <= 1.0
+        assert p2 >= p1 - 1e-12  # more surviving edges never hurts
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(3, 8), st.data())
+    def test_matches_monte_carlo(self, n, data):
+        edges = math.comb(n, 2)
+        k = data.draw(st.integers(1, edges))
+        exact = success_probability_k_intact(n, k)
+        est = simulate_k_intact(n, k, trials=3000)
+        assert abs(exact - est) < 0.06
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            success_probability_k_intact(4, -1)
+        with pytest.raises(ValueError):
+            success_probability_k_intact(4, 7)

@@ -1,0 +1,178 @@
+"""Tests for the recognition-side recombination algorithm (Section 3.3).
+
+These tests drive recovery end-to-end at the bit level: pieces are
+split, enumerated, encrypted and laid into a synthetic bit-string
+(optionally with junk padding, corruption, and deletions), then fed to
+:func:`repro.core.recovery.recover` — exactly what the bytecode
+recognizer does after tracing.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitstring import int_to_bits_lsb_first
+from repro.core.cipher import cipher_for_secret
+from repro.core.enumeration import Statement, StatementEnumeration
+from repro.core.primes import choose_moduli
+from repro.core.recovery import (
+    apply_vote_filter,
+    extract_candidates,
+    gcd_consistency_check,
+    hold_votes,
+    recover,
+)
+from repro.core.splitting import split
+
+CIPHER = cipher_for_secret(b"unit-test-secret")
+
+
+def embed_pieces_into_bits(statements, enumeration, cipher, rng=None,
+                           junk_bits=48, corrupt=()):
+    """Lay encrypted statement blocks into a bit-string with junk gaps.
+
+    ``corrupt`` lists statement indices whose ciphertext gets one bit
+    flipped (modelling a branch-insertion attack landing inside a
+    piece).
+    """
+    rng = rng or random.Random(7)
+    bits = [rng.randint(0, 1) for _ in range(junk_bits)]
+    for idx, stmt in enumerate(statements):
+        block = cipher.encrypt_block(enumeration.encode(stmt))
+        if idx in corrupt:
+            block ^= 1 << rng.randrange(64)
+        bits.extend(int_to_bits_lsb_first(block, 64))
+        bits.extend(rng.randint(0, 1) for _ in range(junk_bits))
+    return bits
+
+
+class TestExtractCandidates:
+    def test_finds_planted_pieces(self):
+        moduli = choose_moduli(32)
+        enum = StatementEnumeration(moduli)
+        stmts = split(0xDEADBEEF, moduli, piece_count=len(moduli))
+        bits = embed_pieces_into_bits(stmts, enum, CIPHER)
+        candidates, inspected = extract_candidates(bits, CIPHER, enum)
+        assert inspected == len(bits) - 63
+        for s in stmts:
+            assert candidates[s] >= 1
+
+    def test_pure_junk_mostly_rejected(self):
+        moduli = choose_moduli(32)
+        enum = StatementEnumeration(moduli)
+        rng = random.Random(3)
+        bits = [rng.randint(0, 1) for _ in range(4000)]
+        candidates, inspected = extract_candidates(bits, CIPHER, enum)
+        # Statement space occupies < 1/256 of block space; with ~4k
+        # windows we expect ~15 false accepts on average. Allow slack.
+        assert sum(candidates.values()) < inspected * 0.05
+
+
+class TestVoting:
+    def test_clear_winner_filters_contradictions(self):
+        moduli = [11, 13, 17]
+        w = 100
+        genuine = split(w, moduli, piece_count=6)
+        from collections import Counter
+        candidates = Counter()
+        for s in genuine:
+            candidates[s] += 3
+        bogus = Statement(0, 1, (w + 1) % (11 * 13))
+        candidates[bogus] += 1
+        votes, winners = hold_votes(candidates, moduli)
+        assert winners[0] == w % 11
+        filtered = apply_vote_filter(candidates, winners, moduli)
+        assert bogus not in filtered
+        assert all(s in filtered for s in set(genuine))
+
+    def test_no_clear_winner_keeps_everything(self):
+        moduli = [11, 13, 17]
+        from collections import Counter
+        a = Statement(0, 1, 5)
+        b = Statement(0, 1, 6)
+        candidates = Counter({a: 2, b: 2})
+        votes, winners = hold_votes(candidates, moduli)
+        assert 0 not in winners  # 2 is not strictly > 2*2
+        assert apply_vote_filter(candidates, winners, moduli) == candidates
+
+    def test_twice_second_place_boundary(self):
+        moduli = [11, 13, 17]
+        from collections import Counter
+        a = Statement(0, 1, 5)
+        b = Statement(0, 1, 6)
+        # 4 vs 2: not strictly greater than twice -> no winner.
+        assert 0 not in hold_votes(Counter({a: 4, b: 2}), moduli)[1]
+        # 5 vs 2: strictly greater -> winner.
+        assert hold_votes(Counter({a: 5, b: 2}), moduli)[1][0] == 5 % 11
+
+
+class TestRecoverEndToEnd:
+    @pytest.mark.parametrize("bits_width", [16, 32, 64, 128])
+    def test_clean_recovery(self, bits_width):
+        moduli = choose_moduli(bits_width)
+        enum = StatementEnumeration(moduli)
+        w = (2**bits_width - 1) * 2 // 3  # deterministic, full-width value
+        stmts = split(w, moduli, piece_count=len(moduli) + 2)
+        bits = embed_pieces_into_bits(stmts, enum, CIPHER)
+        result = recover(bits, CIPHER, enum)
+        assert result.complete
+        assert result.value == w
+
+    def test_survives_corrupted_pieces(self):
+        moduli = choose_moduli(32)
+        enum = StatementEnumeration(moduli)
+        w = 0x12345678
+        stmts = split(w, moduli, piece_count=3 * len(moduli))
+        bits = embed_pieces_into_bits(
+            stmts, enum, CIPHER, corrupt=(0, 3, 7)
+        )
+        result = recover(bits, CIPHER, enum)
+        assert result.complete and result.value == w
+
+    def test_insufficient_coverage_is_incomplete(self):
+        moduli = choose_moduli(32)
+        enum = StatementEnumeration(moduli)
+        stmts = [s for s in split(7, moduli, piece_count=len(moduli) + 1)
+                 if 0 not in (s.i, s.j)]
+        bits = embed_pieces_into_bits(stmts, enum, CIPHER, junk_bits=8)
+        result = recover(bits, CIPHER, enum)
+        assert not result.complete
+        assert result.value is None
+        if result.congruence is not None:
+            assert 7 % result.congruence.modulus == result.congruence.value
+
+    def test_empty_bits(self):
+        moduli = choose_moduli(16)
+        enum = StatementEnumeration(moduli)
+        result = recover([], CIPHER, enum)
+        assert not result.complete
+        assert result.windows_inspected == 0
+
+    def test_voting_off_still_recovers_clean(self):
+        moduli = choose_moduli(32)
+        enum = StatementEnumeration(moduli)
+        stmts = split(99, moduli, piece_count=len(moduli))
+        bits = embed_pieces_into_bits(stmts, enum, CIPHER)
+        result = recover(bits, CIPHER, enum, use_voting=False)
+        assert result.complete and result.value == 99
+
+    def test_accepted_statements_are_consistent(self):
+        moduli = choose_moduli(64)
+        enum = StatementEnumeration(moduli)
+        stmts = split(2**60 + 17, moduli, piece_count=2 * len(moduli))
+        bits = embed_pieces_into_bits(stmts, enum, CIPHER, corrupt=(1,))
+        result = recover(bits, CIPHER, enum)
+        assert gcd_consistency_check(result.accepted, moduli)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**48 - 1), st.integers(0, 2**32))
+    def test_random_watermarks_random_junk(self, w, seed):
+        moduli = choose_moduli(48)
+        enum = StatementEnumeration(moduli)
+        stmts = split(w, moduli, piece_count=len(moduli) + 1)
+        bits = embed_pieces_into_bits(
+            stmts, enum, CIPHER, rng=random.Random(seed)
+        )
+        result = recover(bits, CIPHER, enum)
+        assert result.complete and result.value == w

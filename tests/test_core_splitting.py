@@ -1,0 +1,98 @@
+"""Tests for watermark splitting and reconstruction (Section 3.2/3.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import EmbeddingError
+from repro.core.primes import choose_moduli
+from repro.core.splitting import (
+    coverage_first_pair_order,
+    covered_indices,
+    is_full_coverage,
+    reconstruct,
+    split,
+)
+
+MODULI = [2, 3, 5]
+
+
+class TestPairOrder:
+    def test_all_pairs_present(self):
+        order = coverage_first_pair_order(5)
+        assert sorted(order) == [(i, j) for i in range(5) for j in range(i + 1, 5)]
+
+    def test_early_coverage(self):
+        r = 7
+        order = coverage_first_pair_order(r)
+        covered = set()
+        for i, j in order[: r - 1]:
+            covered.add(i)
+            covered.add(j)
+        assert covered == set(range(r))
+
+    def test_shuffled_still_complete(self):
+        order = coverage_first_pair_order(6, random.Random(42))
+        assert sorted(order) == [(i, j) for i in range(6) for j in range(i + 1, 6)]
+
+
+class TestSplit:
+    def test_paper_figure3(self):
+        # W = 17 over p = (2, 3, 5) gives residues 5 mod 6, 7 mod 10, 2 mod 15.
+        stmts = split(17, MODULI, piece_count=3)
+        residues = {(s.i, s.j): s.x for s in stmts}
+        assert residues[(0, 1)] == 17 % 6
+        assert all(s.x == 17 % s.modulus(MODULI) for s in stmts)
+
+    def test_rejects_oversized_watermark(self):
+        with pytest.raises(EmbeddingError):
+            split(30, MODULI, piece_count=3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(EmbeddingError):
+            split(-1, MODULI, piece_count=3)
+
+    def test_rejects_undersized_piece_count(self):
+        with pytest.raises(EmbeddingError):
+            split(17, MODULI, piece_count=1)
+
+    def test_duplicates_for_redundancy(self):
+        stmts = split(17, MODULI, piece_count=10)
+        assert len(stmts) == 10
+        # Only 3 distinct pairs exist, so duplicates must appear.
+        assert len(set(stmts)) == 3
+
+    def test_coverage_with_minimal_pieces(self):
+        stmts = split(17, MODULI, piece_count=2)
+        assert is_full_coverage(stmts, 3)
+
+    @given(st.integers(0, 29), st.integers(2, 12))
+    def test_roundtrip_small(self, w, pieces):
+        stmts = split(w, MODULI, piece_count=pieces)
+        combined = reconstruct(stmts, MODULI)
+        assert combined.value == w
+        assert combined.modulus == 30
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(64, 512), st.data())
+    def test_roundtrip_realistic_widths(self, bits, data):
+        moduli = choose_moduli(bits)
+        w = data.draw(st.integers(0, 2**bits - 1))
+        stmts = split(w, moduli, piece_count=len(moduli) + 3)
+        assert is_full_coverage(stmts, len(moduli))
+        assert reconstruct(stmts, moduli).value == w
+
+
+class TestPartialReconstruction:
+    def test_partial_coverage_gives_partial_modulus(self):
+        stmts = [s for s in split(17, MODULI, piece_count=3)
+                 if (s.i, s.j) == (0, 1)]
+        assert stmts, "splitting always emits some (p1, p2) statement"
+        partial = reconstruct(stmts, MODULI)
+        assert 17 % partial.modulus == partial.value
+        assert partial.modulus == 6
+
+    def test_covered_indices(self):
+        stmts = split(17, MODULI, piece_count=3)
+        assert covered_indices(stmts) == {0, 1, 2}

@@ -1,0 +1,183 @@
+"""Tests for the paper's stated extensions / future-work features:
+
+* automatic begin/end framing during native extraction (§4.2.3:
+  "we expect to augment the implementation ... to use a framing
+  scheme that would allow these addresses to be identified
+  automatically");
+* obfuscating non-watermark transfers through the branch function
+  (§4.2.1: the branch function "can also be used to obfuscate other
+  control transfers ... that have nothing to do with the watermark");
+* pre-watermark diversification against collusive attacks (§5.1.2:
+  "collusive attacks can be prevented by obfuscating the program
+  before it is watermarked").
+"""
+
+import pytest
+
+from repro.attacks.native import reroute_branch_function
+from repro.bytecode_wm import (
+    WatermarkKey,
+    diversify,
+    embed,
+    instruction_diff_fraction,
+    recognize,
+)
+from repro.lang.codegen_native import compile_source_native
+from repro.native import run_image
+from repro.native_wm import embed_native, extract_native, extract_native_auto
+from repro.native_wm.extractor import _linked_runs, BranchFunctionEvent
+from repro.vm import run_module, verify_module
+from repro.workloads import collatz_module, jess_module
+
+HOST_SRC = """
+fn hot(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) { acc = acc + i * i; }
+    return acc;
+}
+fn late_a(x) { var y = 0; if (x % 2 == 0) { y = x + 1; }
+               else { y = x - 1; } return y; }
+fn late_b(x) { var y = 0; if (x > 10) { y = x * 3; }
+               else { y = x * 5; } return y; }
+fn main() {
+    var n = input();
+    print(hot(n));
+    if (n > 2) { print(n * 2); } else { print(n); }
+    print(late_a(n));
+    print(late_b(n));
+    return 0;
+}
+"""
+KEY_INPUT = [50]
+
+
+@pytest.fixture(scope="module")
+def host():
+    return compile_source_native(HOST_SRC)
+
+
+class TestAutoFraming:
+    def test_extracts_without_bracket(self, host):
+        emb = embed_native(host, 0x1234, 16, KEY_INPUT)
+        res = extract_native_auto(emb.image, KEY_INPUT)
+        assert res.watermark == 0x1234
+        assert res.width == 16
+
+    def test_width_hint_selects_correct_run(self, host):
+        emb = embed_native(host, 0xFF00, 16, KEY_INPUT)
+        res = extract_native_auto(emb.image, KEY_INPUT, width=16)
+        assert res.watermark == 0xFF00
+
+    def test_unwatermarked_binary(self, host):
+        res = extract_native_auto(host, KEY_INPUT)
+        assert res.watermark is None
+
+    def test_survives_reroute_with_smart_tracer(self, host):
+        emb = embed_native(host, 0xACE1, 16, KEY_INPUT)
+        attacked = reroute_branch_function(
+            emb.image, emb.bf_entry, KEY_INPUT
+        )
+        res = extract_native_auto(attacked, KEY_INPUT, width=16,
+                                  bf_entry=emb.bf_entry, tracer="smart")
+        assert res.watermark == 0xACE1
+
+    def test_linked_runs_splitting(self):
+        ev = BranchFunctionEvent
+        events = [
+            ev(100, 200), ev(200, 150), ev(150, 999),   # chain of 3
+            ev(500, 600),                                # singleton
+            ev(700, 800), ev(800, 750),                  # chain of 2
+        ]
+        runs = _linked_runs(events)
+        assert [len(r) for r in runs] == [3, 1, 2]
+
+    def test_agrees_with_manual_extraction(self, host):
+        for wm in (0, 0xFFFF, 0x8001):
+            emb = embed_native(host, wm, 16, KEY_INPUT)
+            manual = extract_native(emb.image, 16, emb.begin, emb.end,
+                                    KEY_INPUT)
+            auto = extract_native_auto(emb.image, KEY_INPUT)
+            assert manual.watermark == auto.watermark == wm
+
+
+class TestObfuscatedExtraTransfers:
+    def test_semantics_preserved(self, host):
+        base = run_image(host, KEY_INPUT).output
+        emb = embed_native(host, 0xBEEF, 16, KEY_INPUT, obfuscate_extra=3)
+        assert len(emb.obfuscated_calls) == 3
+        assert run_image(emb.image, KEY_INPUT).output == base
+        for probe in ([4], [13]):
+            assert run_image(emb.image, probe).output == \
+                run_image(host, probe).output
+
+    def test_extraction_unaffected(self, host):
+        emb = embed_native(host, 0xBEEF, 16, KEY_INPUT, obfuscate_extra=3)
+        assert extract_native(emb.image, 16, emb.begin, emb.end,
+                              KEY_INPUT).watermark == 0xBEEF
+        assert extract_native_auto(emb.image, KEY_INPUT,
+                                   width=16).watermark == 0xBEEF
+
+    def test_extras_are_real_callers(self, host):
+        """The extra call sites call the same branch function, so the
+        watermark chain's callers no longer stand out as the only ones."""
+        emb = embed_native(host, 0xBEEF, 16, KEY_INPUT, obfuscate_extra=3)
+        for addr in emb.obfuscated_calls:
+            instr, _len = emb.image.decode_at(addr)
+            assert instr.mnemonic == "call"
+            assert instr.operands[0].value == emb.bf_entry
+
+    def test_zero_extras_by_default(self, host):
+        emb = embed_native(host, 0xBEEF, 16, KEY_INPUT)
+        assert emb.obfuscated_calls == []
+
+
+class TestDiversification:
+    def test_semantics_preserved(self):
+        module = collatz_module()
+        for seed in (1, 2, 3):
+            spun = diversify(module, seed)
+            verify_module(spun)
+            for inputs in ([27], [7], [100]):
+                assert run_module(spun, inputs).output == \
+                    run_module(module, inputs).output
+
+    def test_different_seeds_differ(self):
+        module = collatz_module()
+        a = diversify(module, 1)
+        b = diversify(module, 2)
+        assert instruction_diff_fraction(a, b) > 0.3
+
+    def test_same_seed_is_deterministic(self):
+        module = collatz_module()
+        a = diversify(module, 7)
+        b = diversify(module, 7)
+        assert instruction_diff_fraction(a, b) == 0.0
+
+    def test_collusion_defense(self):
+        """Without diversification, diffing two fingerprinted copies
+        isolates the watermark code; with it, the copies differ almost
+        everywhere."""
+        app = jess_module(rule_count=24, burn=500)
+        key = WatermarkKey(secret=b"vendor", inputs=[7, 13])
+
+        plain_a = embed(app, 1001, key, pieces=8, watermark_bits=16).module
+        plain_b = embed(app, 2002, key, pieces=8, watermark_bits=16).module
+        naive_diff = instruction_diff_fraction(plain_a, plain_b)
+
+        div_a = embed(diversify(app, 11), 1001, key, pieces=8,
+                      watermark_bits=16).module
+        div_b = embed(diversify(app, 22), 2002, key, pieces=8,
+                      watermark_bits=16).module
+        defended_diff = instruction_diff_fraction(div_a, div_b)
+
+        # The defense at least doubles how much of the program differs.
+        assert defended_diff > 2 * naive_diff or defended_diff > 0.5
+
+        # And the fingerprints still recognize.
+        assert recognize(div_a, key, watermark_bits=16).value == 1001
+        assert recognize(div_b, key, watermark_bits=16).value == 2002
+
+    def test_diff_fraction_metric(self):
+        module = collatz_module()
+        assert instruction_diff_fraction(module, module) == 0.0
+        assert instruction_diff_fraction(module, module.copy()) == 0.0

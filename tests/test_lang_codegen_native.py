@@ -1,0 +1,230 @@
+"""Tests for the wee → N32 code generator.
+
+The strongest check is differential: every program must produce the
+same output compiled to WVM (64-bit ints) and to N32 (32-bit ints),
+over values where the widths agree.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import compile_source
+from repro.lang.codegen_native import compile_source_native
+from repro.native import MachineFault, run_image
+from repro.vm import run_module
+
+
+def run_native(src, inputs=()):
+    return run_image(compile_source_native(src), inputs).output
+
+
+def run_both(src, inputs=()):
+    native = run_native(src, inputs)
+    vm = run_module(compile_source(src), inputs).output
+    return native, vm
+
+
+class TestBasics:
+    @pytest.mark.parametrize("expr,expected", [
+        ("2 + 3 * 4", 14), ("(2 + 3) * 4", 20), ("-7 / 2", -3),
+        ("-7 % 2", -1), ("1 << 10", 1024), ("-64 >> 3", -8),
+        ("12 & 10", 8), ("12 | 10", 14), ("12 ^ 10", 6),
+        ("~0", -1), ("!0", 1), ("!5", 0), ("3 < 4", 1), ("4 <= 3", 0),
+        ("5 == 5", 1), ("5 != 5", 0), ("1 && 2", 1), ("0 || 7", 1),
+    ])
+    def test_expressions(self, expr, expected):
+        assert run_native(f"fn main() {{ print({expr}); return 0; }}") \
+            == [expected]
+
+    def test_32bit_wraparound(self):
+        out = run_native(
+            "fn main() { print(2147483647 + 1); return 0; }"
+        )
+        assert out == [-2147483648]
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(MachineFault, match="division by zero"):
+            run_native("fn main() { print(1 / 0); return 0; }")
+
+
+class TestControlAndCalls:
+    def test_recursion(self):
+        src = """
+        fn ack(m, n) {
+            if (m == 0) { return n + 1; }
+            if (n == 0) { return ack(m - 1, 1); }
+            return ack(m - 1, ack(m, n - 1));
+        }
+        fn main() { print(ack(2, 3)); return 0; }
+        """
+        assert run_native(src) == [9]
+
+    def test_argument_order(self):
+        src = """
+        fn f(a, b, c) { return a * 100 + b * 10 + c; }
+        fn main() { print(f(1, 2, 3)); return 0; }
+        """
+        assert run_native(src) == [123]
+
+    def test_short_circuit(self):
+        src = """
+        fn boom() { return 1 / 0; }
+        fn main() {
+            if (0 && boom()) { print(1); } else { print(2); }
+            if (1 || boom()) { print(3); }
+            return 0;
+        }
+        """
+        assert run_native(src) == [2, 3]
+
+    def test_break_continue(self):
+        src = """
+        fn main() {
+            var total = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                total = total + i;
+            }
+            print(total);
+            return 0;
+        }
+        """
+        assert run_native(src) == [25]
+
+    def test_globals(self):
+        src = """
+        global count;
+        fn bump() { count = count + 1; return count; }
+        fn main() { bump(); bump(); print(bump()); return 0; }
+        """
+        assert run_native(src) == [3]
+
+
+class TestArrays:
+    def test_roundtrip(self):
+        src = """
+        fn main() {
+            var a = new(8);
+            for (var i = 0; i < len(a); i = i + 1) { a[i] = i * 3; }
+            var s = 0;
+            for (var j = 0; j < 8; j = j + 1) { s = s + a[j]; }
+            print(s);
+            print(len(a));
+            return 0;
+        }
+        """
+        assert run_native(src) == [84, 8]
+
+    def test_nested_arrays(self):
+        src = """
+        fn main() {
+            var grid = new(3);
+            for (var i = 0; i < 3; i = i + 1) {
+                var row = new(3);
+                row[i] = i + 10;
+                grid[i] = row;
+            }
+            print(grid[1][1]);
+            print(grid[2][2]);
+            return 0;
+        }
+        """
+        assert run_native(src) == [11, 12]
+
+    def test_heap_allocations_are_disjoint(self):
+        src = """
+        fn main() {
+            var a = new(4);
+            var b = new(4);
+            a[0] = 1;
+            b[0] = 2;
+            print(a[0]);
+            print(b[0]);
+            return 0;
+        }
+        """
+        assert run_native(src) == [1, 2]
+
+
+class TestDifferential:
+    PROGRAMS = [
+        ("""
+        fn gcd(a, b) { while (b != 0) { var t = a % b; a = b; b = t; }
+                       return a; }
+        fn main() { print(gcd(input(), input())); return 0; }
+        """, [1071, 462]),
+        ("""
+        fn main() {
+            var n = input();
+            var flags = new(n);
+            var count = 0;
+            for (var i = 2; i < n; i = i + 1) {
+                if (flags[i] == 0) {
+                    count = count + 1;
+                    for (var j = i + i; j < n; j = j + i) { flags[j] = 1; }
+                }
+            }
+            print(count);
+            return 0;
+        }
+        """, [200]),
+        ("""
+        fn collatz(n) {
+            var steps = 0;
+            while (n != 1) {
+                if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                steps = steps + 1;
+            }
+            return steps;
+        }
+        fn main() { print(collatz(input())); return 0; }
+        """, [97]),
+    ]
+
+    @pytest.mark.parametrize("src,inputs", PROGRAMS)
+    def test_native_matches_vm(self, src, inputs):
+        native, vm = run_both(src, inputs)
+        assert native == vm
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(-30000, 30000),
+        st.integers(-30000, 30000),
+        st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+    )
+    def test_arith_differential(self, a, b, op):
+        # Operand range keeps every result within 32 bits, where the
+        # 64-bit WVM and 32-bit N32 semantics coincide (the substrates
+        # intentionally model Java longs vs IA-32 ints).
+        src = f"fn main() {{ print(({a}) {op} ({b})); return 0; }}"
+        native, vm = run_both(src)
+        assert native == vm
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 200), st.integers(1, 200))
+    def test_gcd_differential(self, a, b):
+        src = f"""
+        fn gcd(a, b) {{ while (b != 0) {{ var t = a % b; a = b; b = t; }}
+                        return a; }}
+        fn main() {{ print(gcd({a}, {b})); return 0; }}
+        """
+        native, vm = run_both(src)
+        assert native == vm
+
+
+class TestSpecKernelsCrossCheck:
+    """Every SPEC-like kernel behaves identically on both substrates."""
+
+    @pytest.mark.parametrize("name", [
+        "bzip2", "crafty", "gap", "gcc", "gzip",
+        "mcf", "parser", "twolf", "vortex", "vpr",
+    ])
+    def test_kernel(self, name):
+        from repro.workloads.spec import (
+            TRAIN_INPUT, spec_native, spec_vm,
+        )
+        native = run_image(spec_native(name), TRAIN_INPUT).output
+        vm = run_module(spec_vm(name), TRAIN_INPUT).output
+        assert native == vm
+        assert native, f"{name} produced no output"

@@ -1,0 +1,239 @@
+"""Tests for the wee → WVM code generator (end-to-end execution)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import compile_source
+from repro.vm import run_module, verify_module
+
+
+def run(src, inputs=()):
+    module = compile_source(src)
+    verify_module(module)
+    return run_module(module, inputs).output
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        assert run("fn main() { print(2 + 3 * 4 - 1); return 0; }") == [13]
+
+    def test_division_truncation(self):
+        assert run("fn main() { print(-7 / 2); print(-7 % 2); return 0; }") \
+            == [-3, -1]
+
+    def test_unary(self):
+        assert run("fn main() { print(-5); print(!0); print(!7); print(~0); "
+                   "return 0; }") == [-5, 1, 0, -1]
+
+    def test_precedence_parens(self):
+        assert run("fn main() { print((2 + 3) * 4); return 0; }") == [20]
+
+    def test_comparisons_as_values(self):
+        assert run("fn main() { print(3 < 4); print(4 < 3); print(5 == 5); "
+                   "return 0; }") == [1, 0, 1]
+
+    def test_bitops(self):
+        assert run("fn main() { print(12 & 10); print(12 | 10); "
+                   "print(12 ^ 10); print(1 << 5); print(-32 >> 2); "
+                   "return 0; }") == [8, 14, 6, 32, -8]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = """
+        fn classify(x) {
+            if (x < 0) { return -1; }
+            else if (x == 0) { return 0; }
+            else { return 1; }
+        }
+        fn main() {
+            print(classify(-5)); print(classify(0)); print(classify(9));
+            return 0;
+        }
+        """
+        assert run(src) == [-1, 0, 1]
+
+    def test_while(self):
+        src = """
+        fn main() {
+            var total = 0;
+            var i = 1;
+            while (i <= 10) { total = total + i; i = i + 1; }
+            print(total);
+            return 0;
+        }
+        """
+        assert run(src) == [55]
+
+    def test_for_with_break_continue(self):
+        src = """
+        fn main() {
+            var total = 0;
+            for (var i = 0; i < 100; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                total = total + i;
+            }
+            print(total);
+            return 0;
+        }
+        """
+        assert run(src) == [1 + 3 + 5 + 7 + 9]
+
+    def test_short_circuit_and(self):
+        # Division by zero on the right must not execute.
+        src = """
+        fn boom() { return 1 / 0; }
+        fn main() {
+            if (0 && boom()) { print(1); } else { print(2); }
+            return 0;
+        }
+        """
+        assert run(src) == [2]
+
+    def test_short_circuit_or(self):
+        src = """
+        fn boom() { return 1 / 0; }
+        fn main() {
+            if (1 || boom()) { print(1); } else { print(2); }
+            return 0;
+        }
+        """
+        assert run(src) == [1]
+
+    def test_logical_values(self):
+        assert run("fn main() { print(1 && 2); print(0 || 0); print(3 || 0); "
+                   "return 0; }") == [1, 0, 1]
+
+    def test_nested_loops(self):
+        src = """
+        fn main() {
+            var count = 0;
+            for (var i = 0; i < 5; i = i + 1) {
+                for (var j = 0; j < 5; j = j + 1) {
+                    if (i == j) { continue; }
+                    count = count + 1;
+                }
+            }
+            print(count);
+            return 0;
+        }
+        """
+        assert run(src) == [20]
+
+
+class TestFunctionsAndData:
+    def test_recursion(self):
+        src = """
+        fn fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        fn main() { print(fib(15)); return 0; }
+        """
+        assert run(src) == [610]
+
+    def test_implicit_return_zero(self):
+        assert run("fn f() { } fn main() { print(f()); return 0; }") == [0]
+
+    def test_globals(self):
+        src = """
+        global counter;
+        fn bump() { counter = counter + 1; return counter; }
+        fn main() { bump(); bump(); print(bump()); return 0; }
+        """
+        assert run(src) == [3]
+
+    def test_arrays(self):
+        src = """
+        fn main() {
+            var a = new(5);
+            for (var i = 0; i < len(a); i = i + 1) { a[i] = i * i; }
+            var total = 0;
+            for (var j = 0; j < 5; j = j + 1) { total = total + a[j]; }
+            print(total);
+            return 0;
+        }
+        """
+        assert run(src) == [0 + 1 + 4 + 9 + 16]
+
+    def test_array_of_references(self):
+        src = """
+        fn main() {
+            var rows = new(3);
+            for (var i = 0; i < 3; i = i + 1) {
+                var row = new(3);
+                row[i] = i + 1;
+                rows[i] = row;
+            }
+            print(rows[2][2]);
+            return 0;
+        }
+        """
+        assert run(src) == [3]
+
+    def test_input(self):
+        assert run("fn main() { print(input() * input()); return 0; }",
+                   inputs=[6, 7]) == [42]
+
+    def test_gcd_paper_example(self):
+        src = """
+        fn gcd(a, b) {
+            while (a % b != 0) {
+                var t = a % b;
+                a = b;
+                b = t;
+            }
+            return b;
+        }
+        fn main() { print(gcd(25, 10)); return 0; }
+        """
+        assert run(src) == [5]
+
+
+class TestCompiledModulesVerify:
+    SOURCES = [
+        "fn main() { return 0; }",
+        "fn main() { var x = 0; while (x < 9) { x = x + 1; } print(x); return 0; }",
+        """
+        fn even(n) { if (n % 2 == 0) { return 1; } return 0; }
+        fn main() {
+            var hits = 0;
+            for (var i = 0; i < 20; i = i + 1) {
+                if (even(i) && i > 4 || i == 1) { hits = hits + 1; }
+            }
+            print(hits);
+            return 0;
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_verifies(self, src):
+        verify_module(compile_source(src))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(-1000, 1000),
+    st.integers(-1000, 1000),
+    st.sampled_from(["+", "-", "*", "&", "|", "^"]),
+)
+def test_codegen_matches_python_semantics(a, b, op):
+    result = run(f"fn main() {{ print({a} {op} {b}); return 0; }}")
+    expected = eval(f"({a}) {op} ({b})")
+    assert result == [expected]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 40), st.integers(1, 40))
+def test_compiled_gcd_matches_math(a, b):
+    import math
+    src = f"""
+    fn gcd(a, b) {{
+        while (b != 0) {{ var t = a % b; a = b; b = t; }}
+        return a;
+    }}
+    fn main() {{ print(gcd({a}, {b})); return 0; }}
+    """
+    assert run(src) == [math.gcd(a, b)]

@@ -1,0 +1,298 @@
+"""Tests for the wee lexer, parser, and semantic analysis."""
+
+import pytest
+
+from repro.lang import (
+    LexError,
+    ParseError,
+    SemanticError,
+    analyze,
+    parse,
+    tokenize,
+)
+from repro.lang import ast_nodes as A
+
+
+class TestLexer:
+    def test_kinds(self):
+        toks = tokenize("fn main() { var x = 0x1F + 2; } // c")
+        kinds = [(t.kind, t.text) for t in toks]
+        assert ("keyword", "fn") in kinds
+        assert ("name", "main") in kinds
+        assert ("int", "0x1F") in kinds
+        assert ("int", "2") in kinds
+        assert kinds[-1] == ("eof", "")
+
+    def test_comments_ignored(self):
+        toks = tokenize("// just a comment\n")
+        assert [t.kind for t in toks] == ["eof"]
+
+    def test_two_char_symbols(self):
+        toks = tokenize("<= >= == != << >> && ||")
+        texts = [t.text for t in toks if t.kind == "symbol"]
+        assert texts == ["<=", ">=", "==", "!=", "<<", ">>", "&&", "||"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("fn\n  main")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("fn main() { @ }")
+
+    def test_bad_hex(self):
+        with pytest.raises(LexError, match="bad hex"):
+            tokenize("0x")
+
+
+class TestParser:
+    def test_function_structure(self):
+        prog = parse("fn add(a, b) { return a + b; } fn main() { return 0; }")
+        assert [f.name for f in prog.functions] == ["add", "main"]
+        assert prog.functions[0].params == ["a", "b"]
+
+    def test_globals(self):
+        prog = parse("global cache; fn main() { return 0; }")
+        assert [g.name for g in prog.globals] == ["cache"]
+
+    def test_precedence(self):
+        prog = parse("fn main() { var x = 1 + 2 * 3; return x; }")
+        init = prog.functions[0].body[0].init
+        assert isinstance(init, A.Binary) and init.op == "+"
+        assert isinstance(init.right, A.Binary) and init.right.op == "*"
+
+    def test_comparison_binds_looser_than_bitor(self):
+        prog = parse("fn main() { var x = 1 | 2 == 3; return x; }")
+        init = prog.functions[0].body[0].init
+        assert init.op == "=="
+        assert isinstance(init.left, A.Binary) and init.left.op == "|"
+
+    def test_else_if_chain(self):
+        prog = parse("""
+            fn main() {
+                if (1) { return 1; } else if (2) { return 2; }
+                else { return 3; }
+            }
+        """)
+        top = prog.functions[0].body[0]
+        assert isinstance(top, A.If)
+        assert isinstance(top.otherwise[0], A.If)
+
+    def test_for_loop_parts(self):
+        prog = parse("fn main() { for (var i = 0; i < 3; i = i + 1) {} return 0; }")
+        loop = prog.functions[0].body[0]
+        assert isinstance(loop, A.For)
+        assert isinstance(loop.init, A.VarDecl)
+        assert isinstance(loop.cond, A.Binary)
+        assert isinstance(loop.step, A.Assign)
+
+    def test_for_loop_empty_parts(self):
+        prog = parse("fn main() { for (;;) { break; } return 0; }")
+        loop = prog.functions[0].body[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_array_expressions(self):
+        prog = parse("fn main() { var a = new(10); a[0] = len(a); return a[0]; }")
+        body = prog.functions[0].body
+        assert isinstance(body[0].init, A.NewArray)
+        assert isinstance(body[1].target, A.Index)
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse("fn main() { 1 + 2 = 3; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("fn main() { return 0 }")
+
+    def test_top_level_garbage(self):
+        with pytest.raises(ParseError, match="top level"):
+            parse("var x = 3;")
+
+
+class TestAnalysis:
+    def ok(self, src):
+        return analyze(parse(src))
+
+    def test_frame_allocation(self):
+        info = self.ok("fn f(a, b) { var c = 0; return c; } fn main() { return 0; }")
+        assert info.functions["f"].frame == {"a": 0, "b": 1, "c": 2}
+
+    def test_global_indices(self):
+        info = self.ok("global g; global h; fn main() { g = 1; return h; }")
+        assert info.globals == {"g": 0, "h": 1}
+
+    def test_requires_main(self):
+        with pytest.raises(SemanticError, match="must define fn main"):
+            self.ok("fn helper() { return 0; }")
+
+    def test_main_takes_no_params(self):
+        with pytest.raises(SemanticError, match="no parameters"):
+            self.ok("fn main(x) { return 0; }")
+
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError, match="undeclared variable"):
+            self.ok("fn main() { return ghost; }")
+
+    def test_undeclared_assignment(self):
+        with pytest.raises(SemanticError, match="undeclared variable"):
+            self.ok("fn main() { ghost = 3; return 0; }")
+
+    def test_redeclaration(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            self.ok("fn main() { var x = 1; var x = 2; return 0; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError, match="duplicate function"):
+            self.ok("fn f() { return 0; } fn f() { return 1; } fn main() { return 0; }")
+
+    def test_duplicate_param(self):
+        with pytest.raises(SemanticError, match="duplicate parameter"):
+            self.ok("fn f(a, a) { return 0; } fn main() { return 0; }")
+
+    def test_unknown_call(self):
+        with pytest.raises(SemanticError, match="unknown function"):
+            self.ok("fn main() { return ghost(); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError, match="expects 2 args"):
+            self.ok("fn f(a, b) { return 0; } fn main() { return f(1); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break outside"):
+            self.ok("fn main() { break; }")
+
+    def test_continue_inside_loop_ok(self):
+        self.ok("fn main() { while (0) { continue; } return 0; }")
+
+    def test_global_function_name_clash(self):
+        with pytest.raises(SemanticError, match="both a global and a function"):
+            self.ok("global f; fn f() { return 0; } fn main() { return 0; }")
+
+
+class TestLexicalScoping:
+    """Wee scoping is lexical: blocks shadow, loop variables die with
+    their loop, same-scope redeclaration is an error."""
+
+    def run_src(self, src, inputs=()):
+        from repro.lang import compile_source
+        from repro.vm import run_module
+        return run_module(compile_source(src), inputs).output
+
+    def test_loop_variable_reuse(self):
+        out = self.run_src("""
+        fn main() {
+            var total = 0;
+            for (var i = 0; i < 3; i = i + 1) { total = total + i; }
+            for (var i = 0; i < 3; i = i + 1) { total = total + i * 10; }
+            print(total);
+            return 0;
+        }
+        """)
+        assert out == [3 + 30]
+
+    def test_block_shadowing(self):
+        out = self.run_src("""
+        fn main() {
+            var x = 1;
+            if (x == 1) {
+                var x = 2;
+                print(x);
+            }
+            print(x);
+            return 0;
+        }
+        """)
+        assert out == [2, 1]
+
+    def test_shadowed_writes_stay_inner(self):
+        out = self.run_src("""
+        fn main() {
+            var x = 5;
+            while (x == 5) {
+                var x = 0;
+                x = 99;
+                break;
+            }
+            print(x);
+            return 0;
+        }
+        """)
+        assert out == [5]
+
+    def test_param_shadowing(self):
+        out = self.run_src("""
+        fn f(a) {
+            if (a > 0) {
+                var a = 42;
+                print(a);
+            }
+            return a;
+        }
+        fn main() { print(f(7)); return 0; }
+        """)
+        assert out == [42, 7]
+
+    def test_loop_variable_not_visible_after(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            analyze(parse("""
+            fn main() {
+                for (var i = 0; i < 3; i = i + 1) { }
+                print(i);
+                return 0;
+            }
+            """))
+
+    def test_block_variable_not_visible_after(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            analyze(parse("""
+            fn main() {
+                if (1) { var t = 3; }
+                print(t);
+                return 0;
+            }
+            """))
+
+    def test_same_scope_redeclaration_still_rejected(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            analyze(parse("""
+            fn main() {
+                if (1) { var t = 3; var t = 4; }
+                return 0;
+            }
+            """))
+
+    def test_global_shadowed_by_local(self):
+        out = self.run_src("""
+        global g;
+        fn main() {
+            g = 7;
+            if (1) {
+                var g = 1;
+                print(g);
+            }
+            print(g);
+            return 0;
+        }
+        """)
+        assert out == [1, 7]
+
+    def test_native_agrees_on_shadowing(self):
+        from repro.lang.codegen_native import compile_source_native
+        from repro.native import run_image
+        src = """
+        fn main() {
+            var x = 1;
+            for (var k = 0; k < 2; k = k + 1) {
+                var x = 10;
+                x = x + k;
+                print(x);
+            }
+            print(x);
+            return 0;
+        }
+        """
+        vm = self.run_src(src)
+        native = run_image(compile_source_native(src)).output
+        assert vm == native == [10, 11, 1]

@@ -1,0 +1,189 @@
+"""Tests for the native control-flow graph (PLTO's CFG stage)."""
+
+import pytest
+
+from repro.lang.codegen_native import compile_source_native
+from repro.native import assemble_text, build_native_cfg
+
+
+LOOP_SRC = """
+.entry main
+main:
+    mov ecx, 5
+head:
+    cmp ecx, 0
+    je done
+    sub ecx, 1
+    jmp head
+done:
+    mov eax, ecx
+    sys_out
+    halt
+"""
+
+
+class TestBlocks:
+    def test_block_partition(self):
+        image = assemble_text(LOOP_SRC)
+        cfg = build_native_cfg(image)
+        # Every instruction is in exactly one block.
+        listed = {a for a, _ in image.disassemble()}
+        covered = {
+            a for b in cfg.blocks.values() for a, _i in b.instructions
+        }
+        assert covered == listed
+
+    def test_entry_is_a_block(self):
+        image = assemble_text(LOOP_SRC)
+        cfg = build_native_cfg(image)
+        assert cfg.entry == image.entry
+        assert cfg.entry in cfg.blocks
+
+    def test_block_of(self):
+        image = assemble_text(LOOP_SRC)
+        cfg = build_native_cfg(image)
+        head = image.symbol("head")
+        # `head` leads its own block (it is a branch target).
+        assert cfg.block_of(head) == head
+
+    def test_conditional_has_two_successors(self):
+        image = assemble_text(LOOP_SRC)
+        cfg = build_native_cfg(image)
+        head_block = cfg.blocks[image.symbol("head")]
+        assert len(head_block.successors) == 2
+
+    def test_halt_has_no_successors(self):
+        image = assemble_text(LOOP_SRC)
+        cfg = build_native_cfg(image)
+        done_block = cfg.blocks[cfg.block_of(image.symbol("done"))]
+        assert done_block.successors == []
+
+
+class TestLoops:
+    def test_back_edge_detected(self):
+        image = assemble_text(LOOP_SRC)
+        cfg = build_native_cfg(image)
+        edges = cfg.back_edges()
+        assert edges, "the countdown loop must produce a back edge"
+        head = image.symbol("head")
+        assert any(target == cfg.block_of(head) for _s, target in edges)
+
+    def test_loop_membership(self):
+        image = assemble_text(LOOP_SRC)
+        cfg = build_native_cfg(image)
+        loop_addrs = cfg.loop_instruction_addresses()
+        head = image.symbol("head")
+        done = image.symbol("done")
+        assert head in loop_addrs
+        assert done not in loop_addrs
+        assert image.entry not in loop_addrs
+
+    def test_straightline_has_no_loops(self):
+        image = assemble_text(
+            ".entry main\nmain:\n    mov eax, 1\n    sys_out\n    halt\n"
+        )
+        cfg = build_native_cfg(image)
+        assert cfg.back_edges() == []
+        assert cfg.loop_blocks() == set()
+
+    def test_compiled_loops_detected(self):
+        image = compile_source_native("""
+        fn main() {
+            var total = 0;
+            for (var i = 0; i < 10; i = i + 1) { total = total + i; }
+            print(total);
+            return 0;
+        }
+        """)
+        cfg = build_native_cfg(image)
+        assert cfg.back_edges()
+        assert cfg.loop_blocks()
+
+    def test_call_is_fallthrough_not_loop(self):
+        """f calls g and g returns: must NOT be classified as a loop."""
+        image = compile_source_native("""
+        fn g(x) { return x + 1; }
+        fn main() { print(g(1)); print(g(2)); return 0; }
+        """)
+        cfg = build_native_cfg(image)
+        assert cfg.loop_blocks() == set()
+
+
+class TestDominators:
+    DIAMOND = """
+.entry main
+main:
+    mov eax, 1
+    cmp eax, 0
+    je right
+    mov ebx, 1
+    jmp join
+right:
+    mov ebx, 2
+join:
+    sys_out
+    halt
+"""
+
+    def test_diamond(self):
+        image = assemble_text(self.DIAMOND)
+        cfg = build_native_cfg(image)
+        main = image.symbol("main")
+        right = image.symbol("right")
+        join = image.symbol("join")
+        assert cfg.dominates(main, right)
+        assert cfg.dominates(main, join)
+        assert not cfg.dominates(right, join)   # the left arm bypasses it
+        assert cfg.dominates(join, join)        # reflexive
+
+    def test_entry_dominates_everything_reachable(self):
+        image = assemble_text(LOOP_SRC)
+        cfg = build_native_cfg(image)
+        dom = cfg.dominators()
+        entry_block = cfg.block_of(image.entry)
+        for block, dominators in dom.items():
+            if dominators:  # reachable
+                assert entry_block in dominators
+
+    def test_unreachable_blocks_have_empty_sets(self):
+        src = """
+.entry main
+main:
+    halt
+orphan:
+    mov eax, 1
+    halt
+"""
+        image = assemble_text(src)
+        cfg = build_native_cfg(image)
+        dom = cfg.dominators()
+        orphan_block = cfg.block_of(image.symbol("orphan"))
+        assert dom.get(orphan_block, set()) == set()
+
+    def test_watermark_begin_dominates_tamper_region_model(self):
+        """Section 4.3's framing on a real embedding: within the region
+        reached only through `begin`, begin's block dominates the
+        tamper-proofed jumps' blocks in the *dynamic* sense used by the
+        embedder (the static CFG treats calls as fall-through, so we
+        check the dynamic guarantee instead: on the key input, every
+        lockdown-protected jump first executes after the chain ran)."""
+        from repro.native import Machine
+        from repro.native_wm import embed_native
+        from repro.workloads.spec import TRAIN_INPUT, spec_native
+        image = spec_native("gcc")
+        emb = embed_native(image, 0xAB, 8, TRAIN_INPUT)
+        assert emb.tamper_jumps
+        seen = {"begin": None}
+        indirect_first = {}
+
+        def hook(machine, addr, instr):
+            if addr == emb.begin and seen["begin"] is None:
+                seen["begin"] = machine.steps
+            if instr.mnemonic == "jmp_a" and addr not in indirect_first:
+                indirect_first[addr] = machine.steps
+
+        Machine(emb.image).run(TRAIN_INPUT, hook)
+        assert seen["begin"] is not None
+        assert indirect_first, "tamper-proofed jumps never executed"
+        for addr, step in indirect_first.items():
+            assert step > seen["begin"], hex(addr)

@@ -1,0 +1,125 @@
+"""Tests for the N32 image file format and the native CLI commands."""
+
+import io
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lang.codegen_native import compile_source_native
+from repro.native import run_image
+from repro.native.imagefile import ImageFormatError, dump_image, load_image
+from repro.native_wm import embed_native
+
+APP = """
+fn work(n) {
+    var acc = 0;
+    for (var i = 0; i < n; i = i + 1) {
+        if (i % 3 == 0) { acc = acc + i; } else { acc = acc - 1; }
+    }
+    return acc;
+}
+fn aux(x) {
+    var y = 0;
+    if (x > 9) { y = x * 2; } else { y = x + 5; }
+    return y;
+}
+fn main() { var n = input(); print(work(n)); print(aux(n)); return 0; }
+"""
+
+
+class TestImageFile:
+    def _roundtrip(self, image):
+        buf = io.StringIO()
+        dump_image(image, buf)
+        buf.seek(0)
+        return load_image(buf)
+
+    def test_roundtrip_identity(self):
+        image = compile_source_native(APP)
+        loaded = self._roundtrip(image)
+        assert loaded.text == image.text
+        assert bytes(loaded.data) == bytes(image.data)
+        assert loaded.entry == image.entry
+        assert loaded.data_base == image.data_base
+        assert loaded.bss_bytes == image.bss_bytes
+        assert loaded.symbols == image.symbols
+
+    def test_roundtrip_executes_identically(self):
+        image = compile_source_native(APP)
+        loaded = self._roundtrip(image)
+        assert run_image(loaded, [40]).output == \
+            run_image(image, [40]).output
+
+    def test_watermarked_image_survives_serialization(self):
+        """Regression: the embedder appends initialized tables *after*
+        the bss heap; the file format must carry them."""
+        image = compile_source_native(APP)
+        emb = embed_native(image, 0xFACE, 16, [40])
+        loaded = self._roundtrip(emb.image)
+        assert run_image(loaded, [40]).output == \
+            run_image(image, [40]).output
+        from repro.native_wm import extract_native_auto
+        assert extract_native_auto(loaded, [40],
+                                   width=16).watermark == 0xFACE
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ImageFormatError, match="not an image"):
+            load_image(io.StringIO("nope"))
+
+    def test_rejects_wrong_magic(self):
+        with pytest.raises(ImageFormatError, match="magic"):
+            load_image(io.StringIO('{"magic": "elf"}'))
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ImageFormatError, match="version"):
+            load_image(io.StringIO('{"magic": "n32-image", "version": 99}'))
+
+    def test_compression_pays_off(self):
+        image = compile_source_native(APP)  # ~1 MB heap
+        buf = io.StringIO()
+        dump_image(image, buf)
+        assert len(buf.getvalue()) < 20_000
+
+
+class TestNativeCLI:
+    @pytest.fixture()
+    def workspace(self, tmp_path):
+        src = tmp_path / "app.wee"
+        src.write_text(APP)
+        img = tmp_path / "app.n32"
+        assert cli_main(["ncompile", str(src), "-o", str(img)]) == 0
+        return tmp_path, img
+
+    def test_ncompile_nrun(self, workspace, capsys):
+        _tmp, img = workspace
+        assert cli_main(["nrun", str(img), "--inputs", "40"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == ["247", "80"]
+
+    def test_nembed_nextract_cycle(self, workspace, capsys):
+        tmp, img = workspace
+        marked = tmp / "marked.n32"
+        rc = cli_main([
+            "nembed", str(img), "-o", str(marked),
+            "--watermark", "0xFACE", "--bits", "16", "--inputs", "40",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        assert cli_main(["nrun", str(marked), "--inputs", "40"]) == 0
+        assert capsys.readouterr().out.splitlines() == ["247", "80"]
+        rc = cli_main([
+            "nextract", str(marked), "--bits", "16", "--inputs", "40",
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out.strip() == "0xface"
+
+    def test_nextract_unmarked_fails(self, workspace, capsys):
+        _tmp, img = workspace
+        rc = cli_main(["nextract", str(img), "--inputs", "40"])
+        assert rc == 1
+
+    def test_ndis(self, workspace, capsys):
+        _tmp, img = workspace
+        assert cli_main(["ndis", str(img), "--max", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "0x08048" in out

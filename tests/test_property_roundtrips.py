@@ -1,0 +1,173 @@
+"""Cross-component property tests: encode/decode, lift/lower, and
+attack-pipeline invariance, driven by hypothesis."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.attacks.bytecode import (
+    insert_noops,
+    invert_branch_senses,
+    renumber_locals,
+    reorder_blocks,
+    split_blocks,
+)
+from repro.bytecode_wm import WatermarkKey, embed, recognize
+from repro.native import (
+    Imm,
+    Mem,
+    Reg,
+    REGISTERS,
+    TEXT_BASE,
+    decode_instruction,
+    encode_instruction,
+    lift,
+    lower,
+    ni,
+    run_image,
+)
+from repro.native.isa import INSTRUCTION_FORMS
+from repro.vm import run_module, verify_module
+from repro.workloads import collatz_module
+from repro.workloads.spec import SPEC_PROGRAMS, TRAIN_INPUT, spec_native
+
+# ---------------------------------------------------------------------------
+# Native instruction roundtrip over the whole ISA
+# ---------------------------------------------------------------------------
+
+_REGS = st.sampled_from(REGISTERS)
+_IMM32 = st.integers(0, 2**32 - 1)
+_ADDR = st.integers(0x08048000, 0x08148000)
+_DISP = st.integers(-(2**15), 2**15)
+
+
+@st.composite
+def instructions(draw):
+    mnemonic = draw(st.sampled_from(sorted(INSTRUCTION_FORMS)))
+    sig, _length = INSTRUCTION_FORMS[mnemonic]
+    ops = []
+    for kind in sig:
+        if kind == "r":
+            ops.append(Reg(draw(_REGS)))
+        elif kind == "i":
+            ops.append(Imm(draw(_IMM32)))
+        elif kind == "s8":
+            ops.append(Imm(draw(st.integers(0, 31))))
+        elif kind == "rel":
+            ops.append(Imm(draw(_ADDR)))
+        elif kind == "m":
+            ops.append(Mem(base=draw(_REGS), disp=draw(_DISP)))
+        elif kind == "a":
+            ops.append(Mem(disp=draw(_ADDR)))
+        elif kind == "x":
+            ops.append(Mem(disp=draw(_ADDR), index=draw(_REGS)))
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+    return ni(mnemonic, *ops)
+
+
+@settings(max_examples=300, deadline=None)
+@given(instructions(), _ADDR)
+def test_every_instruction_roundtrips(instr, addr):
+    encoded = encode_instruction(instr, addr)
+    assert len(encoded) == instr.length
+    decoded, length = decode_instruction(encoded, 0, addr)
+    assert length == instr.length
+    assert decoded.mnemonic == instr.mnemonic
+    assert decoded.operands == instr.operands
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(instructions(), min_size=1, max_size=30))
+def test_instruction_streams_decode_linearly(instrs):
+    """A concatenated stream decodes back to itself (the property the
+    linear-sweep disassembler relies on)."""
+    addr = TEXT_BASE
+    blob = bytearray()
+    placed = []
+    for instr in instrs:
+        placed.append((addr, instr))
+        blob += encode_instruction(instr, addr)
+        addr += instr.length
+    offset = 0
+    for addr, instr in placed:
+        decoded, length = decode_instruction(bytes(blob), offset, addr)
+        assert decoded.mnemonic == instr.mnemonic
+        assert decoded.operands == instr.operands
+        offset += length
+    assert offset == len(blob)
+
+
+# ---------------------------------------------------------------------------
+# lift/lower fixed point on every SPEC kernel
+# ---------------------------------------------------------------------------
+
+def test_lift_lower_identity_all_spec_kernels():
+    for name in SPEC_PROGRAMS:
+        image = spec_native(name)
+        relaid = lower(lift(image))
+        assert relaid.text == image.text, name
+        assert relaid.entry == image.entry, name
+
+
+def test_lift_lower_twice_is_stable():
+    image = spec_native("gzip")
+    once = lower(lift(image))
+    twice = lower(lift(once))
+    assert once.text == twice.text
+
+
+def test_relayout_preserves_behaviour_under_padding():
+    image = spec_native("mcf")
+    want = run_image(image, TRAIN_INPUT).output
+    prog = lift(image)
+    rng = random.Random(5)
+    for _ in range(12):
+        prog.insert(rng.randrange(len(prog.items)), [ni("nop")])
+    assert run_image(lower(prog), TRAIN_INPUT).output == want
+
+
+# ---------------------------------------------------------------------------
+# Attack-pipeline invariance of the bytecode watermark
+# ---------------------------------------------------------------------------
+
+_LAYOUT_ATTACKS = [
+    lambda m, r: insert_noops(m, r.randrange(1, 200), r),
+    lambda m, r: invert_branch_senses(m, r.random(), r),
+    lambda m, r: reorder_blocks(m, r),
+    lambda m, r: split_blocks(m, r.randrange(1, 30), r),
+    lambda m, r: renumber_locals(m, r),
+]
+
+_KEY = WatermarkKey(secret=b"pipeline", inputs=[27])
+_EMBEDDED = None
+
+
+def _embedded():
+    global _EMBEDDED
+    if _EMBEDDED is None:
+        _EMBEDDED = embed(collatz_module(), 0x5E5E, _KEY,
+                          watermark_bits=16, pieces=8)
+    return _EMBEDDED
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(0, len(_LAYOUT_ATTACKS) - 1),
+             min_size=1, max_size=4),
+    st.integers(0, 2**32),
+)
+def test_random_layout_pipelines_never_dislodge_the_mark(picks, seed):
+    """ANY composition of layout attacks preserves both program
+    semantics and recognition — the paper's core resilience claim,
+    hammered with random pipelines."""
+    marked = _embedded()
+    rng = random.Random(seed)
+    module = marked.module
+    for pick in picks:
+        module = _LAYOUT_ATTACKS[pick](module, rng)
+    verify_module(module)
+    assert run_module(module, [27]).output == \
+        run_module(marked.module, [27]).output
+    found = recognize(module, _KEY, watermark_bits=16)
+    assert found.complete and found.value == 0x5E5E

@@ -1,0 +1,78 @@
+"""Scale tests: the paper's largest configurations, end to end.
+
+The evaluation's headline sizes are 512-bit watermarks (both sides)
+and the 768-bit recovery experiment of Figure 5. These tests run each
+once at full size — slower than unit tests but essential: several
+bugs (hash geometry, slot exhaustion, window budgets) only appear at
+scale.
+"""
+
+import random
+
+import pytest
+
+from repro.bytecode_wm import WatermarkKey, embed, recognize
+from repro.core.bitstring import int_to_bits_lsb_first
+from repro.core.cipher import cipher_for_secret
+from repro.core.enumeration import StatementEnumeration
+from repro.core.primes import choose_moduli
+from repro.core.recovery import recover
+from repro.core.splitting import split
+from repro.native import run_image
+from repro.native_wm import embed_native, extract_native
+from repro.vm import run_module
+from repro.workloads import jess_module
+from repro.workloads.spec import TRAIN_INPUT, spec_native
+
+
+def test_512_bit_bytecode_watermark():
+    """The paper's largest Java-side configuration."""
+    watermark = (1 << 512) // 3
+    key = WatermarkKey(secret=b"scale-512", inputs=[7, 13])
+    host = jess_module(rule_count=48, burn=2000)
+    moduli = choose_moduli(512)
+    marked = embed(host, watermark, key, pieces=2 * len(moduli),
+                   watermark_bits=512)
+    assert run_module(marked.module, key.inputs).output == \
+        run_module(host, key.inputs).output
+    found = recognize(marked.module, key, watermark_bits=512)
+    assert found.complete
+    assert found.value == watermark
+
+
+def test_512_bit_native_watermark():
+    """The paper's largest native configuration on a real kernel."""
+    watermark = (1 << 512) - 0xDEADBEEF
+    image = spec_native("vortex")
+    emb = embed_native(image, watermark, 512, TRAIN_INPUT)
+    assert len(emb.call_addresses) == 513
+    assert run_image(emb.image, TRAIN_INPUT).output == \
+        run_image(image, TRAIN_INPUT).output
+    res = extract_native(emb.image, 512, emb.begin, emb.end, TRAIN_INPUT)
+    assert res.watermark == watermark
+
+
+def test_768_bit_pure_recovery():
+    """Figure 5's watermark width through the full bit-level pipeline."""
+    watermark = (1 << 768) // 7
+    moduli = choose_moduli(768)
+    enum = StatementEnumeration(moduli)
+    cipher = cipher_for_secret(b"scale-768")
+    rng = random.Random(42)
+    pieces = split(watermark, moduli, len(moduli) + 8, rng)
+    bits = [rng.randint(0, 1) for _ in range(48)]
+    for stmt in pieces:
+        bits.extend(int_to_bits_lsb_first(
+            cipher.encrypt_block(enum.encode(stmt)), 64
+        ))
+        bits.extend(rng.randint(0, 1) for _ in range(12))
+    result = recover(bits, cipher, enum)
+    assert result.complete
+    assert result.value == watermark
+
+
+def test_extreme_width_rejected_cleanly():
+    """Widths beyond the 64-bit block budget fail with a clear error,
+    not a corrupt embedding."""
+    with pytest.raises(ValueError):
+        choose_moduli(100_000)

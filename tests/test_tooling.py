@@ -1,0 +1,277 @@
+"""Tests for the tooling layer: trace files, the redundancy planner,
+native listings, and the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.planner import (
+    RedundancyPlan,
+    plan_redundancy,
+    plan_table,
+    success_probability_for_pieces,
+)
+from repro.core.primes import choose_moduli
+from repro.core.bitstring import decode_bits
+from repro.native.listing import format_data_words, format_listing
+from repro.vm import run_module
+from repro.vm.trace_io import TraceFormatError, dump_trace, load_trace
+from repro.workloads import collatz_module, gcd_module
+
+
+class TestTraceIO:
+    def _roundtrip(self, module, inputs, mode):
+        result = run_module(module, inputs, trace_mode=mode)
+        buf = io.StringIO()
+        dump_trace(result.trace, module, buf)
+        buf.seek(0)
+        return result.trace, load_trace(buf, module)
+
+    def test_branch_trace_roundtrip(self):
+        module = collatz_module()
+        original, loaded = self._roundtrip(module, [27], "branch")
+        assert len(loaded.branches) == len(original.branches)
+        # The decoded bit-string is identical - identity rebinding works.
+        assert decode_bits(loaded.branch_pairs()) == \
+            decode_bits(original.branch_pairs())
+        # Events bind to the *same* instruction objects.
+        assert all(
+            a.branch is b.branch
+            for a, b in zip(original.branches, loaded.branches)
+        )
+
+    def test_full_trace_roundtrip(self):
+        module = gcd_module()
+        original, loaded = self._roundtrip(module, [25, 10], "full")
+        assert [p.key for p in loaded.points] == \
+            [p.key for p in original.points]
+        assert [p.locals_snapshot for p in loaded.points] == \
+            [p.locals_snapshot for p in original.points]
+
+    def test_rejects_garbage(self):
+        module = gcd_module()
+        with pytest.raises(TraceFormatError, match="not a trace file"):
+            load_trace(io.StringIO("definitely not json{"), module)
+
+    def test_rejects_wrong_version(self):
+        module = gcd_module()
+        doc = {"version": 99, "points": [], "branches": []}
+        with pytest.raises(TraceFormatError, match="version"):
+            load_trace(io.StringIO(json.dumps(doc)), module)
+
+    def test_rejects_mismatched_module(self):
+        module = collatz_module()
+        result = run_module(module, [27], trace_mode="branch")
+        buf = io.StringIO()
+        dump_trace(result.trace, module, buf)
+        buf.seek(0)
+        with pytest.raises(TraceFormatError, match="missing instruction"):
+            load_trace(buf, gcd_module())
+
+    def test_trace_file_feeds_recognition(self, tmp_path):
+        """Recognition from a stored trace (the paper's trace files)."""
+        from repro.bytecode_wm import WatermarkKey, embed, recognize_bits
+        key = WatermarkKey(secret=b"io", inputs=[27])
+        marked = embed(collatz_module(), 0xAB, key, watermark_bits=8)
+        result = run_module(marked.module, key.inputs, trace_mode="branch")
+        path = tmp_path / "trace.json"
+        with open(path, "w") as fp:
+            dump_trace(result.trace, marked.module, fp)
+        with open(path) as fp:
+            loaded = load_trace(fp, marked.module)
+        found = recognize_bits(
+            decode_bits(loaded.branch_pairs()), key, watermark_bits=8
+        )
+        assert found.value == 0xAB
+
+
+class TestPlanner:
+    def test_basic_plan(self):
+        plan = plan_redundancy(128, 0.5, 0.99)
+        assert isinstance(plan, RedundancyPlan)
+        assert plan.expected_success >= 0.99
+        assert plan.pieces >= plan.moduli_count - 1
+
+    def test_minimality(self):
+        plan = plan_redundancy(128, 0.5, 0.99)
+        n = plan.moduli_count
+        below = success_probability_for_pieces(n, plan.pieces - 1, 0.5)
+        assert below < 0.99
+
+    def test_zero_loss_needs_coverage_only(self):
+        plan = plan_redundancy(64, 0.0, 0.99)
+        n = plan.moduli_count
+        # With no losses, the minimum is coverage of all n moduli.
+        assert plan.pieces <= (n * (n - 1)) // 2
+        assert plan.expected_success == pytest.approx(1.0)
+
+    def test_higher_loss_needs_more_pieces(self):
+        low = plan_redundancy(128, 0.2)
+        high = plan_redundancy(128, 0.7)
+        assert high.pieces > low.pieces
+
+    def test_higher_target_needs_more_pieces(self):
+        loose = plan_redundancy(128, 0.5, 0.9)
+        tight = plan_redundancy(128, 0.5, 0.999)
+        assert tight.pieces >= loose.pieces
+
+    def test_unreachable_target(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            plan_redundancy(128, 0.999, 0.999999, max_pieces=32)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            plan_redundancy(64, 1.0)
+        with pytest.raises(ValueError):
+            plan_redundancy(64, 0.5, 1.5)
+
+    def test_plan_table(self):
+        plans = plan_table(64, [0.1, 0.5])
+        assert len(plans) == 2
+        assert plans[1].pieces >= plans[0].pieces
+
+    def test_model_matches_monte_carlo(self):
+        """The planner's analytic model vs direct simulation."""
+        import random
+        from math import comb
+        bits, loss, pieces = 64, 0.5, 30
+        n = len(choose_moduli(bits))
+        analytic = success_probability_for_pieces(n, pieces, loss)
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rng = random.Random(0)
+        wins = 0
+        trials = 2000
+        for _ in range(trials):
+            covered = set()
+            for k in range(pieces):
+                if rng.random() >= loss:
+                    i, j = edges[k % len(edges)]
+                    covered.add(i)
+                    covered.add(j)
+            wins += len(covered) == n
+        assert abs(analytic - wins / trials) < 0.05
+
+
+class TestListing:
+    def test_format_listing(self):
+        from repro.lang.codegen_native import compile_source_native
+        image = compile_source_native(
+            "fn main() { print(1 + 2); return 0; }"
+        )
+        text = format_listing(image)
+        assert "main:" in text
+        assert "ret" in text
+        assert f"{image.entry:#010x}" in text
+
+    def test_branch_annotation(self):
+        from repro.lang.codegen_native import compile_source_native
+        image = compile_source_native(
+            "fn f() { return 1; } fn main() { print(f()); return 0; }"
+        )
+        text = format_listing(image)
+        assert "; -> f" in text
+
+    def test_truncation(self):
+        from repro.workloads.spec import spec_native
+        image = spec_native("mcf")
+        text = format_listing(image, max_instructions=10)
+        assert "truncated" in text
+
+    def test_data_words(self):
+        from repro.lang.codegen_native import compile_source_native
+        image = compile_source_native(
+            "global g; fn main() { g = 7; print(g); return 0; }"
+        )
+        out = format_data_words(image, image.symbol("g_g"), 2)
+        assert "g_g" in out
+
+
+class TestCLI:
+    WEE = ("fn gcd(a, b) { while (a % b != 0) { var t = a % b; a = b; "
+           "b = t; } return b; }\n"
+           "fn main() { print(gcd(input(), input())); return 0; }\n")
+
+    @pytest.fixture()
+    def workspace(self, tmp_path):
+        src = tmp_path / "app.wee"
+        src.write_text(self.WEE)
+        asm = tmp_path / "app.wasm"
+        assert cli_main(["compile", str(src), "-o", str(asm)]) == 0
+        return tmp_path, asm
+
+    def test_compile_and_run(self, workspace, capsys):
+        _tmp, asm = workspace
+        assert cli_main(["run", str(asm), "--inputs", "25,10"]) == 0
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_embed_recognize_cycle(self, workspace, capsys):
+        tmp, asm = workspace
+        marked = tmp / "marked.wasm"
+        rc = cli_main([
+            "embed", str(asm), "-o", str(marked),
+            "--watermark", "0xBEEF", "--bits", "16",
+            "--secret", "vendor", "--inputs", "25,10", "--pieces", "8",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = cli_main([
+            "recognize", str(marked),
+            "--bits", "16", "--secret", "vendor", "--inputs", "25,10",
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out.strip() == "0xbeef"
+
+    def test_recognize_unmarked_fails(self, workspace, capsys):
+        _tmp, asm = workspace
+        rc = cli_main([
+            "recognize", str(asm),
+            "--bits", "16", "--secret", "vendor", "--inputs", "25,10",
+        ])
+        assert rc == 1
+
+    def test_attack_then_recognize(self, workspace, capsys):
+        tmp, asm = workspace
+        marked = tmp / "marked.wasm"
+        attacked = tmp / "attacked.wasm"
+        cli_main([
+            "embed", str(asm), "-o", str(marked),
+            "--watermark", "0xBEEF", "--bits", "16",
+            "--secret", "vendor", "--inputs", "25,10", "--pieces", "8",
+        ])
+        rc = cli_main([
+            "attack", str(marked), "-o", str(attacked),
+            "--transform", "block-reordering",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = cli_main([
+            "recognize", str(attacked),
+            "--bits", "16", "--secret", "vendor", "--inputs", "25,10",
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out.strip() == "0xbeef"
+
+    def test_embed_with_diversification(self, workspace, capsys):
+        tmp, asm = workspace
+        marked = tmp / "div.wasm"
+        rc = cli_main([
+            "embed", str(asm), "-o", str(marked),
+            "--watermark", "7", "--bits", "8",
+            "--secret", "v", "--inputs", "25,10",
+            "--diversify", "42",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = cli_main([
+            "recognize", str(marked),
+            "--bits", "8", "--secret", "v", "--inputs", "25,10",
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out.strip() == "0x7"
+
+    def test_plan(self, capsys):
+        assert cli_main(["plan", "--bits", "128", "--loss", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "pieces to embed" in out

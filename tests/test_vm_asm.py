@@ -1,0 +1,193 @@
+"""Tests for the WVM assembler/disassembler and program containers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm import (
+    AssemblyError,
+    Function,
+    Instruction,
+    Module,
+    VMFormatError,
+    assemble,
+    disassemble,
+    ins,
+    label,
+    run_module,
+)
+
+GCD_SRC = """
+; greatest common divisor, the paper's Figure 2 example
+.globals 1
+.entry main
+
+.func main params=0 locals=0
+    const 25
+    const 10
+    call gcd
+    print
+    const 0
+    ret
+.end
+
+.func gcd params=2 locals=3
+loop:
+    load 0
+    load 1
+    mod
+    ifeq done
+    load 1
+    store 2
+    load 0
+    load 1
+    mod
+    store 1
+    load 2
+    store 0
+    goto loop
+done:
+    load 1
+    ret
+.end
+"""
+
+
+class TestAssembler:
+    def test_assembles_and_runs(self):
+        module = assemble(GCD_SRC)
+        assert set(module.functions) == {"main", "gcd"}
+        assert module.globals_count == 1
+        assert run_module(module).output == [5]
+
+    def test_comments_and_blank_lines(self):
+        src = ".entry main\n.func main params=0 locals=0\n" \
+              "    const 1  ; push\n\n    # full-line comment\n" \
+              "    print\n    const 0\n    ret\n.end\n"
+        assert run_module(assemble(src)).output == [1]
+
+    def test_hex_and_negative_operands(self):
+        src = ".entry main\n.func main params=0 locals=1\n" \
+              "    const 0x10\n    print\n    const -3\n    print\n" \
+              "    iinc 0 -1\n    load 0\n    print\n    const 0\n    ret\n.end\n"
+        assert run_module(assemble(src)).output == [16, -3, -1]
+
+    @pytest.mark.parametrize(
+        "src,message",
+        [
+            ("    const 1\n", "outside .func"),
+            (".func f params=0\n.end\n", ".func needs"),
+            (".func f params=0 locals=0\n    bogus\n.end\n", "unknown opcode"),
+            (".func f params=0 locals=0\n    const x\n.end\n", "integer"),
+            (".func f params=0 locals=0\n    iinc 1\n.end\n", "slot and delta"),
+            (".func f params=0 locals=0\n    add 3\n.end\n", "no operands"),
+            (".func f params=0 locals=0\n.func g params=0 locals=0\n",
+             "nested"),
+            (".bogus 3\n", "unknown directive"),
+            (".end\n", ".end without"),
+            (".func f params=0 locals=0\n    const 1\n    ret\n",
+             "missing .end"),
+        ],
+    )
+    def test_syntax_errors(self, src, message):
+        with pytest.raises(AssemblyError, match=message):
+            assemble(src)
+
+    def test_unknown_branch_target_rejected(self):
+        src = ".entry main\n.func main params=0 locals=0\n" \
+              "    goto nowhere\n.end\n"
+        with pytest.raises(VMFormatError, match="unknown label"):
+            assemble(src)
+
+    def test_unknown_call_target_rejected(self):
+        src = ".entry main\n.func main params=0 locals=0\n" \
+              "    call ghost\n.end\n"
+        with pytest.raises(VMFormatError, match="unknown function"):
+            assemble(src)
+
+
+class TestDisassemblerRoundtrip:
+    def test_gcd_roundtrip(self):
+        module = assemble(GCD_SRC)
+        text = disassemble(module)
+        again = assemble(text)
+        assert run_module(again).output == [5]
+        assert disassemble(again) == text
+
+    def test_roundtrip_preserves_structure(self):
+        module = assemble(GCD_SRC)
+        again = assemble(disassemble(module))
+        assert set(again.functions) == set(module.functions)
+        for name in module.functions:
+            a, b = module.functions[name], again.functions[name]
+            assert a.params == b.params
+            assert a.locals_count == b.locals_count
+            assert [(i.op, i.arg, i.arg2) for i in a.code] == [
+                (i.op, i.arg, i.arg2) for i in b.code
+            ]
+
+
+class TestProgramContainers:
+    def test_function_byte_size(self):
+        fn = Function("f", 0, 0, [ins("const", 1), ins("print"),
+                                  ins("const", 0), ins("ret")])
+        # 5 + 1 + 5 + 1 + header
+        assert fn.byte_size() == 12 + Function.HEADER_BYTES
+
+    def test_labels_are_free(self):
+        fn1 = Function("f", 0, 0, [ins("const", 0), ins("ret")])
+        fn2 = Function("f", 0, 0, [label("a"), ins("const", 0),
+                                   label("b"), ins("ret")])
+        assert fn1.byte_size() == fn2.byte_size()
+
+    def test_duplicate_label_rejected(self):
+        fn = Function("f", 0, 0, [label("a"), label("a"), ins("ret")])
+        with pytest.raises(VMFormatError, match="duplicate label"):
+            fn.labels()
+
+    def test_fresh_labels_distinct(self):
+        fn = Function("f", 0, 0, [label("wm_0"), ins("const", 0), ins("ret")])
+        fresh = fn.fresh_labels(3)
+        assert len(set(fresh)) == 3
+        assert "wm_0" not in fresh
+
+    def test_alloc_local_and_global(self):
+        fn = Function("f", 1, 1, [ins("const", 0), ins("ret")])
+        assert fn.alloc_local() == 1
+        assert fn.locals_count == 2
+        m = Module()
+        assert m.alloc_global() == 0
+        assert m.globals_count == 1
+
+    def test_copy_is_deep(self):
+        module = assemble(GCD_SRC)
+        clone = module.copy()
+        clone.functions["gcd"].code[0] = ins("nop")
+        assert module.functions["gcd"].code[0].op != "nop"
+        # Instruction objects are fresh (identity matters for tracing).
+        assert module.functions["main"].code[0] is not \
+            clone.functions["main"].code[0]
+
+    def test_entry_must_take_no_params(self):
+        m = Module()
+        m.add(Function("main", 1, 1, [ins("const", 0), ins("ret")]))
+        with pytest.raises(VMFormatError, match="no parameters"):
+            m.validate_structure()
+
+    def test_module_byte_size_grows_with_code(self):
+        module = assemble(GCD_SRC)
+        before = module.byte_size()
+        module.functions["main"].code.insert(0, ins("nop"))
+        assert module.byte_size() == before + 1
+
+
+@given(st.lists(st.sampled_from(
+    ["add", "sub", "mul", "dup", "pop", "nop", "print"]), max_size=20))
+def test_assembler_accepts_all_zero_operand_ops(ops):
+    body = "\n".join(f"    {op}" for op in ops)
+    # Pad the stack so everything verifies structurally; we only check
+    # the assembler's parse, not execution.
+    src = f".entry main\n.func main params=0 locals=0\n{body}\n" \
+          "    const 0\n    ret\n.end\n"
+    module = assemble(src)
+    fn = module.functions["main"]
+    assert [i.op for i in fn.code[:len(ops)]] == ops

@@ -1,0 +1,199 @@
+"""Tests for the WVM rewriting helpers and method transforms."""
+
+import pytest
+
+from repro.attacks.bytecode.method_transforms import (
+    inline_call,
+    outline_region,
+)
+from repro.vm import (
+    Function,
+    Module,
+    assemble,
+    count_conditional_branches,
+    freshen_template,
+    ins,
+    insert_at_site,
+    label,
+    rename_labels,
+    run_module,
+    site_index,
+    verify_module,
+)
+from repro.vm.rewriter import RewriteError
+from repro.vm.tracing import SiteKey
+
+
+class TestRenameLabels:
+    def test_renames_defined_and_used(self):
+        template = [
+            label("top"),
+            ins("ifeq", "top"),
+            ins("goto", "out"),
+        ]
+        renamed = rename_labels(template, {"top": "fresh_top"})
+        assert renamed[0].arg == "fresh_top"
+        assert renamed[1].arg == "fresh_top"
+        assert renamed[2].arg == "out"  # unmapped labels untouched
+
+    def test_copies_instructions(self):
+        template = [ins("const", 1)]
+        renamed = rename_labels(template, {})
+        assert renamed[0] is not template[0]
+        assert renamed[0].op == "const" and renamed[0].arg == 1
+
+
+class TestFreshenTemplate:
+    def test_defined_labels_get_fresh_names(self):
+        fn = Function("f", 0, 0, [label("wm_0"), ins("const", 0),
+                                  ins("ret")])
+        template = [label("a"), ins("goto", "a")]
+        out = freshen_template(fn, template)
+        assert out[0].arg != "a"
+        assert out[1].arg == out[0].arg
+        assert out[0].arg != "wm_0"
+
+    def test_references_to_outer_labels_survive(self):
+        fn = Function("f", 0, 0, [label("outer"), ins("const", 0),
+                                  ins("ret")])
+        template = [ins("goto", "outer")]
+        out = freshen_template(fn, template)
+        assert out[0].arg == "outer"
+
+
+class TestSiteInsertion:
+    SRC = """
+.entry main
+.func main params=0 locals=1
+    const 2
+    store 0
+site:
+    iinc 0 -1
+    load 0
+    ifgt site
+    const 0
+    ret
+.end
+"""
+
+    def test_insert_at_label_site(self):
+        module = assemble(self.SRC)
+        insert_at_site(module, SiteKey("main", "site"),
+                       [ins("const", 42), ins("print")])
+        verify_module(module)
+        # Site executes twice -> two prints.
+        assert run_module(module).output == [42, 42]
+
+    def test_insert_at_entry(self):
+        module = assemble(self.SRC)
+        insert_at_site(module, SiteKey("main", "<entry>"),
+                       [ins("const", 7), ins("print")])
+        assert run_module(module).output == [7]
+
+    def test_missing_site_raises(self):
+        module = assemble(self.SRC)
+        with pytest.raises(RewriteError, match="no trace site"):
+            site_index(module.functions["main"], "ghost")
+
+    def test_count_conditional_branches(self):
+        module = assemble(self.SRC)
+        assert count_conditional_branches(module) == 1
+
+
+class TestInlineCall:
+    SRC = """
+.entry main
+.func main params=0 locals=0
+    const 6
+    const 7
+    call mul
+    print
+    const 0
+    ret
+.end
+.func mul params=2 locals=2
+    load 0
+    load 1
+    mul
+    ret
+.end
+"""
+
+    def test_inline_preserves_semantics(self):
+        module = assemble(self.SRC)
+        idx = next(i for i, instr in
+                   enumerate(module.functions["main"].code)
+                   if instr.op == "call")
+        assert inline_call(module, "main", idx)
+        verify_module(module)
+        assert run_module(module).output == [42]
+        # The call itself is gone from main.
+        assert all(i.op != "call" for i in module.functions["main"].code)
+
+    def test_inline_rejects_non_call(self):
+        module = assemble(self.SRC)
+        assert not inline_call(module, "main", 0)
+
+    def test_inline_rejects_self_call(self):
+        src = """
+.entry main
+.func main params=0 locals=0
+    call main
+    ret
+.end
+"""
+        module = assemble(src)
+        assert not inline_call(module, "main", 0)
+
+    def test_inline_early_returns(self):
+        src = """
+.entry main
+.func main params=0 locals=0
+    const 5
+    call sign
+    print
+    const -5
+    call sign
+    print
+    const 0
+    ret
+.end
+.func sign params=1 locals=1
+    load 0
+    ifge pos
+    const -1
+    ret
+pos:
+    const 1
+    ret
+.end
+"""
+        module = assemble(src)
+        while True:
+            sites = [i for i, instr in
+                     enumerate(module.functions["main"].code)
+                     if instr.op == "call"]
+            if not sites:
+                break
+            assert inline_call(module, "main", sites[0])
+        verify_module(module)
+        assert run_module(module).output == [1, -1]
+
+
+class TestOutlineRegion:
+    def test_outlines_nop_runs(self):
+        module = Module()
+        module.add(Function("main", 0, 0, [
+            ins("nop"), ins("nop"), ins("nop"),
+            ins("const", 9), ins("print"), ins("const", 0), ins("ret"),
+        ]))
+        assert outline_region(module, "main")
+        assert len(module.functions) == 2
+        verify_module(module)
+        assert run_module(module).output == [9]
+
+    def test_no_region_returns_false(self):
+        module = Module()
+        module.add(Function("main", 0, 0,
+                            [ins("const", 0), ins("ret")]))
+        assert not outline_region(module, "main")
