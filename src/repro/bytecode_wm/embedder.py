@@ -83,6 +83,9 @@ def embed(
     watermark_bits: Optional[int] = None,
     placement_policy: str = "inverse",
     prefer_condition: bool = True,
+    trace=None,
+    sites=None,
+    rng_salt: str = "",
 ) -> EmbeddingResult:
     """Embed ``watermark`` into a copy of ``module``.
 
@@ -91,6 +94,14 @@ def embed(
     distributors embedding different marks into copies of one program
     should pass an explicit common width. ``placement_policy`` and
     ``prefer_condition`` exist for the ablation benches.
+
+    Batch embedding (``repro.pipeline``) passes a precomputed ``trace``
+    (and optionally its ``sites`` table) to skip Phase 1 — tracing is
+    watermark-independent, so N copies need only one trace. It also
+    passes a per-copy ``rng_salt`` scoping the key's RNG streams, so
+    distinct copies diversify their placements while staying
+    deterministic in (module, watermark, key, salt). Recognition never
+    uses these streams, so salting cannot affect recoverability.
     """
     if watermark < 0:
         raise EmbeddingError("watermark must be non-negative")
@@ -105,20 +116,26 @@ def embed(
     marked = module.copy()
     original_size = marked.byte_size()
 
-    # Phase 1: tracing (full mode: block sequence + variable values).
-    trace = run_module(marked, key.inputs, trace_mode="full").trace
-    assert trace is not None
-    sites = eligible_sites(trace, marked)
-    picker = SitePicker(sites, key.rng("placement"), placement_policy)
+    def stream(purpose: str):
+        return key.rng(f"{purpose}/{rng_salt}" if rng_salt else purpose)
+
+    # Phase 1: tracing (full mode: block sequence + variable values),
+    # unless the caller supplied a cached trace of this module.
+    if trace is None:
+        trace = run_module(marked, key.inputs, trace_mode="full").trace
+        assert trace is not None
+    if sites is None:
+        sites = eligible_sites(trace, marked)
+    picker = SitePicker(sites, stream("placement"), placement_policy)
 
     # Phase 2: split and encrypt.
-    split_rng = key.rng("split")
+    split_rng = stream("split")
     statements = split(watermark, moduli, piece_count, split_rng)
     cipher = key.cipher()
     enumeration = StatementEnumeration(moduli)
 
     # Phase 3: generate and insert code for each piece.
-    codegen_rng = key.rng("codegen")
+    codegen_rng = stream("codegen")
     result = EmbeddingResult(
         module=marked,
         watermark=watermark,

@@ -55,12 +55,22 @@ def recognize(
     watermark_bits: int = DEFAULT_WATERMARK_BITS,
     use_voting: bool = True,
     max_steps: Optional[int] = None,
+    trace=None,
 ) -> RecoveryResult:
     """End-to-end recognition: trace, decode, recombine.
 
     Propagates :class:`repro.vm.VMError` if the program is broken (the
     attack harness distinguishes "program broken" from "watermark
     gone").
+
+    Callers that already executed ``module`` on the key input (the
+    batch pipeline's in-worker self-check runs every emitted copy
+    anyway) pass that run's ``trace`` to skip the re-execution; it
+    must be a branch or full trace of this very module on these very
+    inputs.
     """
-    bits = trace_bitstring(module, key, max_steps)
+    if trace is not None:
+        bits = decode_bits(trace.branch_pairs())
+    else:
+        bits = trace_bitstring(module, key, max_steps)
     return recognize_bits(bits, key, watermark_bits, use_voting)

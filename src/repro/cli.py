@@ -19,6 +19,9 @@ Usage (also via ``python -m repro``)::
         --transform sense-inversion
     python -m repro plan --bits 128 --loss 0.4 --target 0.99
 
+    # Fingerprint many copies in parallel from one shared preparation
+    python -m repro batch-embed manifest.json -o dist/ --workers 4
+
 Modules travel as WVM assembly text (the `.wasm` extension here means
 "watermarking asm", not WebAssembly).
 """
@@ -26,6 +29,7 @@ Modules travel as WVM assembly text (the `.wasm` extension here means
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from typing import List, Optional, Sequence
@@ -45,6 +49,13 @@ from .lang.codegen_native import compile_source_native
 from .native import MachineFault, format_listing, run_image
 from .native.imagefile import dump_image, load_image
 from .native_wm import embed_native, extract_native_auto
+from .pipeline import (
+    PrepareError,
+    PreparedProgram,
+    load_manifest,
+    prepare,
+    run_batch,
+)
 from .vm import VMError, assemble, disassemble, run_module, verify_module
 
 ATTACKS = {
@@ -143,6 +154,59 @@ def cmd_attack(args) -> int:
     verify_module(attacked)
     _write_module(attacked, args.output)
     return 0
+
+
+def cmd_batch_embed(args) -> int:
+    manifest = load_manifest(args.manifest)
+    module = _read_module(manifest.module_path)
+    key = manifest.key()
+
+    # Shared preparation, optionally persisted across invocations.
+    prepared = None
+    cache_hit = False
+    if args.prepare_cache and os.path.exists(args.prepare_cache):
+        try:
+            candidate = PreparedProgram.load(args.prepare_cache)
+        except PrepareError as exc:
+            print(f"ignoring prepare cache: {exc}", file=sys.stderr)
+        else:
+            if candidate.matches(
+                module, key, manifest.watermark_bits, manifest.pieces
+            ):
+                prepared, cache_hit = candidate, True
+            else:
+                print(
+                    "prepare cache is stale for this manifest; re-preparing",
+                    file=sys.stderr,
+                )
+    if prepared is None:
+        try:
+            prepared = prepare(
+                module,
+                key,
+                manifest.watermark_bits,
+                pieces=manifest.pieces,
+                piece_loss=manifest.piece_loss,
+                target_success=manifest.target_success,
+            )
+        except VMError as exc:
+            print(f"program trapped during tracing: {exc}", file=sys.stderr)
+            return 2
+        if args.prepare_cache:
+            prepared.save(args.prepare_cache)
+
+    report = run_batch(
+        prepared,
+        manifest.copies,
+        workers=args.workers,
+        outdir=args.output,
+        chunksize=args.chunksize,
+        cache_hits=1 if cache_hit else 0,
+        cache_misses=0 if cache_hit else 1,
+    )
+    report.write(os.path.join(args.output, "report.json"))
+    print(report.summary(), file=sys.stderr)
+    return 0 if report.all_ok else 1
 
 
 def cmd_ncompile(args) -> int:
@@ -261,6 +325,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--secret", required=True)
     p.add_argument("--inputs", default="")
     p.set_defaults(fn=cmd_recognize)
+
+    p = sub.add_parser(
+        "batch-embed",
+        help="fingerprint many copies in parallel from a manifest",
+    )
+    p.add_argument("manifest", help="JSON batch manifest (see docs/)")
+    p.add_argument("-o", "--output", required=True,
+                   help="output directory for copies and report.json")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel embed processes (default 1)")
+    p.add_argument("--chunksize", type=int, default=None,
+                   help="work-queue chunk size (default: auto)")
+    p.add_argument("--prepare-cache", default=None, metavar="FILE",
+                   help="pickle file persisting the shared preparation "
+                        "across invocations")
+    p.set_defaults(fn=cmd_batch_embed)
 
     p = sub.add_parser("attack", help="apply a distortive transformation")
     p.add_argument("module")

@@ -19,6 +19,7 @@ per-edge deletion probability is ``q**c``, so Eq. (1) applies with
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from math import comb
 from typing import List
 
@@ -65,6 +66,7 @@ def success_probability_for_pieces(
     return success_probability_deletion(n, blended)
 
 
+@lru_cache(maxsize=256)
 def plan_redundancy(
     watermark_bits: int,
     piece_loss_probability: float,
@@ -75,6 +77,11 @@ def plan_redundancy(
 
     Raises :class:`ValueError` when the target is unreachable within
     ``max_pieces`` (e.g. piece loss of 1.0).
+
+    Memoized: the plan is a pure function of its arguments and the
+    batch pipeline resolves it once per (width, threat model) no
+    matter how many copies are minted; the returned plan is frozen, so
+    sharing the instance is safe.
     """
     if not 0.0 <= piece_loss_probability < 1.0:
         raise ValueError("piece loss probability must be in [0, 1)")

@@ -1,0 +1,239 @@
+"""The parallel batch executor: N fingerprints from one preparation.
+
+Per-copy work (split, encrypt, insert, verify, self-check) is pure
+CPU with no shared mutable state, so it fans out over a
+``ProcessPoolExecutor``. The :class:`~.prepare.PreparedProgram` ships
+to each worker exactly once (via the pool initializer), not per task;
+tasks themselves are tiny :class:`CopySpec` values and travel in
+chunks to keep queue traffic off the critical path.
+
+Determinism: each copy embeds with RNG streams salted by its
+``(watermark, seed)`` alone — nothing about scheduling, worker count
+or completion order feeds the embedding, so a batch is bit-for-bit
+reproducible at any ``workers`` setting. Failures are isolated: a
+copy that raises comes back as a failed :class:`.metrics.CopyResult`
+and the rest of the batch proceeds.
+
+Every worker re-runs its emitted copy on the key input and recognizes
+the mark from that same cached trace (one execution serves both the
+semantic check and the recognition self-check).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..bytecode_wm.embedder import embed
+from ..bytecode_wm.recognizer import recognize
+from ..vm.disassembler import disassemble
+from ..vm.interpreter import run_module
+from .metrics import BatchReport, CopyResult, StageTimings, Stopwatch
+from .prepare import PreparedProgram
+
+#: Copy ids become output file names; keep them shell- and fs-safe.
+_ID_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+@dataclass(frozen=True)
+class CopySpec:
+    """One requested fingerprinted copy.
+
+    ``seed`` salts the embedder's RNG streams so two copies carrying
+    the same watermark still diversify their placements; identical
+    (watermark, seed) pairs produce byte-identical modules.
+    """
+
+    copy_id: str
+    watermark: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.copy_id or not set(self.copy_id) <= _ID_SAFE:
+            raise ValueError(
+                f"copy id {self.copy_id!r} must be non-empty and use only "
+                f"letters, digits, '.', '_', '-'"
+            )
+        if self.watermark < 0:
+            raise ValueError(f"{self.copy_id}: watermark must be non-negative")
+
+
+def embed_copy(
+    prepared: PreparedProgram, spec: CopySpec, self_check: bool = True
+) -> CopyResult:
+    """Embed, emit and (by default) self-check one copy. Never raises.
+
+    The embed reuses the prepared trace and site table (no re-trace);
+    the self-check runs the marked copy once in branch mode and feeds
+    that single trace to both the output comparison and the
+    recognizer. ``self_check=False`` skips that run — a throughput
+    knob for deployments that verify by sampling instead.
+    """
+    start = time.perf_counter()
+    try:
+        result = embed(
+            prepared.module,
+            spec.watermark,
+            prepared.key,
+            pieces=prepared.pieces,
+            watermark_bits=prepared.watermark_bits,
+            trace=prepared.trace,
+            sites=prepared.sites,
+            rng_salt=f"{spec.watermark}/{spec.seed}",
+        )
+        recognized = None
+        check_ok = output_ok = False
+        if self_check:
+            check_run = run_module(
+                result.module, prepared.key.inputs, trace_mode="branch"
+            )
+            found = recognize(
+                result.module,
+                prepared.key,
+                watermark_bits=prepared.watermark_bits,
+                trace=check_run.trace,
+            )
+            recognized = found.value
+            check_ok = found.complete and found.value == spec.watermark
+            output_ok = (
+                list(check_run.output) == list(prepared.baseline_output)
+            )
+        text = disassemble(result.module)
+        return CopyResult(
+            copy_id=spec.copy_id,
+            watermark=spec.watermark,
+            seed=spec.seed,
+            ok=True,
+            checked=self_check,
+            self_check=check_ok,
+            output_ok=output_ok,
+            recognized=recognized,
+            piece_count=result.piece_count,
+            bytes_emitted=len(text.encode()),
+            byte_size_increase=result.byte_size_increase,
+            wall_seconds=time.perf_counter() - start,
+            text=text,
+        )
+    except Exception as exc:  # per-copy isolation: report, don't propagate
+        return CopyResult(
+            copy_id=spec.copy_id,
+            watermark=spec.watermark,
+            seed=spec.seed,
+            ok=False,
+            wall_seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+# -- process-pool plumbing --------------------------------------------------
+
+_WORKER_PREPARED: Optional[PreparedProgram] = None
+_WORKER_SELF_CHECK: bool = True
+
+
+def _init_worker(prepared: PreparedProgram, self_check: bool) -> None:
+    global _WORKER_PREPARED, _WORKER_SELF_CHECK
+    _WORKER_PREPARED = prepared
+    _WORKER_SELF_CHECK = self_check
+
+
+def _embed_in_worker(spec: CopySpec) -> CopyResult:
+    assert _WORKER_PREPARED is not None, "worker initializer did not run"
+    return embed_copy(_WORKER_PREPARED, spec, _WORKER_SELF_CHECK)
+
+
+def default_chunksize(copy_count: int, workers: int) -> int:
+    """Chunk the work queue: ~4 chunks per worker balances queue
+    overhead against load-balancing granularity."""
+    return max(1, copy_count // max(1, workers * 4))
+
+
+def run_batch(
+    prepared: PreparedProgram,
+    copies: Iterable[CopySpec],
+    workers: int = 1,
+    outdir: Optional[str] = None,
+    chunksize: Optional[int] = None,
+    cache_hits: int = 0,
+    cache_misses: int = 1,
+    self_check: bool = True,
+) -> BatchReport:
+    """Embed every requested copy, in parallel when ``workers > 1``.
+
+    ``workers == 1`` runs in-process (no pool, no pickling) — the
+    output is identical either way. When ``outdir`` is given each
+    successful copy is written to ``<outdir>/<copy_id>.wasm``.
+    Results keep the order of ``copies`` regardless of scheduling.
+    ``self_check=False`` skips the per-copy re-run + recognition.
+    """
+    specs = list(copies)
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    seen = set()
+    for spec in specs:
+        if spec.copy_id in seen:
+            raise ValueError(f"duplicate copy id {spec.copy_id!r}")
+        seen.add(spec.copy_id)
+
+    timings = StageTimings()
+    watch = Stopwatch()
+    with watch:
+        with timings.measure("embed"):
+            if workers == 1 or len(specs) <= 1:
+                results = [embed_copy(prepared, s, self_check)
+                           for s in specs]
+            else:
+                chunk = chunksize or default_chunksize(len(specs), workers)
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(prepared, self_check),
+                ) as pool:
+                    results = list(
+                        pool.map(_embed_in_worker, specs, chunksize=chunk)
+                    )
+        if outdir is not None:
+            with timings.measure("write"):
+                os.makedirs(outdir, exist_ok=True)
+                for copy in results:
+                    if copy.text is None:
+                        continue
+                    path = os.path.join(outdir, f"{copy.copy_id}.wasm")
+                    with open(path, "w") as fp:
+                        fp.write(copy.text)
+
+    return BatchReport(
+        workers=workers,
+        copies=results,
+        prepare_timings=prepared.timings,
+        batch_timings=timings,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        wall_seconds=watch.seconds,
+    )
+
+
+def sequential_specs(
+    count: int,
+    start_watermark: int = 1,
+    id_prefix: str = "copy",
+    seed: int = 0,
+) -> List[CopySpec]:
+    """``count`` specs with consecutive watermarks — the common
+    "customer 1..N" fingerprinting shape, used by manifests and tests."""
+    if count < 1:
+        raise ValueError("count must be positive")
+    width = max(4, len(str(start_watermark + count - 1)))
+    return [
+        CopySpec(
+            copy_id=f"{id_prefix}-{start_watermark + i:0{width}d}",
+            watermark=start_watermark + i,
+            seed=seed + i,
+        )
+        for i in range(count)
+    ]

@@ -1,0 +1,188 @@
+"""Metrics and reporting for the batch fingerprinting pipeline.
+
+The pipeline is judged on throughput (copies/second), so every run
+records where the time went: per-stage wall time for the shared
+preparation work, per-copy wall time for the mark-dependent work, and
+the cache behaviour that separates the two. Each copy also carries its
+verification outcome — every emitted module is immediately re-run and
+re-recognized in-worker, so a report with ``all_ok`` set is a batch of
+copies that are *known* to decode to their own fingerprints.
+
+Reports serialize to JSON (``BatchReport.write``) so deployments can
+archive one document per fingerprinting run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class Stopwatch:
+    """Context manager measuring one wall-clock interval."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+@dataclass
+class StageTimings:
+    """Accumulated wall time per named pipeline stage."""
+
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, stage: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stages[stage] = self.stages.get(stage, 0.0) + elapsed
+
+    def record(self, stage: str, seconds: float) -> None:
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+
+@dataclass
+class CopyResult:
+    """Outcome of embedding (and self-checking) one fingerprinted copy.
+
+    ``text`` holds the emitted module's assembly and is excluded from
+    the JSON report (it lives in the output directory instead).
+    """
+
+    copy_id: str
+    watermark: int
+    seed: int
+    ok: bool
+    checked: bool = False
+    self_check: bool = False
+    output_ok: bool = False
+    recognized: Optional[int] = None
+    piece_count: int = 0
+    bytes_emitted: int = 0
+    byte_size_increase: int = 0
+    wall_seconds: float = 0.0
+    error: Optional[str] = None
+    text: Optional[str] = None
+
+    @property
+    def verified(self) -> bool:
+        """The copy embedded cleanly and, if checks ran, passed both.
+
+        ``checked`` records whether the in-worker self-check ran at
+        all (batches may trade it away for throughput).
+        """
+        if not self.ok:
+            return False
+        return not self.checked or (self.self_check and self.output_ok)
+
+    def to_dict(self) -> dict:
+        return {
+            "copy_id": self.copy_id,
+            "watermark": self.watermark,
+            "seed": self.seed,
+            "ok": self.ok,
+            "checked": self.checked,
+            "self_check": self.self_check,
+            "output_ok": self.output_ok,
+            "recognized": self.recognized,
+            "piece_count": self.piece_count,
+            "bytes_emitted": self.bytes_emitted,
+            "byte_size_increase": self.byte_size_increase,
+            "wall_seconds": self.wall_seconds,
+            "error": self.error,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Everything one batch run produced, minus the modules themselves."""
+
+    workers: int
+    copies: List[CopyResult] = field(default_factory=list)
+    prepare_timings: StageTimings = field(default_factory=StageTimings)
+    batch_timings: StageTimings = field(default_factory=StageTimings)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for c in self.copies if c.verified)
+
+    @property
+    def failed(self) -> int:
+        return len(self.copies) - self.succeeded
+
+    @property
+    def all_ok(self) -> bool:
+        return bool(self.copies) and all(c.verified for c in self.copies)
+
+    @property
+    def copies_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return len(self.copies) / self.wall_seconds
+
+    @property
+    def total_bytes_emitted(self) -> int:
+        return sum(c.bytes_emitted for c in self.copies)
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "copy_count": len(self.copies),
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "all_ok": self.all_ok,
+            "wall_seconds": self.wall_seconds,
+            "copies_per_second": self.copies_per_second,
+            "total_bytes_emitted": self.total_bytes_emitted,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "prepare_stages": dict(self.prepare_timings.stages),
+            "batch_stages": dict(self.batch_timings.stages),
+            "copies": [c.to_dict() for c in self.copies],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fp:
+            fp.write(self.to_json())
+            fp.write("\n")
+
+    def summary(self) -> str:
+        """A short human-readable account for CLI stderr."""
+        lines = [
+            f"batch: {len(self.copies)} copies, {self.workers} worker(s), "
+            f"{self.wall_seconds:.2f}s "
+            f"({self.copies_per_second:.2f} copies/s)",
+            f"prepare: {self.prepare_timings.total():.2f}s "
+            f"(cache {self.cache_hits} hit / {self.cache_misses} miss)",
+            f"verified: {self.succeeded}/{len(self.copies)}, "
+            f"{self.total_bytes_emitted} bytes emitted",
+        ]
+        for c in self.copies:
+            if not c.verified:
+                reason = c.error or (
+                    "self-check failed" if not c.self_check
+                    else "output mismatch"
+                )
+                lines.append(f"  FAILED {c.copy_id}: {reason}")
+        return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""The shared preparation cache: run watermark-independent work once.
+
+Fingerprinting is per-copy by definition — every distributed copy gets
+its own mark — but most of the embed pipeline does not depend on the
+mark at all. Key-input tracing, CFG construction, insertion-site
+mining and redundancy planning depend only on (program, key,
+fingerprint width); only splitting, encryption and code insertion
+depend on the watermark value. :func:`prepare` runs the former once
+and snapshots the results into a :class:`PreparedProgram`, turning a
+batch of N embeds from O(N × full pipeline) into
+O(1 prepare + N × insert-only).
+
+A :class:`PreparedProgram` is picklable as one object graph, which
+matters twice: it ships to pool workers (``pipeline.batch``) and it
+persists to disk (``save``/``load``) so repeated CLI runs against the
+same release skip preparation entirely. Pickling the module and trace
+*together* preserves the branch-event → instruction identity the trace
+model relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..bytecode_wm.embedder import default_piece_count
+from ..bytecode_wm.keys import WatermarkKey
+from ..bytecode_wm.placement import eligible_sites
+from ..core.errors import EmbeddingError
+from ..core.planner import plan_redundancy
+from ..core.primes import choose_moduli
+from ..vm.cfg import CFG, build_cfg
+from ..vm.disassembler import disassemble
+from ..vm.interpreter import run_module
+from ..vm.program import Module
+from ..vm.tracing import SiteKey, Trace
+from ..vm.verifier import verify_module
+from .metrics import StageTimings
+
+#: Bumped whenever the artifact layout changes; ``load`` rejects other
+#: versions rather than mis-embedding from a stale cache file.
+FORMAT_VERSION = 1
+
+
+class PrepareError(EmbeddingError):
+    """The program cannot be prepared (or a cache artifact is unusable)."""
+
+
+@dataclass
+class PreparedProgram:
+    """Snapshot of all watermark-independent embedding state.
+
+    Holds its own private copy of the module: callers may mutate their
+    module afterwards without invalidating the cache, and every
+    per-copy embed clones from this snapshot.
+    """
+
+    module: Module
+    key: WatermarkKey
+    watermark_bits: int
+    moduli: List[int]
+    pieces: int
+    trace: Trace
+    sites: Dict[SiteKey, int]
+    cfgs: Dict[str, CFG]
+    baseline_output: List[int]
+    timings: StageTimings = field(default_factory=StageTimings)
+    version: int = FORMAT_VERSION
+
+    def fingerprint(self) -> str:
+        """Content hash identifying (program, key, width, pieces).
+
+        Used to decide whether a persisted artifact still matches the
+        inputs of a new run.
+        """
+        return prepare_fingerprint(
+            self.module, self.key, self.watermark_bits, self.pieces
+        )
+
+    def matches(
+        self,
+        module: Module,
+        key: WatermarkKey,
+        watermark_bits: int,
+        pieces: Optional[int] = None,
+    ) -> bool:
+        """Is this artifact valid for the given embedding inputs?
+
+        ``pieces=None`` accepts whatever piece count the artifact
+        planned (the caller is delegating to the planner).
+        """
+        if self.version != FORMAT_VERSION:
+            return False
+        if pieces is not None and pieces != self.pieces:
+            return False
+        return (
+            key == self.key
+            and watermark_bits == self.watermark_bits
+            and disassemble(module) == disassemble(self.module)
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as fp:
+            pickle.dump(self, fp, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def load(path: str) -> "PreparedProgram":
+        with open(path, "rb") as fp:
+            try:
+                obj = pickle.load(fp)
+            except Exception as exc:
+                raise PrepareError(
+                    f"not a prepared-program artifact: {exc}"
+                ) from exc
+        if not isinstance(obj, PreparedProgram):
+            raise PrepareError("file does not contain a PreparedProgram")
+        if obj.version != FORMAT_VERSION:
+            raise PrepareError(
+                f"prepared-program version {obj.version} unsupported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        return obj
+
+
+def prepare_fingerprint(
+    module: Module,
+    key: WatermarkKey,
+    watermark_bits: int,
+    pieces: Optional[int],
+) -> str:
+    """Stable digest of everything preparation depends on."""
+    h = hashlib.sha256()
+    h.update(disassemble(module).encode())
+    h.update(key.secret)
+    h.update(repr(tuple(key.inputs)).encode())
+    h.update(f"bits={watermark_bits};pieces={pieces}".encode())
+    return h.hexdigest()
+
+
+def resolve_piece_count(
+    watermark_bits: int,
+    pieces: Optional[int] = None,
+    piece_loss: Optional[float] = None,
+    target_success: float = 0.99,
+) -> Tuple[List[int], int]:
+    """(moduli, piece count) for one fingerprint width.
+
+    Precedence: an explicit ``pieces`` wins; otherwise a threat model
+    (``piece_loss``) invokes the Eq. (1) planner; otherwise the
+    embedder's default of twice the modulus count applies. The planner
+    call is memoized (``core.planner``), so a batch pays for at most
+    one plan regardless of copy count.
+    """
+    moduli = choose_moduli(watermark_bits)
+    if pieces is not None:
+        if pieces < 1:
+            raise PrepareError("piece count must be positive")
+        return moduli, pieces
+    if piece_loss is not None:
+        plan = plan_redundancy(watermark_bits, piece_loss, target_success)
+        return moduli, plan.pieces
+    return moduli, default_piece_count(moduli)
+
+
+def prepare(
+    module: Module,
+    key: WatermarkKey,
+    watermark_bits: int,
+    pieces: Optional[int] = None,
+    piece_loss: Optional[float] = None,
+    target_success: float = 0.99,
+) -> PreparedProgram:
+    """Run every watermark-independent stage once and snapshot it.
+
+    Stages (each individually timed in the returned artifact):
+
+    * **verify** — the module must pass the bytecode verifier before
+      any copies are minted from it;
+    * **trace** — one full-mode execution on the key input (the
+      dominant cost of a single-shot embed);
+    * **cfg** — control-flow graphs of every function, kept for
+      consumers that analyse placements without re-deriving them;
+    * **placement** — eligible insertion sites with frequencies;
+    * **plan** — moduli selection plus redundancy planning.
+    """
+    if watermark_bits < 1:
+        raise PrepareError("watermark_bits must be positive")
+    timings = StageTimings()
+    with timings.measure("verify"):
+        verify_module(module)
+    snapshot = module.copy()
+    with timings.measure("trace"):
+        run = run_module(snapshot, key.inputs, trace_mode="full")
+    trace = run.trace
+    assert trace is not None
+    with timings.measure("cfg"):
+        cfgs = {
+            name: build_cfg(fn) for name, fn in snapshot.functions.items()
+        }
+    with timings.measure("placement"):
+        sites = eligible_sites(trace, snapshot)
+        if not sites:
+            raise PrepareError(
+                "trace contains no usable insertion sites on the key input"
+            )
+        for site in sites:
+            if site.site != "<entry>" and site.site not in cfgs[site.function].blocks:
+                raise PrepareError(
+                    f"trace site {site!r} has no CFG block — "
+                    f"trace and module disagree"
+                )
+    with timings.measure("plan"):
+        moduli, piece_count = resolve_piece_count(
+            watermark_bits, pieces, piece_loss, target_success
+        )
+    return PreparedProgram(
+        module=snapshot,
+        key=key,
+        watermark_bits=watermark_bits,
+        moduli=moduli,
+        pieces=piece_count,
+        trace=trace,
+        sites=sites,
+        cfgs=cfgs,
+        baseline_output=list(run.output),
+        timings=timings,
+    )
+
+
+class PrepareCache:
+    """In-memory cache of :class:`PreparedProgram` artifacts.
+
+    Keyed by :func:`prepare_fingerprint`; long-lived services embedding
+    many batches across a handful of releases hold one of these and
+    pay for preparation once per release. Hit/miss counts feed the
+    batch report.
+    """
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._max = max_entries
+        self._entries: Dict[str, PreparedProgram] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_prepare(
+        self,
+        module: Module,
+        key: WatermarkKey,
+        watermark_bits: int,
+        pieces: Optional[int] = None,
+        piece_loss: Optional[float] = None,
+        target_success: float = 0.99,
+    ) -> Tuple[PreparedProgram, bool]:
+        """(artifact, was_hit) — preparing and caching on a miss.
+
+        Insertion order doubles as eviction order (FIFO): release
+        churn is slow, so anything smarter is not worth the state.
+        """
+        digest = prepare_fingerprint(module, key, watermark_bits, pieces)
+        cached = self._entries.get(digest)
+        if cached is not None:
+            self.hits += 1
+            return cached, True
+        self.misses += 1
+        prepared = prepare(
+            module, key, watermark_bits, pieces, piece_loss, target_success
+        )
+        if len(self._entries) >= self._max:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[digest] = prepared
+        return prepared, False

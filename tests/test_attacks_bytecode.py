@@ -134,6 +134,7 @@ class TestWatermarkSurvival:
         attacked = insert_branches(embedded.module, 300, random.Random(3))
         assert not self._recognizes(attacked)
 
+    @pytest.mark.slow
     def test_survival_decreases_with_insertion_rate(self, embedded):
         """More inserted branches -> fewer surviving recognitions
         (Figure 8(c) mechanism), tested across seeds."""
@@ -168,6 +169,7 @@ class TestAttackHarness:
         assert outcome.recovered == WM
         assert not outcome.attack_succeeded
 
+    @pytest.mark.slow
     def test_suite_runs_standard_battery(self, embedded):
         outcomes = run_attack_suite(embedded, KEY, probe_inputs=[[7]])
         names = {o.name for o in outcomes}

@@ -83,6 +83,7 @@ class TestConstantUnfolding:
         assert after > before
 
 
+@pytest.mark.slow
 class TestLoopPeeling:
     def test_peels_a_real_loop(self):
         module = caffeinemark_module()

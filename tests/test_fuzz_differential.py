@@ -7,7 +7,10 @@ the substrates' integer semantics coincide. Any divergence is a
 compiler or interpreter bug.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
+
+pytestmark = pytest.mark.slow
 
 from repro.lang import compile_source
 from repro.lang.codegen_native import compile_source_native

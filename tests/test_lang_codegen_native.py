@@ -213,6 +213,7 @@ class TestDifferential:
         assert native == vm
 
 
+@pytest.mark.slow
 class TestSpecKernelsCrossCheck:
     """Every SPEC-like kernel behaves identically on both substrates."""
 

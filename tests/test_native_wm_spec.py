@@ -7,6 +7,8 @@ the unit suite catches regressions without benchmark-scale runtimes.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.native import run_image
 from repro.native_wm import embed_native, extract_native, extract_native_auto
 from repro.workloads.spec import REF_INPUT, TRAIN_INPUT, spec_native

@@ -3,6 +3,7 @@ attack-pipeline invariance, driven by hypothesis."""
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.attacks.bytecode import (
@@ -102,6 +103,7 @@ def test_instruction_streams_decode_linearly(instrs):
 # lift/lower fixed point on every SPEC kernel
 # ---------------------------------------------------------------------------
 
+@pytest.mark.slow
 def test_lift_lower_identity_all_spec_kernels():
     for name in SPEC_PROGRAMS:
         image = spec_native(name)
@@ -151,6 +153,7 @@ def _embedded():
     return _EMBEDDED
 
 
+@pytest.mark.slow
 @settings(max_examples=15, deadline=None)
 @given(
     st.lists(st.integers(0, len(_LAYOUT_ATTACKS) - 1),

@@ -11,6 +11,8 @@ import random
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.bytecode_wm import WatermarkKey, embed, recognize
 from repro.core.bitstring import int_to_bits_lsb_first
 from repro.core.cipher import cipher_for_secret

@@ -102,6 +102,7 @@ class TestJessProfile:
         assert large > 2 * small
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", SPEC_PROGRAMS)
 class TestSpecKernels:
     def test_substrates_agree(self, name):
