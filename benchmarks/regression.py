@@ -1,0 +1,399 @@
+#!/usr/bin/env python
+"""CI-gated benchmark regression harness for the WVM engine.
+
+Runs the interpreter micro-benchmarks (fast engine vs the seed
+reference engine, interleaved in the same process) plus, with
+``--figures``, the ``benchmarks/test_*`` figure reproductions under
+pytest-benchmark, and writes a schema-versioned ``BENCH_<date>.json``
+report with per-benchmark median, IQR and steps/sec.
+
+Gating philosophy
+-----------------
+
+Absolute wall-clock numbers swing by ±20% or more between runner
+machines (and between runs on the *same* machine), so comparing a
+fresh timing against a committed absolute number would flake
+constantly. Every gated metric is therefore a **ratio measured inside
+one process with the two sides interleaved** — fast-engine throughput
+over reference-engine throughput, binary trace size over JSON trace
+size — which cancels the machine out. Raw seconds and steps/sec are
+still recorded (they are what humans read) but never gated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regression.py              # run + gate
+    PYTHONPATH=src python benchmarks/regression.py --figures    # + figures
+    PYTHONPATH=src python benchmarks/regression.py --rebaseline # refresh
+    PYTHONPATH=src python benchmarks/regression.py --no-check   # report only
+
+Exit status is non-zero when any gated metric regresses more than
+``--tolerance`` (default 0.20) below/above its committed baseline in
+``benchmarks/baseline.json``, or when the fast engine's trace is not
+byte-identical to the reference engine's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import io
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.vm._reference import run_module_reference  # noqa: E402
+from repro.vm.interpreter import run_module  # noqa: E402
+from repro.vm.trace_io import dump_trace, dump_trace_binary  # noqa: E402
+from repro.workloads.caffeinemark import (  # noqa: E402
+    DEFAULT_INPUT as CAFFEINE_INPUT,
+    caffeinemark_module,
+)
+from repro.workloads.jesslike import (  # noqa: E402
+    DEFAULT_INPUT as JESS_INPUT,
+    jess_module,
+)
+
+SCHEMA = "wvm-bench/1"
+DEFAULT_BASELINE = os.path.join(HERE, "baseline.json")
+DEFAULT_TOLERANCE = 0.20
+
+
+# -- measurement -------------------------------------------------------------
+
+
+def _median_iqr(values: List[float]) -> Tuple[float, float]:
+    med = statistics.median(values)
+    if len(values) < 4:
+        return med, max(values) - min(values)
+    qs = statistics.quantiles(values, n=4)
+    return med, qs[2] - qs[0]
+
+
+def _time_run(fn: Callable[[], object]) -> Tuple[float, object]:
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def _engine_pair(
+    name: str,
+    module_factory: Callable[[], object],
+    inputs: List[int],
+    trace_mode: Optional[str],
+    repeats: int,
+    results: Dict[str, dict],
+) -> None:
+    """Benchmark fast vs reference on one workload/mode, interleaved.
+
+    Interleaving matters: CPU frequency drifts over seconds, so
+    alternating ref/fast runs exposes both engines to the same drift
+    and keeps the per-repeat ratio honest.
+    """
+    module = module_factory()
+    ref_times: List[float] = []
+    fast_times: List[float] = []
+    steps = 0
+    for _ in range(repeats):
+        t_ref, res_ref = _time_run(
+            lambda: run_module_reference(module, inputs, trace_mode=trace_mode)
+        )
+        t_fast, res_fast = _time_run(
+            lambda: run_module(module, inputs, trace_mode=trace_mode)
+        )
+        assert res_ref.steps == res_fast.steps, "engines disagree on steps"
+        assert res_ref.output == res_fast.output, "engines disagree on output"
+        steps = res_fast.steps
+        ref_times.append(t_ref)
+        fast_times.append(t_fast)
+
+    mode = trace_mode or "untraced"
+    for engine, times in (("reference", ref_times), ("fast", fast_times)):
+        med, iqr = _median_iqr(times)
+        results[f"vm.{name}.{mode}.{engine}"] = {
+            "unit": "seconds",
+            "median": med,
+            "iqr": iqr,
+            "repeats": repeats,
+            "steps": steps,
+            "steps_per_sec": steps / med,
+            "gate": None,
+        }
+    ratios = [r / f for r, f in zip(ref_times, fast_times)]
+    med, iqr = _median_iqr(ratios)
+    results[f"vm.{name}.{mode}.speedup"] = {
+        "unit": "ratio",
+        "median": med,
+        "iqr": iqr,
+        "repeats": repeats,
+        "gate": "min",
+    }
+
+
+def _trace_identity_check() -> bool:
+    """The fast engine must produce byte-identical trace dumps."""
+    module = jess_module()
+    ok = True
+    for mode in ("branch", "full"):
+        ref = run_module_reference(module, JESS_INPUT, trace_mode=mode)
+        fast = run_module(module, JESS_INPUT, trace_mode=mode)
+        ref_buf, fast_buf = io.StringIO(), io.StringIO()
+        dump_trace(ref.trace, module, ref_buf)
+        dump_trace(fast.trace, module, fast_buf)
+        ok = ok and ref_buf.getvalue() == fast_buf.getvalue()
+    return ok
+
+
+def _trace_size_ratio(results: Dict[str, dict]) -> None:
+    """Binary-vs-JSON trace size: deterministic, so gated tightly."""
+    module = jess_module()
+    run = run_module(module, JESS_INPUT, trace_mode="full")
+    jbuf = io.StringIO()
+    dump_trace(run.trace, module, jbuf)
+    bbuf = io.BytesIO()
+    dump_trace_binary(run.trace, module, bbuf)
+    json_size = len(jbuf.getvalue().encode("utf-8"))
+    binary_size = len(bbuf.getvalue())
+    results["trace.jess.binary_compression"] = {
+        "unit": "ratio",
+        "median": json_size / binary_size,
+        "iqr": 0.0,
+        "repeats": 1,
+        "json_bytes": json_size,
+        "binary_bytes": binary_size,
+        "gate": "min",
+    }
+
+
+def _figure_benchmarks(results: Dict[str, dict]) -> None:
+    """Run the ``benchmarks/test_*`` figure suite under pytest-benchmark.
+
+    Each figure experiment records one honest round; their medians are
+    reported for trend-watching but not gated (single rounds on shared
+    runners are too noisy for a hard threshold).
+    """
+    out = os.path.join(HERE, "_figures_bench.json")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            HERE,
+            "-q",
+            "--benchmark-only",
+            f"--benchmark-json={out}",
+        ],
+        cwd=REPO,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise SystemExit("figure benchmark suite failed")
+    try:
+        with open(out) as fp:
+            doc = json.load(fp)
+    finally:
+        if os.path.exists(out):
+            os.remove(out)
+    for bench in doc.get("benchmarks", []):
+        stats = bench["stats"]
+        results[f"figures.{bench['name']}"] = {
+            "unit": "seconds",
+            "median": stats["median"],
+            "iqr": stats["iqr"],
+            "repeats": stats["rounds"],
+            "gate": None,
+        }
+
+
+# -- reporting / gating ------------------------------------------------------
+
+
+def run_benchmarks(repeats: int, figures: bool) -> dict:
+    results: Dict[str, dict] = {}
+    print("== interpreter micro-benchmarks ==", flush=True)
+    _engine_pair("jess", jess_module, JESS_INPUT, None, repeats, results)
+    _engine_pair("jess", jess_module, JESS_INPUT, "branch", repeats, results)
+    _engine_pair("jess", jess_module, JESS_INPUT, "full", repeats, results)
+    _engine_pair(
+        "caffeinemark",
+        caffeinemark_module,
+        CAFFEINE_INPUT,
+        None,
+        repeats,
+        results,
+    )
+    _trace_size_ratio(results)
+    trace_identical = _trace_identity_check()
+    if figures:
+        print("== figure reproduction benchmarks ==", flush=True)
+        _figure_benchmarks(results)
+    return {
+        "schema": SCHEMA,
+        "generated": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "benchmarks": results,
+        "checks": {"trace_byte_identical": trace_identical},
+    }
+
+
+def print_report(report: dict) -> None:
+    rows = sorted(report["benchmarks"].items())
+    width = max(len(name) for name, _ in rows)
+    print()
+    print(f"{'benchmark'.ljust(width)}  {'median':>12}  {'iqr':>10}  gated")
+    for name, entry in rows:
+        if entry["unit"] == "ratio":
+            med = f"{entry['median']:.2f}x"
+        else:
+            med = f"{entry['median'] * 1000:.1f}ms"
+            if "steps_per_sec" in entry:
+                med += f" ({entry['steps_per_sec'] / 1e6:.2f}M st/s)"
+        gated = entry["gate"] or "-"
+        print(
+            f"{name.ljust(width)}  {med:>12}  {entry['iqr']:>10.4f}  {gated}"
+        )
+    print()
+    ident = report["checks"]["trace_byte_identical"]
+    print(f"trace byte-identical vs reference engine: {ident}")
+
+
+def compare_to_baseline(
+    report: dict, baseline: dict, tolerance: float
+) -> List[str]:
+    failures: List[str] = []
+    if not report["checks"]["trace_byte_identical"]:
+        failures.append(
+            "fast engine's trace is not byte-identical to the reference"
+        )
+    for name, base in baseline.get("benchmarks", {}).items():
+        gate = base.get("gate")
+        if not gate:
+            continue
+        current = report["benchmarks"].get(name)
+        if current is None:
+            failures.append(f"{name}: benchmark missing from this run")
+            continue
+        base_med, cur_med = base["median"], current["median"]
+        if gate == "min" and cur_med < base_med * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {cur_med:.3f} regressed more than "
+                f"{tolerance:.0%} below baseline {base_med:.3f}"
+            )
+        elif gate == "max" and cur_med > base_med * (1.0 + tolerance):
+            failures.append(
+                f"{name}: {cur_med:.3f} regressed more than "
+                f"{tolerance:.0%} above baseline {base_med:.3f}"
+            )
+    return failures
+
+
+def write_baseline(report: dict, path: str) -> None:
+    """Commit only the gated, machine-independent metrics."""
+    gated = {
+        name: {
+            "unit": entry["unit"],
+            "median": round(entry["median"], 4),
+            "gate": entry["gate"],
+        }
+        for name, entry in report["benchmarks"].items()
+        if entry["gate"]
+    }
+    doc = {
+        "schema": SCHEMA,
+        "generated": report["generated"],
+        "note": (
+            "Gated ratio metrics only; absolute timings are "
+            "machine-dependent and deliberately excluded. Refresh with "
+            "`python benchmarks/regression.py --rebaseline`."
+        ),
+        "benchmarks": gated,
+    }
+    with open(path, "w") as fp:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=5, help="measurement repeats per engine"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional regression of gated medians (default 0.20)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, help="committed baseline path"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="report path (default BENCH_<date>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--figures",
+        action="store_true",
+        help="also run the benchmarks/test_* figure suite (slow)",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="write the report without gating against the baseline",
+    )
+    parser.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="rewrite the committed baseline from this run's medians",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(args.repeats, args.figures)
+    print_report(report)
+
+    out_path = args.output or os.path.join(
+        REPO, f"BENCH_{_dt.date.today().isoformat()}.json"
+    )
+    with open(out_path, "w") as fp:
+        json.dump(report, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"report written to {out_path}")
+
+    if args.rebaseline:
+        write_baseline(report, args.baseline)
+        print(f"baseline rewritten at {args.baseline}")
+        return 0
+    if args.no_check:
+        return 0
+
+    try:
+        with open(args.baseline) as fp:
+            baseline = json.load(fp)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; run with --rebaseline first")
+        return 1
+    failures = compare_to_baseline(report, baseline, args.tolerance)
+    if failures:
+        print("\nREGRESSIONS DETECTED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall gated metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,7 @@ We model the whole story:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 from ...core.cipher import cipher_for_secret
 from ...vm.assembler import assemble

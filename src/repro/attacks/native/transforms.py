@@ -28,10 +28,10 @@ from typing import List, Optional, Sequence, Tuple
 
 from ...native.encoding import encode_instruction
 from ...native.image import BinaryImage
-from ...native.isa import Imm, JCC_INVERSES, Label, NInstruction, ni
+from ...native.isa import Imm, JCC_INVERSES, Label, ni
 from ...native.machine import Machine, MachineFault
 from ...native.rewriter import lift, lower, patch_bytes
-from ...native_wm.embedder import CALL_LENGTH, NativeEmbedding, embed_native
+from ...native_wm.embedder import embed_native
 
 
 def insert_noops(

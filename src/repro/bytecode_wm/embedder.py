@@ -20,7 +20,7 @@ randomness comes from the key's RNG streams.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..core.bitstring import int_to_bits_lsb_first
 from ..core.enumeration import Statement, StatementEnumeration
@@ -29,7 +29,7 @@ from ..core.primes import choose_moduli
 from ..core.splitting import split
 from ..vm.interpreter import run_module
 from ..vm.program import Module
-from ..vm.rewriter import insert_at_site, site_index
+from ..vm.rewriter import insert_at_site
 from ..vm.tracing import SiteKey
 from ..vm.verifier import verify_module
 from .condition_codegen import generate_condition_piece

@@ -19,8 +19,8 @@ for reproducible fingerprinting of distributed copies.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from ..core.cipher import BlockCipher, cipher_for_secret
 from ..core.errors import KeyError_

@@ -16,7 +16,7 @@ placement to show why Figure 8(a)'s CaffeineMark curve bends.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 from ..core.errors import EmbeddingError
 from ..vm.program import Module

@@ -11,7 +11,7 @@ sides of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 KEYWORDS = frozenset({
     "fn", "var", "global", "if", "else", "while", "for", "return",

@@ -13,7 +13,7 @@ whole tamper-proofing story rests on.
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from .isa import (
     INSTRUCTION_FORMS,

@@ -11,7 +11,7 @@ information" setting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from .encoding import decode_instruction
 from .isa import NInstruction

@@ -17,10 +17,10 @@ A :class:`Profile` records, per instruction address:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from .image import BinaryImage
-from .machine import Machine, NRunResult
+from .machine import Machine
 
 
 @dataclass

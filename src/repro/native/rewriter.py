@@ -25,9 +25,8 @@ attack (Section 5.2.2, attack 4) without any relayout at all.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
-from .assembler import NasmError
 from .encoding import encode_instruction
 from .image import BinaryImage
 from .isa import Imm, Label, NInstruction, RELATIVE_TRANSFERS

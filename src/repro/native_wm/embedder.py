@@ -34,7 +34,6 @@ from ..core.bitstring import int_to_bits_lsb_first
 from ..core.errors import EmbeddingError
 from ..native.image import BinaryImage
 from ..native.isa import (
-    Imm,
     Label,
     Mem,
     NInstruction,
@@ -49,7 +48,7 @@ from .branch_function import (
     ENTRY_LABEL,
     emit_branch_function,
 )
-from .perfect_hash import PerfectHash, build_perfect_hash, hash_geometry
+from .perfect_hash import build_perfect_hash, hash_geometry
 
 CALL_LENGTH = 5  # bytes; k_i = a_i + CALL_LENGTH
 
@@ -341,9 +340,6 @@ def _embed_at(
             "perfect hash geometry diverged from reserved layout"
         )
     end_addr = label_addr[end_label]
-    targets = call_addrs[1:] + [end_addr] + [
-        label_addr[t] for _c, t in extra_calls
-    ]
     slots = [ph.evaluate(k) for k in keys]
 
     # Phase C: re-emit with final parameters; lengths are unchanged.

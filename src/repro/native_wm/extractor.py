@@ -30,7 +30,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.errors import RecognitionError
 from ..native.image import BinaryImage
 from ..native.machine import Machine, MachineFault
 from .embedder import CALL_LENGTH

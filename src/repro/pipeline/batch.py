@@ -25,7 +25,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from ..bytecode_wm.embedder import embed
 from ..bytecode_wm.recognizer import recognize

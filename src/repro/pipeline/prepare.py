@@ -13,17 +13,23 @@ O(1 prepare + N × insert-only).
 A :class:`PreparedProgram` is picklable as one object graph, which
 matters twice: it ships to pool workers (``pipeline.batch``) and it
 persists to disk (``save``/``load``) so repeated CLI runs against the
-same release skip preparation entirely. Pickling the module and trace
-*together* preserves the branch-event → instruction identity the trace
-model relies on.
+same release skip preparation entirely. The trace — by far the
+heaviest field — is pickled as a compact binary blob (the version-2
+format of :mod:`repro.vm.trace_io`) and re-bound against the pickled
+module on load, which both shrinks artifacts several-fold and
+preserves the branch-event → instruction identity the trace model
+relies on. Artifacts written before the binary encoding existed
+pickled the trace as a plain object graph; ``load`` still accepts
+those.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..bytecode_wm.embedder import default_piece_count
 from ..bytecode_wm.keys import WatermarkKey
@@ -33,8 +39,13 @@ from ..core.planner import plan_redundancy
 from ..core.primes import choose_moduli
 from ..vm.cfg import CFG, build_cfg
 from ..vm.disassembler import disassemble
-from ..vm.interpreter import run_module
+from ..vm.interpreter import DEFAULT_MAX_STEPS, StepLimitExceeded, run_module
 from ..vm.program import Module
+from ..vm.trace_io import (
+    TraceFormatError,
+    dump_trace_binary,
+    load_trace_binary,
+)
 from ..vm.tracing import SiteKey, Trace
 from ..vm.verifier import verify_module
 from .metrics import StageTimings
@@ -102,6 +113,38 @@ class PreparedProgram:
         )
 
     # -- persistence -------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle the trace as a compact binary blob, not an object graph.
+
+        The trace dominates artifact size (tens of MB of TracePoint /
+        BranchEvent objects for a jess-scale program); the version-2
+        binary encoding is several times smaller and much cheaper for
+        pickle to traverse. ``__setstate__`` re-binds it against the
+        module that travels in the same pickle.
+        """
+        state = dict(self.__dict__)
+        buf = io.BytesIO()
+        dump_trace_binary(self.trace, self.module, buf)
+        state["trace"] = buf.getvalue()
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        blob = state["trace"]
+        self.__dict__.update(state)
+        if isinstance(blob, bytes):
+            try:
+                self.trace = load_trace_binary(io.BytesIO(blob), self.module)
+            except TraceFormatError as exc:
+                raise PrepareError(
+                    f"prepared-program artifact has a corrupt trace: {exc}"
+                ) from exc
+        elif not isinstance(blob, Trace):
+            raise PrepareError(
+                "prepared-program artifact has an unrecognisable trace field"
+            )
+        # else: pre-binary artifact that pickled the Trace directly —
+        # already bound to the module, nothing to do.
 
     def save(self, path: str) -> None:
         with open(path, "wb") as fp:
@@ -173,6 +216,7 @@ def prepare(
     pieces: Optional[int] = None,
     piece_loss: Optional[float] = None,
     target_success: float = 0.99,
+    max_steps: int = DEFAULT_MAX_STEPS,
 ) -> PreparedProgram:
     """Run every watermark-independent stage once and snapshot it.
 
@@ -186,6 +230,11 @@ def prepare(
       consumers that analyse placements without re-deriving them;
     * **placement** — eligible insertion sites with frequencies;
     * **plan** — moduli selection plus redundancy planning.
+
+    A key-input run that exhausts ``max_steps`` mid-trace raises
+    :class:`PrepareError` naming the step budget; the partial trace is
+    discarded with the failed run and never reaches an artifact or a
+    :class:`PrepareCache` entry.
     """
     if watermark_bits < 1:
         raise PrepareError("watermark_bits must be positive")
@@ -194,7 +243,14 @@ def prepare(
         verify_module(module)
     snapshot = module.copy()
     with timings.measure("trace"):
-        run = run_module(snapshot, key.inputs, trace_mode="full")
+        try:
+            run = run_module(
+                snapshot, key.inputs, trace_mode="full", max_steps=max_steps
+            )
+        except StepLimitExceeded as exc:
+            raise PrepareError(
+                f"key-input trace did not terminate: {exc}"
+            ) from exc
     trace = run.trace
     assert trace is not None
     with timings.measure("cfg"):
@@ -259,11 +315,14 @@ class PrepareCache:
         pieces: Optional[int] = None,
         piece_loss: Optional[float] = None,
         target_success: float = 0.99,
+        max_steps: int = DEFAULT_MAX_STEPS,
     ) -> Tuple[PreparedProgram, bool]:
         """(artifact, was_hit) — preparing and caching on a miss.
 
         Insertion order doubles as eviction order (FIFO): release
-        churn is slow, so anything smarter is not worth the state.
+        churn is slow, so anything smarter is not worth the state. A
+        failed preparation (e.g. a key-input trace that exhausts
+        ``max_steps``) propagates and caches nothing.
         """
         digest = prepare_fingerprint(module, key, watermark_bits, pieces)
         cached = self._entries.get(digest)
@@ -272,7 +331,13 @@ class PrepareCache:
             return cached, True
         self.misses += 1
         prepared = prepare(
-            module, key, watermark_bits, pieces, piece_loss, target_success
+            module,
+            key,
+            watermark_bits,
+            pieces,
+            piece_loss,
+            target_success,
+            max_steps=max_steps,
         )
         if len(self._entries) >= self._max:
             oldest = next(iter(self._entries))

@@ -5,12 +5,16 @@ See DESIGN.md for the substitution argument. Public surface:
 * :class:`Instruction`, :class:`Function`, :class:`Module` — code model;
 * :func:`assemble` / :func:`disassemble` — textual form;
 * :class:`Interpreter` / :func:`run_module` — execution with optional
-  tracing ("branch" or "full" mode);
+  tracing ("branch" or "full" mode), on the precompiled fast path;
+* :class:`ReferenceInterpreter` / :func:`run_module_reference` — the
+  seed tree-walking engine, kept as the differential-testing oracle
+  and benchmarking baseline;
 * :func:`build_cfg` — control-flow graphs;
 * :func:`verify_module` — the bytecode verifier;
 * rewriting helpers in :mod:`repro.vm.rewriter`.
 """
 
+from ._reference import ReferenceInterpreter, run_module_reference
 from .assembler import AssemblyError, assemble
 from .cfg import CFG, BasicBlock, build_cfg
 from .disassembler import disassemble, disassemble_function
@@ -22,7 +26,13 @@ from .instructions import (
     label,
     wrap64,
 )
-from .interpreter import DEFAULT_MAX_STEPS, Interpreter, VMError, run_module
+from .interpreter import (
+    DEFAULT_MAX_STEPS,
+    Interpreter,
+    StepLimitExceeded,
+    VMError,
+    run_module,
+)
 from .program import Function, Module, VMFormatError
 from .rewriter import (
     RewriteError,
@@ -32,13 +42,23 @@ from .rewriter import (
     rename_labels,
     site_index,
 )
-from .trace_io import TraceFormatError, dump_trace, load_trace
+from .trace_io import (
+    BinaryTraceReader,
+    BinaryTraceWriter,
+    TraceFormatError,
+    dump_trace,
+    dump_trace_binary,
+    load_trace,
+    load_trace_binary,
+)
 from .tracing import BranchEvent, RunResult, SiteKey, Trace, TracePoint
 from .verifier import VerificationError, is_verifiable, verify_module
 
 __all__ = [
     "AssemblyError",
     "BasicBlock",
+    "BinaryTraceReader",
+    "BinaryTraceWriter",
     "BranchEvent",
     "CFG",
     "CONDITIONAL_BRANCHES",
@@ -48,9 +68,11 @@ __all__ = [
     "Instruction",
     "Interpreter",
     "Module",
+    "ReferenceInterpreter",
     "RewriteError",
     "RunResult",
     "SiteKey",
+    "StepLimitExceeded",
     "Trace",
     "TraceFormatError",
     "TracePoint",
@@ -63,14 +85,17 @@ __all__ = [
     "disassemble",
     "disassemble_function",
     "dump_trace",
+    "dump_trace_binary",
     "freshen_template",
     "ins",
     "insert_at_site",
     "is_verifiable",
     "label",
     "load_trace",
+    "load_trace_binary",
     "rename_labels",
     "run_module",
+    "run_module_reference",
     "site_index",
     "verify_module",
     "wrap64",

@@ -1,0 +1,340 @@
+"""The seed WVM interpreter, kept verbatim as a reference engine.
+
+This is the straightforward walking-the-instruction-stream engine the
+repository started with (paper Sections 3.1/3.3). The fast path in
+:mod:`repro.vm.interpreter` must be observably indistinguishable from
+it -- same outputs, step counts, traps and traces -- so it survives
+here as (a) the differential-testing oracle and (b) the "pre-PR
+engine" baseline that `benchmarks/regression.py` measures speedups
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .instructions import wrap64
+from .program import Function, Module
+from .tracing import BranchEvent, RunResult, SiteKey, Trace, TracePoint
+
+from .interpreter import DEFAULT_MAX_STEPS, VMError
+
+
+class _Frame:
+    __slots__ = ("fn", "code", "labels", "pc", "locals", "stack")
+
+    def __init__(self, fn: Function, labels: Dict[str, int], args: Sequence[int]):
+        self.fn = fn
+        self.code = fn.code
+        self.labels = labels
+        self.pc = 0
+        self.locals: List[int] = list(args) + [0] * (fn.locals_count - len(args))
+        self.stack: List[int] = []
+
+
+class ReferenceInterpreter:
+    """Executes a module; optionally records a trace.
+
+    ``trace_mode``:
+      * ``None`` — no tracing (fastest; cost evaluation runs);
+      * ``"branch"`` — record conditional-branch events only
+        (recognition);
+      * ``"full"`` — branch events plus per-site variable snapshots
+        (the embedding-time tracing phase).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        trace_mode: Optional[str] = None,
+    ):
+        if trace_mode not in (None, "branch", "full"):
+            raise ValueError(f"bad trace_mode {trace_mode!r}")
+        module.validate_structure()
+        self.module = module
+        self.max_steps = max_steps
+        self.trace_mode = trace_mode
+        self._labels: Dict[str, Dict[str, int]] = {
+            name: fn.labels() for name, fn in module.functions.items()
+        }
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, inputs: Sequence[int] = ()) -> RunResult:
+        """Execute from the entry function until halt or return.
+
+        ``inputs`` is the secret input sequence consumed by ``input``
+        instructions (the watermark key at trace time).
+        """
+        trace = Trace() if self.trace_mode else None
+        full = self.trace_mode == "full"
+        module = self.module
+        globals_: List[int] = [0] * module.globals_count
+        output: List[int] = []
+        input_pos = 0
+        heap: List[List[int]] = []
+
+        entry = module.functions[module.entry]
+        frames: List[_Frame] = [_Frame(entry, self._labels[entry.name], ())]
+        if full:
+            self._record_site(trace, frames[-1], "<entry>", globals_)
+
+        steps = 0
+        max_steps = self.max_steps
+        halted = False
+
+        while frames:
+            frame = frames[-1]
+            code = frame.code
+            if frame.pc >= len(code):
+                raise VMError(
+                    f"{frame.fn.name}: fell off the end of the code"
+                )
+            instr = code[frame.pc]
+            op = instr.op
+
+            if op == "label":
+                frame.pc += 1
+                if full:
+                    self._record_site(trace, frame, instr.arg, globals_)
+                continue
+
+            steps += 1
+            if steps > max_steps:
+                raise VMError(f"step limit of {max_steps} exceeded")
+
+            stack = frame.stack
+            try:
+                if op == "const":
+                    stack.append(instr.arg)
+                    frame.pc += 1
+                elif op == "load":
+                    stack.append(frame.locals[instr.arg])
+                    frame.pc += 1
+                elif op == "store":
+                    frame.locals[instr.arg] = stack.pop()
+                    frame.pc += 1
+                elif op == "iinc":
+                    frame.locals[instr.arg] = wrap64(
+                        frame.locals[instr.arg] + instr.arg2
+                    )
+                    frame.pc += 1
+                elif op in _BINARY_ARITH:
+                    b = stack.pop()
+                    a = stack.pop()
+                    stack.append(_BINARY_ARITH[op](a, b))
+                    frame.pc += 1
+                elif op in _UNARY_ARITH:
+                    stack.append(_UNARY_ARITH[op](stack.pop()))
+                    frame.pc += 1
+                elif op in _CONDITIONS:
+                    if op.startswith("if_icmp"):
+                        b = stack.pop()
+                        a = stack.pop()
+                    else:
+                        b = 0
+                        a = stack.pop()
+                    taken = _CONDITIONS[op](a, b)
+                    if taken:
+                        target = frame.labels.get(instr.arg)
+                        if target is None:
+                            raise VMError(
+                                f"{frame.fn.name}: branch to missing label "
+                                f"{instr.arg!r}"
+                            )
+                        frame.pc = target
+                    else:
+                        frame.pc += 1
+                    if trace is not None:
+                        follower = code[frame.pc] if frame.pc < len(code) else instr
+                        trace.branches.append(
+                            BranchEvent(instr, follower, taken)
+                        )
+                elif op == "goto":
+                    target = frame.labels.get(instr.arg)
+                    if target is None:
+                        raise VMError(
+                            f"{frame.fn.name}: goto missing label {instr.arg!r}"
+                        )
+                    frame.pc = target
+                elif op == "call":
+                    callee = self.module.functions.get(instr.arg)
+                    if callee is None:
+                        raise VMError(f"call to unknown function {instr.arg!r}")
+                    if len(stack) < callee.params:
+                        raise VMError(
+                            f"{frame.fn.name}: stack underflow calling "
+                            f"{callee.name}"
+                        )
+                    if len(frames) >= 4096:
+                        raise VMError("call stack overflow")
+                    args = stack[len(stack) - callee.params:]
+                    del stack[len(stack) - callee.params:]
+                    frame.pc += 1
+                    frames.append(
+                        _Frame(callee, self._labels[callee.name], args)
+                    )
+                    if full:
+                        self._record_site(trace, frames[-1], "<entry>", globals_)
+                elif op == "ret":
+                    value = stack.pop()
+                    frames.pop()
+                    if frames:
+                        frames[-1].stack.append(value)
+                    else:
+                        halted = True
+                elif op == "dup":
+                    stack.append(stack[-1])
+                    frame.pc += 1
+                elif op == "pop":
+                    stack.pop()
+                    frame.pc += 1
+                elif op == "swap":
+                    stack[-1], stack[-2] = stack[-2], stack[-1]
+                    frame.pc += 1
+                elif op == "gload":
+                    stack.append(globals_[instr.arg])
+                    frame.pc += 1
+                elif op == "gstore":
+                    globals_[instr.arg] = stack.pop()
+                    frame.pc += 1
+                elif op == "print":
+                    output.append(stack.pop())
+                    frame.pc += 1
+                elif op == "input":
+                    if input_pos >= len(inputs):
+                        raise VMError("input sequence exhausted")
+                    stack.append(inputs[input_pos])
+                    input_pos += 1
+                    frame.pc += 1
+                elif op == "newarray":
+                    length = stack.pop()
+                    if length < 0 or length > 10_000_000:
+                        raise VMError(f"bad array length {length}")
+                    heap.append([0] * length)
+                    stack.append(len(heap) - 1)
+                    frame.pc += 1
+                elif op == "aload":
+                    index = stack.pop()
+                    ref = stack.pop()
+                    stack.append(self._array(heap, ref, index)[index])
+                    frame.pc += 1
+                elif op == "astore":
+                    value = stack.pop()
+                    index = stack.pop()
+                    ref = stack.pop()
+                    self._array(heap, ref, index)[index] = value
+                    frame.pc += 1
+                elif op == "alen":
+                    ref = stack.pop()
+                    if not 0 <= ref < len(heap):
+                        raise VMError(f"bad array reference {ref}")
+                    stack.append(len(heap[ref]))
+                    frame.pc += 1
+                elif op == "nop":
+                    frame.pc += 1
+                elif op == "halt":
+                    halted = True
+                    frames.clear()
+                else:  # pragma: no cover - opcode table is closed
+                    raise VMError(f"unimplemented opcode {op!r}")
+            except IndexError:
+                raise VMError(
+                    f"{frame.fn.name}@{frame.pc}: stack underflow on {op}"
+                ) from None
+
+        return RunResult(output=output, steps=steps, trace=trace, halted=halted)
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _array(heap: List[List[int]], ref: int, index: int) -> List[int]:
+        if not 0 <= ref < len(heap):
+            raise VMError(f"bad array reference {ref}")
+        arr = heap[ref]
+        if not 0 <= index < len(arr):
+            raise VMError(f"array index {index} out of bounds ({len(arr)})")
+        return arr
+
+    @staticmethod
+    def _record_site(
+        trace: Trace,
+        frame: _Frame,
+        site: str,
+        globals_: List[int],
+    ) -> None:
+        trace.points.append(
+            TracePoint(
+                SiteKey(frame.fn.name, site),
+                tuple(frame.locals),
+                tuple(globals_),
+            )
+        )
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise VMError("division by zero")
+    q = abs(a) // abs(b)
+    return wrap64(-q if (a < 0) != (b < 0) else q)
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise VMError("modulo by zero")
+    return wrap64(a - _div(a, b) * b)
+
+
+def _shl(a: int, b: int) -> int:
+    return wrap64(a << (b & 63))
+
+
+def _shr(a: int, b: int) -> int:
+    return wrap64(a >> (b & 63))
+
+
+_BINARY_ARITH = {
+    "add": lambda a, b: wrap64(a + b),
+    "sub": lambda a, b: wrap64(a - b),
+    "mul": lambda a, b: wrap64(a * b),
+    "div": _div,
+    "mod": _mod,
+    "band": lambda a, b: wrap64(a & b),
+    "bor": lambda a, b: wrap64(a | b),
+    "bxor": lambda a, b: wrap64(a ^ b),
+    "shl": _shl,
+    "shr": _shr,
+}
+
+_UNARY_ARITH = {
+    "neg": lambda a: wrap64(-a),
+    "bnot": lambda a: wrap64(~a),
+}
+
+_CONDITIONS = {
+    "if_icmpeq": lambda a, b: a == b,
+    "if_icmpne": lambda a, b: a != b,
+    "if_icmplt": lambda a, b: a < b,
+    "if_icmple": lambda a, b: a <= b,
+    "if_icmpgt": lambda a, b: a > b,
+    "if_icmpge": lambda a, b: a >= b,
+    "ifeq": lambda a, b: a == b,
+    "ifne": lambda a, b: a != b,
+    "iflt": lambda a, b: a < b,
+    "ifle": lambda a, b: a <= b,
+    "ifgt": lambda a, b: a > b,
+    "ifge": lambda a, b: a >= b,
+}
+
+
+def run_module_reference(
+    module: Module,
+    inputs: Sequence[int] = (),
+    trace_mode: Optional[str] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> RunResult:
+    """Convenience wrapper: build an interpreter and run the module."""
+    return ReferenceInterpreter(module, max_steps=max_steps, trace_mode=trace_mode).run(
+        inputs
+    )

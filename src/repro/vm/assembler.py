@@ -31,7 +31,7 @@ disassembler's output round-trips through it.
 from __future__ import annotations
 
 import re
-from typing import List, Optional
+from typing import Optional
 
 from .instructions import (
     GLOBAL_OPERANDS,

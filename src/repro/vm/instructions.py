@@ -22,7 +22,7 @@ Signed 64-bit arithmetic with wraparound is used, matching Java's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 # ---------------------------------------------------------------------------

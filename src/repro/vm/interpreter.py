@@ -1,4 +1,4 @@
-"""The WVM interpreter, with tracing hooks (paper Sections 3.1/3.3).
+"""The WVM fast-path execution engine, with tracing hooks.
 
 Tracing is built into the interpreter rather than added by bytecode
 instrumentation. This deliberately models the paper's response to the
@@ -11,15 +11,33 @@ interface.
 
 Runtime failures raise :class:`VMError` (the analog of a JVM crash or
 exception); the attack harness treats a trapped program as broken.
+
+Execution design (see ``docs/performance.md`` for measurements):
+
+* Functions are lowered once, lazily, into the dense precompiled form
+  of :mod:`repro.vm.compiler` — integer opcodes, resolved branch
+  targets, pre-decoded operands, pre-built branch events and site
+  keys, and fused superinstructions for hot straight-line patterns.
+* The run loop exists in three *specializations* — untraced,
+  branch-traced and full-traced — so ``trace_mode=None`` pays zero
+  tracing overhead. The three are generated from one template at
+  import time (:func:`_gen_loop`); tracing differs only in the lines
+  tagged for that mode, which keeps the semantics of the variants
+  in lockstep by construction.
+
+Observable behaviour is identical to the seed engine (kept as
+:mod:`repro.vm._reference` for differential testing): same outputs,
+same step counts, same traps, and byte-identical traces.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-from .instructions import Instruction, wrap64
-from .program import Function, Module
-from .tracing import BranchEvent, RunResult, SiteKey, Trace, TracePoint
+from .compiler import CompiledFunction
+from .instructions import wrap64
+from .program import Module
+from .tracing import RunResult, Trace, TracePoint
 
 DEFAULT_MAX_STEPS = 50_000_000
 
@@ -28,16 +46,737 @@ class VMError(Exception):
     """A WVM runtime trap (bad branch, division by zero, etc.)."""
 
 
-class _Frame:
-    __slots__ = ("fn", "code", "labels", "pc", "locals", "stack")
+class StepLimitExceeded(VMError):
+    """The configured ``max_steps`` budget ran out mid-execution.
 
-    def __init__(self, fn: Function, labels: Dict[str, int], args: Sequence[int]):
-        self.fn = fn
-        self.code = fn.code
-        self.labels = labels
-        self.pc = 0
-        self.locals: List[int] = list(args) + [0] * (fn.locals_count - len(args))
-        self.stack: List[int] = []
+    Raised instead of spinning silently; any partially collected trace
+    is discarded with the run (the interpreter never returns one).
+    """
+
+    def __init__(self, max_steps: int, function: str):
+        super().__init__(
+            f"step limit of {max_steps} exceeded in {function!r} "
+            f"(non-terminating program, or raise max_steps)"
+        )
+        self.max_steps = max_steps
+        self.function = function
+
+
+# ---------------------------------------------------------------------------
+# Run-loop template. One source, three specializations: lines emitted
+# conditionally on the mode flags T (record branch events: "branch" and
+# "full") and F (record trace-site snapshots: "full" only).
+# ---------------------------------------------------------------------------
+
+_MIN64 = -(1 << 63)
+_MAX64 = (1 << 63) - 1
+
+
+def _gen_loop(mode: Optional[str]) -> str:
+    T = mode in ("branch", "full")
+    F = mode == "full"
+    name = {None: "_run_untraced", "branch": "_run_branch", "full": "_run_full"}
+    L: list = []
+    emit = L.append
+
+    def snap(keys_expr: str, ind: str) -> None:
+        """Record every SiteKey in ``keys_expr`` with current snapshots."""
+        emit(f"{ind}_sk = {keys_expr}")
+        emit(f"{ind}if _sk:")
+        emit(f"{ind}    _ls = tuple(loc); _gs = tuple(glob)")
+        emit(f"{ind}    for _k in _sk:")
+        emit(f"{ind}        pt_append(TracePoint(_k, _ls, _gs))")
+
+    def branch_tail(tgt: str, adv: int, ind: str) -> None:
+        """Shared conditional-branch epilogue: event, sites, transfer."""
+        emit(f"{ind}if taken:")
+        if T:
+            emit(f"{ind}    ev_append(evt[pc])")
+        if F:
+            snap("ts[pc]", ind + "    ")
+        emit(f"{ind}    pc = {tgt}")
+        emit(f"{ind}else:")
+        if T:
+            emit(f"{ind}    ev_append(evf[pc])")
+        if F:
+            snap("fs[pc]", ind + "    ")
+        emit(f"{ind}    pc += {adv}")
+        emit(f"{ind}continue")
+
+    def jump_tail(tgt: str, ind: str) -> None:
+        """goto-style epilogue: sites on the taken edge, then transfer."""
+        if F:
+            snap("ts[pc]", ind)
+        emit(f"{ind}pc = {tgt}")
+        emit(f"{ind}continue")
+
+    def fall(adv: int, ind: str) -> None:
+        """Fall-through epilogue: sites crossed, then advance."""
+        if F:
+            snap("fs[pc]", ind)
+        emit(f"{ind}pc += {adv}")
+        emit(f"{ind}continue")
+
+    def binop_chain(
+        out_stmt: Callable[[str], str],
+        adv: int,
+        ind: str,
+        tail: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        """Selector-dispatched fused binop: a_ OP b_ -> ``out_stmt``.
+
+        ``out_stmt`` receives the value expression; the aload arm emits
+        its own (unwrapped) result, everything else goes through the
+        64-bit wrap fast path. ``tail`` overrides the fall-through
+        epilogue (used by fused forms that end in a goto).
+        """
+        if tail is None:
+            def tail(ind2: str) -> None:
+                fall(adv, ind2)
+        wrapped = out_stmt(f"v if {_MIN64} <= v <= {_MAX64} else wrap(v)")
+        emit(f"{ind}if sel < 5:")
+        emit(f"{ind}    if sel == 0:")
+        emit(f"{ind}        v = a_ + b_")
+        emit(f"{ind}    elif sel == 1:")
+        emit(f"{ind}        v = a_ * b_")
+        emit(f"{ind}    elif sel == 2:")  # aload
+        emit(f"{ind}        if not 0 <= a_ < len(heap):")
+        emit(f"{ind}            raise VMError(f'bad array reference {{a_}}')")
+        emit(f"{ind}        _arr = heap[a_]")
+        emit(f"{ind}        if not 0 <= b_ < len(_arr):")
+        emit(f"{ind}            raise VMError(")
+        emit(f"{ind}                f'array index {{b_}} out of bounds "
+             f"({{len(_arr)}})')")
+        emit(f"{ind}        {out_stmt('_arr[b_]')}")
+        tail(ind + "        ")
+        emit(f"{ind}    elif sel == 3:")
+        emit(f"{ind}        v = a_ & b_")
+        emit(f"{ind}    else:")  # mod
+        emit(f"{ind}        if b_ == 0:")
+        emit(f"{ind}            raise VMError('modulo by zero')")
+        emit(f"{ind}        _q = abs(a_) // abs(b_)")
+        emit(f"{ind}        if (a_ < 0) != (b_ < 0):")
+        emit(f"{ind}            _q = -_q")
+        emit(f"{ind}        if not {_MIN64} <= _q <= {_MAX64}:")
+        emit(f"{ind}            _q = wrap(_q)")
+        emit(f"{ind}        v = a_ - _q * b_")
+        emit(f"{ind}elif sel == 5:")
+        emit(f"{ind}    v = a_ - b_")
+        emit(f"{ind}elif sel == 6:")
+        emit(f"{ind}    v = a_ | b_")
+        emit(f"{ind}elif sel == 7:")
+        emit(f"{ind}    v = a_ ^ b_")
+        emit(f"{ind}elif sel == 8:")
+        emit(f"{ind}    v = a_ << (b_ & 63)")
+        emit(f"{ind}elif sel == 9:")
+        emit(f"{ind}    v = a_ >> (b_ & 63)")
+        emit(f"{ind}else:")  # div
+        emit(f"{ind}    if b_ == 0:")
+        emit(f"{ind}        raise VMError('division by zero')")
+        emit(f"{ind}    v = abs(a_) // abs(b_)")
+        emit(f"{ind}    if (a_ < 0) != (b_ < 0):")
+        emit(f"{ind}        v = -v")
+        emit(f"{ind}{wrapped}")
+        tail(ind)
+
+    def inner_chain(a_expr: str, b_expr: str, sel_expr: str, ind: str) -> None:
+        """Full binop into ``t_`` — the inner half of a second-order
+        fused slot. Traps raise the same ``VMError`` as the unfused
+        sequence would; the interleaving difference is unobservable
+        because a trap discards the whole run."""
+        emit(f"{ind}_ia = {a_expr}")
+        emit(f"{ind}_ib = {b_expr}")
+        emit(f"{ind}_s2 = {sel_expr}")
+        emit(f"{ind}if _s2 < 5:")
+        emit(f"{ind}    if _s2 == 0:")
+        emit(f"{ind}        t_ = _ia + _ib")
+        emit(f"{ind}    elif _s2 == 1:")
+        emit(f"{ind}        t_ = _ia * _ib")
+        emit(f"{ind}    elif _s2 == 2:")  # aload
+        emit(f"{ind}        if not 0 <= _ia < len(heap):")
+        emit(f"{ind}            raise VMError(f'bad array reference {{_ia}}')")
+        emit(f"{ind}        _arr = heap[_ia]")
+        emit(f"{ind}        if not 0 <= _ib < len(_arr):")
+        emit(f"{ind}            raise VMError(")
+        emit(f"{ind}                f'array index {{_ib}} out of bounds "
+             f"({{len(_arr)}})')")
+        emit(f"{ind}        t_ = _arr[_ib]")
+        emit(f"{ind}    elif _s2 == 3:")
+        emit(f"{ind}        t_ = _ia & _ib")
+        emit(f"{ind}    else:")  # mod
+        emit(f"{ind}        if _ib == 0:")
+        emit(f"{ind}            raise VMError('modulo by zero')")
+        emit(f"{ind}        _q = abs(_ia) // abs(_ib)")
+        emit(f"{ind}        if (_ia < 0) != (_ib < 0):")
+        emit(f"{ind}            _q = -_q")
+        emit(f"{ind}        if not {_MIN64} <= _q <= {_MAX64}:")
+        emit(f"{ind}            _q = wrap(_q)")
+        emit(f"{ind}        t_ = _ia - _q * _ib")
+        emit(f"{ind}elif _s2 == 5:")
+        emit(f"{ind}    t_ = _ia - _ib")
+        emit(f"{ind}elif _s2 == 6:")
+        emit(f"{ind}    t_ = _ia | _ib")
+        emit(f"{ind}elif _s2 == 7:")
+        emit(f"{ind}    t_ = _ia ^ _ib")
+        emit(f"{ind}elif _s2 == 8:")
+        emit(f"{ind}    t_ = _ia << (_ib & 63)")
+        emit(f"{ind}elif _s2 == 9:")
+        emit(f"{ind}    t_ = _ia >> (_ib & 63)")
+        emit(f"{ind}else:")  # div
+        emit(f"{ind}    if _ib == 0:")
+        emit(f"{ind}        raise VMError('division by zero')")
+        emit(f"{ind}    t_ = abs(_ia) // abs(_ib)")
+        emit(f"{ind}    if (_ia < 0) != (_ib < 0):")
+        emit(f"{ind}        t_ = -t_")
+        emit(f"{ind}if not {_MIN64} <= t_ <= {_MAX64}:")
+        emit(f"{ind}    t_ = wrap(t_)")
+
+    def cmp_chain(ind: str) -> None:
+        """Selector-dispatched comparison into ``taken``."""
+        emit(f"{ind}if sel == 5:")
+        emit(f"{ind}    taken = a_ >= b_")
+        emit(f"{ind}elif sel == 2:")
+        emit(f"{ind}    taken = a_ < b_")
+        emit(f"{ind}elif sel == 1:")
+        emit(f"{ind}    taken = a_ != b_")
+        emit(f"{ind}elif sel == 0:")
+        emit(f"{ind}    taken = a_ == b_")
+        emit(f"{ind}elif sel == 3:")
+        emit(f"{ind}    taken = a_ <= b_")
+        emit(f"{ind}else:")
+        emit(f"{ind}    taken = a_ > b_")
+
+    emit(f"def {name[mode]}(module, compiled, compile_fn, inputs, max_steps):")
+    emit("    compiled_get = compiled.get")
+    emit("    glob = [0] * module.globals_count")
+    emit("    output = []")
+    emit("    out_append = output.append")
+    emit("    input_pos = 0")
+    emit("    n_inputs = len(inputs)")
+    emit("    heap = []")
+    emit("    heap_append = heap.append")
+    emit("    steps = 0")
+    emit("    halted = False")
+    emit("    wrap = wrap64")
+    if T:
+        emit("    trace = Trace()")
+        emit("    ev_append = trace.branches.append")
+    if F:
+        emit("    pt_append = trace.points.append")
+    emit("    cf = compiled_get(module.entry)")
+    emit("    if cf is None:")
+    emit("        cf = compile_fn(module.entry)")
+    emit("    ops = cf.ops; aa = cf.aa; bb = cf.bb; cc = cf.cc")
+    emit("    dd = cf.dd; ee = cf.ee")
+    if T:
+        emit("    evt = cf.evt; evf = cf.evf")
+    if F:
+        emit("    fs = cf.fs; ts = cf.ts")
+    emit("    loc = [0] * cf.nlocals")
+    emit("    stack = []")
+    emit("    push = stack.append")
+    emit("    pop = stack.pop")
+    emit("    frames = []")
+    emit("    frames_append = frames.append")
+    emit("    frames_pop = frames.pop")
+    emit("    pc = 0")
+    if F:
+        emit("    _ls = tuple(loc); _gs = tuple(glob)")
+        emit("    for _k in cf.entry_sites:")
+        emit("        pt_append(TracePoint(_k, _ls, _gs))")
+    emit("    try:")
+    emit("        while True:")
+    emit("            op = ops[pc]")
+    # ---- singles -----------------------------------------------------
+    emit("            if op < 45:")
+    emit("                steps += 1")
+    emit("                if steps > max_steps:")
+    emit("                    raise StepLimitExceeded(max_steps, cf.name)")
+    IND = "                "
+    emit(f"{IND}if op < 10:")
+    emit(f"{IND}    if op == 0:")  # load
+    emit(f"{IND}        push(loc[aa[pc]])")
+    fall(1, IND + "        ")
+    emit(f"{IND}    if op == 1:")  # const
+    emit(f"{IND}        push(aa[pc])")
+    fall(1, IND + "        ")
+    emit(f"{IND}    if op == 2:")  # add
+    emit(f"{IND}        b_ = pop()")
+    emit(f"{IND}        v = stack[-1] + b_")
+    emit(f"{IND}        stack[-1] = v if {_MIN64} <= v <= {_MAX64} else wrap(v)")
+    fall(1, IND + "        ")
+    emit(f"{IND}    if op == 3:")  # store
+    emit(f"{IND}        loc[aa[pc]] = pop()")
+    fall(1, IND + "        ")
+    emit(f"{IND}    if op == 4:")  # aload
+    emit(f"{IND}        b_ = pop()")
+    emit(f"{IND}        a_ = stack[-1]")
+    emit(f"{IND}        if not 0 <= a_ < len(heap):")
+    emit(f"{IND}            raise VMError(f'bad array reference {{a_}}')")
+    emit(f"{IND}        _arr = heap[a_]")
+    emit(f"{IND}        if not 0 <= b_ < len(_arr):")
+    emit(f"{IND}            raise VMError(")
+    emit(f"{IND}                f'array index {{b_}} out of bounds "
+         f"({{len(_arr)}})')")
+    emit(f"{IND}        stack[-1] = _arr[b_]")
+    fall(1, IND + "        ")
+    emit(f"{IND}    if op == 5:")  # mul
+    emit(f"{IND}        b_ = pop()")
+    emit(f"{IND}        v = stack[-1] * b_")
+    emit(f"{IND}        stack[-1] = v if {_MIN64} <= v <= {_MAX64} else wrap(v)")
+    fall(1, IND + "        ")
+    emit(f"{IND}    if op == 6:")  # band
+    emit(f"{IND}        b_ = pop()")
+    emit(f"{IND}        v = stack[-1] & b_")
+    emit(f"{IND}        stack[-1] = v if {_MIN64} <= v <= {_MAX64} else wrap(v)")
+    fall(1, IND + "        ")
+    emit(f"{IND}    if op == 7:")  # sub
+    emit(f"{IND}        b_ = pop()")
+    emit(f"{IND}        v = stack[-1] - b_")
+    emit(f"{IND}        stack[-1] = v if {_MIN64} <= v <= {_MAX64} else wrap(v)")
+    fall(1, IND + "        ")
+    emit(f"{IND}    if op == 8:")  # astore
+    emit(f"{IND}        v = pop()")
+    emit(f"{IND}        b_ = pop()")
+    emit(f"{IND}        a_ = pop()")
+    emit(f"{IND}        if not 0 <= a_ < len(heap):")
+    emit(f"{IND}            raise VMError(f'bad array reference {{a_}}')")
+    emit(f"{IND}        _arr = heap[a_]")
+    emit(f"{IND}        if not 0 <= b_ < len(_arr):")
+    emit(f"{IND}            raise VMError(")
+    emit(f"{IND}                f'array index {{b_}} out of bounds "
+         f"({{len(_arr)}})')")
+    emit(f"{IND}        _arr[b_] = v")
+    fall(1, IND + "        ")
+    # iinc
+    emit(f"{IND}    _i = aa[pc]")
+    emit(f"{IND}    v = loc[_i] + bb[pc]")
+    emit(f"{IND}    loc[_i] = v if {_MIN64} <= v <= {_MAX64} else wrap(v)")
+    fall(1, IND + "    ")
+    # conditionals 10..21
+    emit(f"{IND}if op < 22:")
+    emit(f"{IND}    if op < 16:")
+    emit(f"{IND}        b_ = pop()")
+    emit(f"{IND}        a_ = pop()")
+    emit(f"{IND}        sel = op - 10")
+    emit(f"{IND}    else:")
+    emit(f"{IND}        a_ = pop()")
+    emit(f"{IND}        b_ = 0")
+    emit(f"{IND}        sel = op - 16")
+    cmp_chain(IND + "    ")
+    branch_tail("aa[pc]", 1, IND + "    ")
+    emit(f"{IND}if op == 22:")  # goto
+    jump_tail("aa[pc]", IND + "    ")
+    emit(f"{IND}if op == 23:")  # call
+    emit(f"{IND}    callee = compiled_get(aa[pc])")
+    emit(f"{IND}    if callee is None:")
+    emit(f"{IND}        callee = compile_fn(aa[pc])")
+    emit(f"{IND}    _np = callee.params")
+    emit(f"{IND}    if len(stack) < _np:")
+    emit(f"{IND}        raise VMError(")
+    emit(f"{IND}            f'{{cf.name}}: stack underflow calling "
+         f"{{callee.name}}')")
+    emit(f"{IND}    if len(frames) >= 4095:")
+    emit(f"{IND}        raise VMError('call stack overflow')")
+    emit(f"{IND}    if _np:")
+    emit(f"{IND}        _args = stack[-_np:]")
+    emit(f"{IND}        del stack[-_np:]")
+    emit(f"{IND}    else:")
+    emit(f"{IND}        _args = []")
+    emit(f"{IND}    frames_append((cf, pc + 1, loc, stack, push, pop))")
+    emit(f"{IND}    cf = callee")
+    emit(f"{IND}    ops = cf.ops; aa = cf.aa; bb = cf.bb; cc = cf.cc")
+    emit(f"{IND}    dd = cf.dd; ee = cf.ee")
+    if T:
+        emit(f"{IND}    evt = cf.evt; evf = cf.evf")
+    if F:
+        emit(f"{IND}    fs = cf.fs; ts = cf.ts")
+    emit(f"{IND}    loc = _args + [0] * (cf.nlocals - _np)")
+    emit(f"{IND}    stack = []")
+    emit(f"{IND}    push = stack.append")
+    emit(f"{IND}    pop = stack.pop")
+    emit(f"{IND}    pc = 0")
+    if F:
+        emit(f"{IND}    _ls = tuple(loc); _gs = tuple(glob)")
+        emit(f"{IND}    for _k in cf.entry_sites:")
+        emit(f"{IND}        pt_append(TracePoint(_k, _ls, _gs))")
+    emit(f"{IND}    continue")
+    emit(f"{IND}if op == 24:")  # ret
+    emit(f"{IND}    _v = pop()")
+    emit(f"{IND}    if not frames:")
+    emit(f"{IND}        halted = True")
+    emit(f"{IND}        break")
+    emit(f"{IND}    cf, pc, loc, stack, push, pop = frames_pop()")
+    emit(f"{IND}    push(_v)")
+    emit(f"{IND}    ops = cf.ops; aa = cf.aa; bb = cf.bb; cc = cf.cc")
+    emit(f"{IND}    dd = cf.dd; ee = cf.ee")
+    if T:
+        emit(f"{IND}    evt = cf.evt; evf = cf.evf")
+    if F:
+        emit(f"{IND}    fs = cf.fs; ts = cf.ts")
+        snap("fs[pc - 1]", IND + "    ")
+    emit(f"{IND}    continue")
+    emit(f"{IND}if op == 25:")  # gload
+    emit(f"{IND}    push(glob[aa[pc]])")
+    fall(1, IND + "    ")
+    emit(f"{IND}if op == 26:")  # gstore
+    emit(f"{IND}    glob[aa[pc]] = pop()")
+    fall(1, IND + "    ")
+    emit(f"{IND}if op < 33:")  # div mod bor bxor shl shr (27..32)
+    emit(f"{IND}    b_ = pop()")
+    emit(f"{IND}    a_ = stack[-1]")
+    emit(f"{IND}    if op == 27:")
+    emit(f"{IND}        if b_ == 0:")
+    emit(f"{IND}            raise VMError('division by zero')")
+    emit(f"{IND}        v = abs(a_) // abs(b_)")
+    emit(f"{IND}        if (a_ < 0) != (b_ < 0):")
+    emit(f"{IND}            v = -v")
+    emit(f"{IND}    elif op == 28:")
+    emit(f"{IND}        if b_ == 0:")
+    emit(f"{IND}            raise VMError('modulo by zero')")
+    emit(f"{IND}        _q = abs(a_) // abs(b_)")
+    emit(f"{IND}        if (a_ < 0) != (b_ < 0):")
+    emit(f"{IND}            _q = -_q")
+    emit(f"{IND}        if not {_MIN64} <= _q <= {_MAX64}:")
+    emit(f"{IND}            _q = wrap(_q)")
+    emit(f"{IND}        v = a_ - _q * b_")
+    emit(f"{IND}    elif op == 29:")
+    emit(f"{IND}        v = a_ | b_")
+    emit(f"{IND}    elif op == 30:")
+    emit(f"{IND}        v = a_ ^ b_")
+    emit(f"{IND}    elif op == 31:")
+    emit(f"{IND}        v = a_ << (b_ & 63)")
+    emit(f"{IND}    else:")
+    emit(f"{IND}        v = a_ >> (b_ & 63)")
+    emit(f"{IND}    stack[-1] = v if {_MIN64} <= v <= {_MAX64} else wrap(v)")
+    fall(1, IND + "    ")
+    emit(f"{IND}if op < 38:")  # neg bnot dup pop swap (33..37)
+    emit(f"{IND}    if op == 33:")
+    emit(f"{IND}        v = -stack[-1]")
+    emit(f"{IND}        stack[-1] = v if {_MIN64} <= v <= {_MAX64} else wrap(v)")
+    emit(f"{IND}    elif op == 34:")
+    emit(f"{IND}        v = ~stack[-1]")
+    emit(f"{IND}        stack[-1] = v if {_MIN64} <= v <= {_MAX64} else wrap(v)")
+    emit(f"{IND}    elif op == 35:")
+    emit(f"{IND}        push(stack[-1])")
+    emit(f"{IND}    elif op == 36:")
+    emit(f"{IND}        pop()")
+    emit(f"{IND}    else:")
+    emit(f"{IND}        stack[-1], stack[-2] = stack[-2], stack[-1]")
+    fall(1, IND + "    ")
+    emit(f"{IND}if op == 38:")  # newarray
+    emit(f"{IND}    _n = pop()")
+    emit(f"{IND}    if _n < 0 or _n > 10_000_000:")
+    emit(f"{IND}        raise VMError(f'bad array length {{_n}}')")
+    emit(f"{IND}    heap_append([0] * _n)")
+    emit(f"{IND}    push(len(heap) - 1)")
+    fall(1, IND + "    ")
+    emit(f"{IND}if op == 39:")  # alen
+    emit(f"{IND}    a_ = stack[-1]")
+    emit(f"{IND}    if not 0 <= a_ < len(heap):")
+    emit(f"{IND}        raise VMError(f'bad array reference {{a_}}')")
+    emit(f"{IND}    stack[-1] = len(heap[a_])")
+    fall(1, IND + "    ")
+    emit(f"{IND}if op == 40:")  # print
+    emit(f"{IND}    out_append(pop())")
+    fall(1, IND + "    ")
+    emit(f"{IND}if op == 41:")  # input
+    emit(f"{IND}    if input_pos >= n_inputs:")
+    emit(f"{IND}        raise VMError('input sequence exhausted')")
+    emit(f"{IND}    push(inputs[input_pos])")
+    emit(f"{IND}    input_pos += 1")
+    fall(1, IND + "    ")
+    emit(f"{IND}if op == 42:")  # nop
+    fall(1, IND + "    ")
+    emit(f"{IND}if op == 43:")  # halt
+    emit(f"{IND}    halted = True")
+    emit(f"{IND}    break")
+    # OP_END sentinel
+    emit(f"{IND}raise VMError(f'{{cf.name}}: fell off the end of the code')")
+    # ---- fused slots -------------------------------------------------
+    J = "            "
+    emit(f"{J}elif op < 63:")
+    emit(f"{J}    if op < 54:")  # push-push pairs, +2 steps
+    emit(f"{J}        steps += 2")
+    emit(f"{J}        if steps > max_steps:")
+    emit(f"{J}            raise StepLimitExceeded(max_steps, cf.name)")
+    K = J + "        "
+    for opn, (s1, s2) in {
+        45: ("loc[aa[pc]]", "loc[bb[pc]]"),
+        46: ("loc[aa[pc]]", "bb[pc]"),
+        47: ("loc[aa[pc]]", "glob[bb[pc]]"),
+        48: ("aa[pc]", "loc[bb[pc]]"),
+        49: ("aa[pc]", "bb[pc]"),
+        50: ("aa[pc]", "glob[bb[pc]]"),
+        51: ("glob[aa[pc]]", "loc[bb[pc]]"),
+        52: ("glob[aa[pc]]", "bb[pc]"),
+    }.items():
+        emit(f"{K}if op == {opn}:")
+        emit(f"{K}    push({s1})")
+        emit(f"{K}    push({s2})")
+        fall(2, K + "    ")
+    emit(f"{K}push(glob[aa[pc]])")  # 53 GG2
+    emit(f"{K}push(glob[bb[pc]])")
+    fall(2, K)
+    emit(f"{J}    else:")  # push-push-binop triples, +3 steps
+    emit(f"{J}        steps += 3")
+    emit(f"{J}        if steps > max_steps:")
+    emit(f"{J}            raise StepLimitExceeded(max_steps, cf.name)")
+    emit(f"{K}if op == 62:")  # CCB constant-folded
+    emit(f"{K}    push(aa[pc])")
+    fall(3, K + "    ")
+    for opn, (s1, s2) in {
+        54: ("loc[aa[pc]]", "loc[bb[pc]]"),
+        55: ("loc[aa[pc]]", "bb[pc]"),
+        56: ("loc[aa[pc]]", "glob[bb[pc]]"),
+        57: ("aa[pc]", "loc[bb[pc]]"),
+        58: ("aa[pc]", "glob[bb[pc]]"),
+        59: ("glob[aa[pc]]", "loc[bb[pc]]"),
+        60: ("glob[aa[pc]]", "bb[pc]"),
+    }.items():
+        emit(f"{K}{'if' if opn == 54 else 'elif'} op == {opn}:")
+        emit(f"{K}    a_ = {s1}; b_ = {s2}")
+    emit(f"{K}else:")  # 61 GGB
+    emit(f"{K}    a_ = glob[aa[pc]]; b_ = glob[bb[pc]]")
+    emit(f"{K}sel = cc[pc]")
+    binop_chain(lambda v: f"push({v})", 3, K)
+    emit(f"{J}elif op < 71:")  # push-push-compare triples, +3 steps
+    emit(f"{J}    steps += 3")
+    emit(f"{J}    if steps > max_steps:")
+    emit(f"{J}        raise StepLimitExceeded(max_steps, cf.name)")
+    K = J + "    "
+    for opn, (s1, s2) in {
+        63: ("loc[aa[pc]]", "loc[bb[pc]]"),
+        64: ("loc[aa[pc]]", "bb[pc]"),
+        65: ("loc[aa[pc]]", "glob[bb[pc]]"),
+        66: ("aa[pc]", "loc[bb[pc]]"),
+        67: ("aa[pc]", "glob[bb[pc]]"),
+        68: ("glob[aa[pc]]", "loc[bb[pc]]"),
+        69: ("glob[aa[pc]]", "bb[pc]"),
+    }.items():
+        emit(f"{K}{'if' if opn == 63 else 'elif'} op == {opn}:")
+        emit(f"{K}    a_ = {s1}; b_ = {s2}")
+    emit(f"{K}else:")  # 70 GGI
+    emit(f"{K}    a_ = glob[aa[pc]]; b_ = glob[bb[pc]]")
+    emit(f"{K}sel = cc[pc]")
+    cmp_chain(K)
+    branch_tail("dd[pc]", 3, K)
+    emit(f"{J}elif op < 80:")  # push-binop / push-compare pairs, +2
+    emit(f"{J}    steps += 2")
+    emit(f"{J}    if steps > max_steps:")
+    emit(f"{J}        raise StepLimitExceeded(max_steps, cf.name)")
+    K = J + "    "
+    emit(f"{K}if op < 74:")  # LB CB GB: in-place binop with stack top
+    emit(f"{K}    if op == 71:")
+    emit(f"{K}        b_ = loc[aa[pc]]")
+    emit(f"{K}    elif op == 72:")
+    emit(f"{K}        b_ = aa[pc]")
+    emit(f"{K}    else:")
+    emit(f"{K}        b_ = glob[aa[pc]]")
+    emit(f"{K}    a_ = stack[-1]")
+    emit(f"{K}    sel = bb[pc]")
+    binop_chain(lambda v: f"stack[-1] = {v}", 2, K + "    ")
+    emit(f"{K}if op < 77:")  # LIC CIC GIC: b from src, a popped
+    emit(f"{K}    if op == 74:")
+    emit(f"{K}        b_ = loc[aa[pc]]")
+    emit(f"{K}    elif op == 75:")
+    emit(f"{K}        b_ = aa[pc]")
+    emit(f"{K}    else:")
+    emit(f"{K}        b_ = glob[aa[pc]]")
+    emit(f"{K}    a_ = pop()")
+    emit(f"{K}else:")  # LIZ CIZ GIZ: a from src, compare against zero
+    emit(f"{K}    if op == 77:")
+    emit(f"{K}        a_ = loc[aa[pc]]")
+    emit(f"{K}    elif op == 78:")
+    emit(f"{K}        a_ = aa[pc]")
+    emit(f"{K}    else:")
+    emit(f"{K}        a_ = glob[aa[pc]]")
+    emit(f"{K}    b_ = 0")
+    emit(f"{K}sel = bb[pc]")
+    cmp_chain(K)
+    branch_tail("cc[pc]", 2, K)
+    emit(f"{J}elif op < 95:")  # binop-store / push-store / store-load, +2
+    emit(f"{J}    steps += 2")
+    emit(f"{J}    if steps > max_steps:")
+    emit(f"{J}        raise StepLimitExceeded(max_steps, cf.name)")
+    K = J + "    "
+    emit(f"{K}if op == 80:")  # BSL
+    emit(f"{K}    b_ = pop()")
+    emit(f"{K}    a_ = pop()")
+    emit(f"{K}    sel = bb[pc]")
+    binop_chain(lambda v: f"loc[aa[pc]] = {v}", 2, K + "    ")
+    emit(f"{K}if op == 81:")  # BSG
+    emit(f"{K}    b_ = pop()")
+    emit(f"{K}    a_ = pop()")
+    emit(f"{K}    sel = bb[pc]")
+    binop_chain(lambda v: f"glob[aa[pc]] = {v}", 2, K + "    ")
+    for opn, src in ((82, "loc[aa[pc]]"), (83, "aa[pc]"), (84, "glob[aa[pc]]")):
+        emit(f"{K}if op == {opn}:")
+        emit(f"{K}    loc[bb[pc]] = {src}")
+        fall(2, K + "    ")
+    for opn, src in ((85, "loc[aa[pc]]"), (86, "aa[pc]"), (87, "glob[aa[pc]]")):
+        emit(f"{K}if op == {opn}:")
+        emit(f"{K}    glob[bb[pc]] = {src}")
+        fall(2, K + "    ")
+    emit(f"{K}if op == 88:")  # store s; load s
+    emit(f"{K}    loc[aa[pc]] = stack[-1]")
+    fall(2, K + "    ")
+    emit(f"{K}if op == 89:")  # store s1; load s2
+    emit(f"{K}    loc[aa[pc]] = pop()")
+    emit(f"{K}    push(loc[bb[pc]])")
+    fall(2, K + "    ")
+    emit(f"{K}if op == 90:")  # store s; goto t
+    emit(f"{K}    loc[aa[pc]] = pop()")
+    jump_tail("bb[pc]", K + "    ")
+    emit(f"{K}_i = aa[pc]")  # 91: iinc s d; goto t
+    emit(f"{K}v = loc[_i] + bb[pc]")
+    emit(f"{K}loc[_i] = v if {_MIN64} <= v <= {_MAX64} else wrap(v)")
+    jump_tail("cc[pc]", K)
+    # ---- second-order superinstructions ------------------------------
+    emit(f"{J}else:")
+    K = J + "    "
+    emit(f"{K}if op == 99:")  # LCBSG: load;const;BINOP;store;goto
+    emit(f"{K}    steps += 5")
+    emit(f"{K}    if steps > max_steps:")
+    emit(f"{K}        raise StepLimitExceeded(max_steps, cf.name)")
+    emit(f"{K}    a_ = loc[aa[pc]]")
+    emit(f"{K}    b_ = bb[pc]")
+    emit(f"{K}    sel = cc[pc]")
+    binop_chain(
+        lambda v: f"loc[dd[pc]] = {v}", 5, K + "    ",
+        tail=lambda ind2: jump_tail("ee[pc]", ind2),
+    )
+    emit(f"{K}if op == 98:")  # GLB2: gload;load;OP1;OP2
+    emit(f"{K}    steps += 4")
+    emit(f"{K}    if steps > max_steps:")
+    emit(f"{K}        raise StepLimitExceeded(max_steps, cf.name)")
+    inner_chain("glob[aa[pc]]", "loc[bb[pc]]", "cc[pc]", K + "    ")
+    emit(f"{K}    a_ = stack[-1]")
+    emit(f"{K}    b_ = t_")
+    emit(f"{K}    sel = dd[pc]")
+    binop_chain(lambda v: f"stack[-1] = {v}", 4, K + "    ")
+    emit(f"{K}if op == 101:")  # LBCB: load;OP1;const;OP2
+    emit(f"{K}    steps += 4")
+    emit(f"{K}    if steps > max_steps:")
+    emit(f"{K}        raise StepLimitExceeded(max_steps, cf.name)")
+    inner_chain("stack[-1]", "loc[aa[pc]]", "bb[pc]", K + "    ")
+    emit(f"{K}    a_ = t_")
+    emit(f"{K}    b_ = cc[pc]")
+    emit(f"{K}    sel = dd[pc]")
+    binop_chain(lambda v: f"stack[-1] = {v}", 4, K + "    ")
+    emit(f"{K}if op == 102:")  # BSLLCB: OP1;store;load;const;OP2
+    emit(f"{K}    steps += 5")
+    emit(f"{K}    if steps > max_steps:")
+    emit(f"{K}        raise StepLimitExceeded(max_steps, cf.name)")
+    emit(f"{K}    _b1 = pop()")
+    emit(f"{K}    _a1 = pop()")
+    inner_chain("_a1", "_b1", "bb[pc]", K + "    ")
+    emit(f"{K}    loc[aa[pc]] = t_")
+    emit(f"{K}    a_ = loc[cc[pc]]")
+    emit(f"{K}    b_ = dd[pc]")
+    emit(f"{K}    sel = ee[pc]")
+    binop_chain(lambda v: f"push({v})", 5, K + "    ")
+    emit(f"{K}if op == 97:")  # LGC: load;gload;const;BINOP
+    emit(f"{K}    steps += 4")
+    emit(f"{K}    if steps > max_steps:")
+    emit(f"{K}        raise StepLimitExceeded(max_steps, cf.name)")
+    emit(f"{K}    push(loc[aa[pc]])")
+    emit(f"{K}    a_ = glob[bb[pc]]")
+    emit(f"{K}    b_ = cc[pc]")
+    emit(f"{K}    sel = dd[pc]")
+    binop_chain(lambda v: f"push({v})", 4, K + "    ")
+    emit(f"{K}if op == 95:")  # CBS: const;BINOP;store
+    emit(f"{K}    steps += 3")
+    emit(f"{K}    if steps > max_steps:")
+    emit(f"{K}        raise StepLimitExceeded(max_steps, cf.name)")
+    emit(f"{K}    a_ = pop()")
+    emit(f"{K}    b_ = aa[pc]")
+    emit(f"{K}    sel = bb[pc]")
+    binop_chain(lambda v: f"loc[cc[pc]] = {v}", 3, K + "    ")
+    emit(f"{K}if op == 96:")  # CBB: const;OP1;OP2;store
+    emit(f"{K}    steps += 4")
+    emit(f"{K}    if steps > max_steps:")
+    emit(f"{K}        raise StepLimitExceeded(max_steps, cf.name)")
+    emit(f"{K}    _a1 = pop()")
+    inner_chain("_a1", "aa[pc]", "bb[pc]", K + "    ")
+    emit(f"{K}    a_ = pop()")
+    emit(f"{K}    b_ = t_")
+    emit(f"{K}    sel = dd[pc]")
+    binop_chain(lambda v: f"loc[cc[pc]] = {v}", 4, K + "    ")
+    # 100: BLB: OP1;load;OP2
+    emit(f"{K}steps += 3")
+    emit(f"{K}if steps > max_steps:")
+    emit(f"{K}    raise StepLimitExceeded(max_steps, cf.name)")
+    emit(f"{K}_b1 = pop()")
+    inner_chain("stack[-1]", "_b1", "cc[pc]", K)
+    emit(f"{K}a_ = t_")
+    emit(f"{K}b_ = loc[aa[pc]]")
+    emit(f"{K}sel = bb[pc]")
+    binop_chain(lambda v: f"stack[-1] = {v}", 3, K)
+    # ---- epilogue ----------------------------------------------------
+    # Underflow inside a *fused* slot cannot name the exact component
+    # the seed engine would blame (the pop interleaving is collapsed),
+    # so the cold error path replays the deterministic program on the
+    # reference engine to recover the seed-identical diagnostic.
+    emit("    except IndexError:")
+    emit("        if op >= 45:")
+    emit("            _exc = _seed_diagnostic_replay(module, inputs,"
+         " max_steps)")
+    emit("            if _exc is not None:")
+    emit("                raise _exc from None")
+    emit("        raise VMError(")
+    emit("            f'{cf.name}@{cf.raw_of[pc] if pc < len(cf.raw_of)"
+         " else pc}: '")
+    emit("            f'stack underflow on {cf.mnemonic(pc)}') from None")
+    trace_expr = "trace" if T else "None"
+    emit(f"    return RunResult(output=output, steps=steps, "
+         f"trace={trace_expr}, halted=halted)")
+    return "\n".join(L) + "\n"
+
+
+def _seed_diagnostic_replay(module, inputs, max_steps):
+    """Re-run a trapped program on the reference engine (cold path).
+
+    WVM programs are deterministic, so the replay reaches the same
+    trap; the reference engine attributes it to the exact component
+    instruction, which a fused slot cannot do from inside the fast
+    loop. Returns the replayed :class:`VMError`, or ``None`` if the
+    replay unexpectedly diverges (the caller then falls back to its
+    own slot-level message).
+    """
+    from ._reference import run_module_reference
+
+    try:
+        run_module_reference(module, inputs, max_steps=max_steps)
+    except VMError as exc:
+        return exc
+    return None
+
+
+def _materialize() -> Dict[Optional[str], Callable]:
+    namespace: Dict = {
+        "wrap64": wrap64,
+        "VMError": VMError,
+        "StepLimitExceeded": StepLimitExceeded,
+        "Trace": Trace,
+        "TracePoint": TracePoint,
+        "RunResult": RunResult,
+        "_seed_diagnostic_replay": _seed_diagnostic_replay,
+    }
+    loops: Dict[Optional[str], Callable] = {}
+    for mode, fname in (
+        (None, "_run_untraced"),
+        ("branch", "_run_branch"),
+        ("full", "_run_full"),
+    ):
+        source = _gen_loop(mode)
+        code = compile(source, f"<wvm-loop:{fname}>", "exec")
+        exec(code, namespace)  # noqa: S102 - internal template, no user input
+        loops[mode] = namespace[fname]
+    return loops
+
+
+_LOOPS = _materialize()
 
 
 class Interpreter:
@@ -49,6 +788,10 @@ class Interpreter:
         (recognition);
       * ``"full"`` — branch events plus per-site variable snapshots
         (the embedding-time tracing phase).
+
+    Functions are compiled to the dense dispatch form lazily, on first
+    call, and cached for the lifetime of the interpreter — so cold
+    code (most of a jess-like module) never pays compilation.
     """
 
     def __init__(
@@ -63,9 +806,8 @@ class Interpreter:
         self.module = module
         self.max_steps = max_steps
         self.trace_mode = trace_mode
-        self._labels: Dict[str, Dict[str, int]] = {
-            name: fn.labels() for name, fn in module.functions.items()
-        }
+        self._compiled: Dict[str, CompiledFunction] = {}
+        self._loop = _LOOPS[trace_mode]
 
     # -- public API ---------------------------------------------------------
 
@@ -75,265 +817,19 @@ class Interpreter:
         ``inputs`` is the secret input sequence consumed by ``input``
         instructions (the watermark key at trace time).
         """
-        trace = Trace() if self.trace_mode else None
-        full = self.trace_mode == "full"
-        module = self.module
-        globals_: List[int] = [0] * module.globals_count
-        output: List[int] = []
-        input_pos = 0
-        heap: List[List[int]] = []
-
-        entry = module.functions[module.entry]
-        frames: List[_Frame] = [_Frame(entry, self._labels[entry.name], ())]
-        if full:
-            self._record_site(trace, frames[-1], "<entry>", globals_)
-
-        steps = 0
-        max_steps = self.max_steps
-        halted = False
-
-        while frames:
-            frame = frames[-1]
-            code = frame.code
-            if frame.pc >= len(code):
-                raise VMError(
-                    f"{frame.fn.name}: fell off the end of the code"
-                )
-            instr = code[frame.pc]
-            op = instr.op
-
-            if op == "label":
-                frame.pc += 1
-                if full:
-                    self._record_site(trace, frame, instr.arg, globals_)
-                continue
-
-            steps += 1
-            if steps > max_steps:
-                raise VMError(f"step limit of {max_steps} exceeded")
-
-            stack = frame.stack
-            try:
-                if op == "const":
-                    stack.append(instr.arg)
-                    frame.pc += 1
-                elif op == "load":
-                    stack.append(frame.locals[instr.arg])
-                    frame.pc += 1
-                elif op == "store":
-                    frame.locals[instr.arg] = stack.pop()
-                    frame.pc += 1
-                elif op == "iinc":
-                    frame.locals[instr.arg] = wrap64(
-                        frame.locals[instr.arg] + instr.arg2
-                    )
-                    frame.pc += 1
-                elif op in _BINARY_ARITH:
-                    b = stack.pop()
-                    a = stack.pop()
-                    stack.append(_BINARY_ARITH[op](a, b))
-                    frame.pc += 1
-                elif op in _UNARY_ARITH:
-                    stack.append(_UNARY_ARITH[op](stack.pop()))
-                    frame.pc += 1
-                elif op in _CONDITIONS:
-                    if op.startswith("if_icmp"):
-                        b = stack.pop()
-                        a = stack.pop()
-                    else:
-                        b = 0
-                        a = stack.pop()
-                    taken = _CONDITIONS[op](a, b)
-                    if taken:
-                        target = frame.labels.get(instr.arg)
-                        if target is None:
-                            raise VMError(
-                                f"{frame.fn.name}: branch to missing label "
-                                f"{instr.arg!r}"
-                            )
-                        frame.pc = target
-                    else:
-                        frame.pc += 1
-                    if trace is not None:
-                        follower = code[frame.pc] if frame.pc < len(code) else instr
-                        trace.branches.append(
-                            BranchEvent(instr, follower, taken)
-                        )
-                elif op == "goto":
-                    target = frame.labels.get(instr.arg)
-                    if target is None:
-                        raise VMError(
-                            f"{frame.fn.name}: goto missing label {instr.arg!r}"
-                        )
-                    frame.pc = target
-                elif op == "call":
-                    callee = self.module.functions.get(instr.arg)
-                    if callee is None:
-                        raise VMError(f"call to unknown function {instr.arg!r}")
-                    if len(stack) < callee.params:
-                        raise VMError(
-                            f"{frame.fn.name}: stack underflow calling "
-                            f"{callee.name}"
-                        )
-                    if len(frames) >= 4096:
-                        raise VMError("call stack overflow")
-                    args = stack[len(stack) - callee.params:]
-                    del stack[len(stack) - callee.params:]
-                    frame.pc += 1
-                    frames.append(
-                        _Frame(callee, self._labels[callee.name], args)
-                    )
-                    if full:
-                        self._record_site(trace, frames[-1], "<entry>", globals_)
-                elif op == "ret":
-                    value = stack.pop()
-                    frames.pop()
-                    if frames:
-                        frames[-1].stack.append(value)
-                    else:
-                        halted = True
-                elif op == "dup":
-                    stack.append(stack[-1])
-                    frame.pc += 1
-                elif op == "pop":
-                    stack.pop()
-                    frame.pc += 1
-                elif op == "swap":
-                    stack[-1], stack[-2] = stack[-2], stack[-1]
-                    frame.pc += 1
-                elif op == "gload":
-                    stack.append(globals_[instr.arg])
-                    frame.pc += 1
-                elif op == "gstore":
-                    globals_[instr.arg] = stack.pop()
-                    frame.pc += 1
-                elif op == "print":
-                    output.append(stack.pop())
-                    frame.pc += 1
-                elif op == "input":
-                    if input_pos >= len(inputs):
-                        raise VMError("input sequence exhausted")
-                    stack.append(inputs[input_pos])
-                    input_pos += 1
-                    frame.pc += 1
-                elif op == "newarray":
-                    length = stack.pop()
-                    if length < 0 or length > 10_000_000:
-                        raise VMError(f"bad array length {length}")
-                    heap.append([0] * length)
-                    stack.append(len(heap) - 1)
-                    frame.pc += 1
-                elif op == "aload":
-                    index = stack.pop()
-                    ref = stack.pop()
-                    stack.append(self._array(heap, ref, index)[index])
-                    frame.pc += 1
-                elif op == "astore":
-                    value = stack.pop()
-                    index = stack.pop()
-                    ref = stack.pop()
-                    self._array(heap, ref, index)[index] = value
-                    frame.pc += 1
-                elif op == "alen":
-                    ref = stack.pop()
-                    if not 0 <= ref < len(heap):
-                        raise VMError(f"bad array reference {ref}")
-                    stack.append(len(heap[ref]))
-                    frame.pc += 1
-                elif op == "nop":
-                    frame.pc += 1
-                elif op == "halt":
-                    halted = True
-                    frames.clear()
-                else:  # pragma: no cover - opcode table is closed
-                    raise VMError(f"unimplemented opcode {op!r}")
-            except IndexError:
-                raise VMError(
-                    f"{frame.fn.name}@{frame.pc}: stack underflow on {op}"
-                ) from None
-
-        return RunResult(output=output, steps=steps, trace=trace, halted=halted)
+        return self._loop(
+            self.module, self._compiled, self._compile, inputs, self.max_steps
+        )
 
     # -- helpers -------------------------------------------------------------
 
-    @staticmethod
-    def _array(heap: List[List[int]], ref: int, index: int) -> List[int]:
-        if not 0 <= ref < len(heap):
-            raise VMError(f"bad array reference {ref}")
-        arr = heap[ref]
-        if not 0 <= index < len(arr):
-            raise VMError(f"array index {index} out of bounds ({len(arr)})")
-        return arr
-
-    @staticmethod
-    def _record_site(
-        trace: Trace,
-        frame: _Frame,
-        site: str,
-        globals_: List[int],
-    ) -> None:
-        trace.points.append(
-            TracePoint(
-                SiteKey(frame.fn.name, site),
-                tuple(frame.locals),
-                tuple(globals_),
-            )
-        )
-
-
-def _div(a: int, b: int) -> int:
-    if b == 0:
-        raise VMError("division by zero")
-    q = abs(a) // abs(b)
-    return wrap64(-q if (a < 0) != (b < 0) else q)
-
-
-def _mod(a: int, b: int) -> int:
-    if b == 0:
-        raise VMError("modulo by zero")
-    return wrap64(a - _div(a, b) * b)
-
-
-def _shl(a: int, b: int) -> int:
-    return wrap64(a << (b & 63))
-
-
-def _shr(a: int, b: int) -> int:
-    return wrap64(a >> (b & 63))
-
-
-_BINARY_ARITH = {
-    "add": lambda a, b: wrap64(a + b),
-    "sub": lambda a, b: wrap64(a - b),
-    "mul": lambda a, b: wrap64(a * b),
-    "div": _div,
-    "mod": _mod,
-    "band": lambda a, b: wrap64(a & b),
-    "bor": lambda a, b: wrap64(a | b),
-    "bxor": lambda a, b: wrap64(a ^ b),
-    "shl": _shl,
-    "shr": _shr,
-}
-
-_UNARY_ARITH = {
-    "neg": lambda a: wrap64(-a),
-    "bnot": lambda a: wrap64(~a),
-}
-
-_CONDITIONS = {
-    "if_icmpeq": lambda a, b: a == b,
-    "if_icmpne": lambda a, b: a != b,
-    "if_icmplt": lambda a, b: a < b,
-    "if_icmple": lambda a, b: a <= b,
-    "if_icmpgt": lambda a, b: a > b,
-    "if_icmpge": lambda a, b: a >= b,
-    "ifeq": lambda a, b: a == b,
-    "ifne": lambda a, b: a != b,
-    "iflt": lambda a, b: a < b,
-    "ifle": lambda a, b: a <= b,
-    "ifgt": lambda a, b: a > b,
-    "ifge": lambda a, b: a >= b,
-}
+    def _compile(self, name: str) -> CompiledFunction:
+        fn = self.module.functions.get(name)
+        if fn is None:
+            raise VMError(f"call to unknown function {name!r}")
+        code = CompiledFunction(fn)
+        self._compiled[name] = code
+        return code
 
 
 def run_module(

@@ -9,12 +9,11 @@ labels.
 
 from __future__ import annotations
 
-import copy as _copy
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
-from .instructions import Instruction, LABEL_OPERANDS, OPCODES
+from .instructions import Instruction, LABEL_OPERANDS
 
 
 class VMFormatError(Exception):

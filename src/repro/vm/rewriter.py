@@ -14,7 +14,7 @@ verifier happy.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 from .instructions import LABEL_OPERANDS, Instruction
 from .program import Function, Module

@@ -744,7 +744,6 @@ fn main() {
 
 def _weave_cold_library(src: str) -> str:
     """Append the cold library and call it once at the end of main."""
-    needle = "    print("
     # Insert the dispatcher call right before main's final `return 0;`.
     idx = src.rstrip().rfind("return 0;")
     woven = src[:idx] + _COLD_CALL + "    " + src[idx:]

@@ -15,10 +15,20 @@ from repro.pipeline import (
     prepare_fingerprint,
     resolve_piece_count,
 )
-from repro.vm import disassemble, run_module
+from repro.vm import assemble, disassemble, run_module
 from repro.workloads import collatz_module, gcd_module
 
 KEY = WatermarkKey(secret=b"pldi-2004", inputs=[25, 10])
+
+NONTERMINATING_SRC = """
+.globals 0
+.entry main
+.func main params=0 locals=1
+top:
+    iinc 0 1
+    goto top
+.end
+"""
 
 
 class TestPrepare:
@@ -194,3 +204,32 @@ class TestPrepareCache:
         assert base != prepare_fingerprint(collatz_module(), KEY, 16, None)
         other = WatermarkKey(secret=b"pldi-2004", inputs=[25, 11])
         assert base != prepare_fingerprint(gcd_module(), other, 16, None)
+
+
+class TestStepLimitDuringTrace:
+    def test_prepare_raises_clear_error(self):
+        module = assemble(NONTERMINATING_SRC)
+        with pytest.raises(PrepareError) as exc:
+            prepare(module, KEY, 16, max_steps=5_000)
+        message = str(exc.value)
+        assert "did not terminate" in message
+        assert "step limit of 5000" in message
+
+    def test_partial_trace_is_not_cached(self):
+        # The key-input run exhausts max_steps mid-trace; the cache
+        # must stay empty so a later call does not serve a truncated
+        # trace as if preparation had succeeded.
+        cache = PrepareCache()
+        module = assemble(NONTERMINATING_SRC)
+        with pytest.raises(PrepareError):
+            cache.get_or_prepare(module, KEY, 16, max_steps=5_000)
+        assert len(cache) == 0
+        assert cache.misses == 1 and cache.hits == 0
+        with pytest.raises(PrepareError):
+            cache.get_or_prepare(module, KEY, 16, max_steps=5_000)
+        assert len(cache) == 0
+        assert cache.misses == 2  # retried, not served from cache
+
+    def test_generous_limit_still_succeeds(self):
+        prepared = prepare(gcd_module(), KEY, 16, max_steps=1_000_000)
+        assert prepared.trace.points
