@@ -50,6 +50,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(HERE)
 sys.path.insert(0, os.path.join(REPO, "src"))
 
+from repro.obs.vmprofile import profile_run  # noqa: E402
 from repro.vm._reference import run_module_reference  # noqa: E402
 from repro.vm.interpreter import run_module  # noqa: E402
 from repro.vm.trace_io import dump_trace, dump_trace_binary  # noqa: E402
@@ -173,6 +174,27 @@ def _trace_size_ratio(results: Dict[str, dict]) -> None:
     }
 
 
+def _dispatch_profiles() -> Dict[str, dict]:
+    """Per-opcode dispatch profiles of the gated workloads.
+
+    Separate, *untimed-for-gating* runs on the interpreter's profiled
+    loop specializations — the counting twin never touches the timed
+    loops above, so profiling here cannot perturb the gated ratios.
+    Recorded for trend-watching (superinstruction hit rate, dispatch
+    reduction), never gated: the counts are deterministic but the
+    throughput context is machine-dependent.
+    """
+    profiles: Dict[str, dict] = {}
+    for name, factory, inputs, mode in (
+        ("jess.untraced", jess_module, JESS_INPUT, None),
+        ("jess.full", jess_module, JESS_INPUT, "full"),
+        ("caffeinemark.untraced", caffeinemark_module, CAFFEINE_INPUT, None),
+    ):
+        _, profile = profile_run(factory(), inputs, trace_mode=mode)
+        profiles[name] = profile.to_dict()
+    return profiles
+
+
 def _figure_benchmarks(results: Dict[str, dict]) -> None:
     """Run the ``benchmarks/test_*`` figure suite under pytest-benchmark.
 
@@ -234,6 +256,8 @@ def run_benchmarks(repeats: int, figures: bool) -> dict:
     )
     _trace_size_ratio(results)
     trace_identical = _trace_identity_check()
+    print("== dispatch profiles ==", flush=True)
+    dispatch = _dispatch_profiles()
     if figures:
         print("== figure reproduction benchmarks ==", flush=True)
         _figure_benchmarks(results)
@@ -244,6 +268,7 @@ def run_benchmarks(repeats: int, figures: bool) -> dict:
         "platform": platform.platform(),
         "repeats": repeats,
         "benchmarks": results,
+        "dispatch": dispatch,
         "checks": {"trace_byte_identical": trace_identical},
     }
 
@@ -265,6 +290,14 @@ def print_report(report: dict) -> None:
             f"{name.ljust(width)}  {med:>12}  {entry['iqr']:>10.4f}  {gated}"
         )
     print()
+    for name, profile in sorted(report.get("dispatch", {}).items()):
+        print(
+            f"dispatch {name}: {profile['total_dispatches']} dispatches / "
+            f"{profile['total_steps']} steps, "
+            f"superinstruction hit rate "
+            f"{profile['superinstruction_hit_rate']:.1%}, "
+            f"dispatch reduction {profile['dispatch_reduction']:.1%}"
+        )
     ident = report["checks"]["trace_byte_identical"]
     print(f"trace byte-identical vs reference engine: {ident}")
 
@@ -350,6 +383,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also run the benchmarks/test_* figure suite (slow)",
     )
     parser.add_argument(
+        "--dispatch-out",
+        default=None,
+        metavar="FILE",
+        help="also write the dispatch-profile section alone to FILE "
+             "(CI uploads it as its own artifact)",
+    )
+    parser.add_argument(
         "--no-check",
         action="store_true",
         help="write the report without gating against the baseline",
@@ -371,6 +411,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump(report, fp, indent=2, sort_keys=True)
         fp.write("\n")
     print(f"report written to {out_path}")
+
+    if args.dispatch_out:
+        with open(args.dispatch_out, "w") as fp:
+            json.dump(
+                {
+                    "schema": SCHEMA,
+                    "generated": report["generated"],
+                    "dispatch": report["dispatch"],
+                },
+                fp,
+                indent=2,
+                sort_keys=True,
+            )
+            fp.write("\n")
+        print(f"dispatch profiles written to {args.dispatch_out}")
 
     if args.rebaseline:
         write_baseline(report, args.baseline)

@@ -27,7 +27,13 @@ from .keys import WatermarkKey
 from .loop_codegen import generate_loop_piece, loop_piece_byte_size
 from .opaque import opaquely_false_guard, opaquely_false_value
 from .placement import SitePicker, eligible_sites
-from .recognizer import recognize, recognize_bits, trace_bitstring
+from .recognizer import (
+    recognition_report,
+    recognize,
+    recognize_bits,
+    recognize_with_report,
+    trace_bitstring,
+)
 
 __all__ = [
     "EmbeddingResult",
@@ -47,7 +53,9 @@ __all__ = [
     "loop_piece_byte_size",
     "opaquely_false_guard",
     "opaquely_false_value",
+    "recognition_report",
     "recognize",
     "recognize_bits",
+    "recognize_with_report",
     "trace_bitstring",
 ]

@@ -14,12 +14,14 @@ does not need the unwatermarked program or the watermark value.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..core.bitstring import decode_bits
 from ..core.enumeration import StatementEnumeration
 from ..core.primes import choose_moduli
 from ..core.recovery import RecoveryResult, recover
+from ..obs.recognition import RecognitionReport
 from ..vm.interpreter import run_module
 from ..vm.program import Module
 from .keys import WatermarkKey
@@ -31,8 +33,10 @@ def trace_bitstring(module: Module, key: WatermarkKey,
                     max_steps: Optional[int] = None) -> List[int]:
     """Run the program on the key input and decode the trace bits."""
     kwargs = {} if max_steps is None else {"max_steps": max_steps}
-    result = run_module(module, key.inputs, trace_mode="branch", **kwargs)
-    assert result.trace is not None
+    with obs.span("recognize.trace") as sp:
+        result = run_module(module, key.inputs, trace_mode="branch", **kwargs)
+        assert result.trace is not None
+        sp.set(steps=result.steps, branches=len(result.trace.branches))
     return decode_bits(result.trace.branch_pairs())
 
 
@@ -73,4 +77,62 @@ def recognize(
         bits = decode_bits(trace.branch_pairs())
     else:
         bits = trace_bitstring(module, key, max_steps)
-    return recognize_bits(bits, key, watermark_bits, use_voting)
+    with obs.span("recognize.recover", bits=len(bits)):
+        return recognize_bits(bits, key, watermark_bits, use_voting)
+
+
+def recognition_report(
+    result: RecoveryResult,
+    watermark_bits: int = DEFAULT_WATERMARK_BITS,
+) -> RecognitionReport:
+    """Build the diagnostic funnel report from a recovery outcome.
+
+    ``moduli_covered``/``moduli_missing`` hold *indices* into the
+    moduli list (matching the ``p_i`` naming of the paper), so a
+    missing entry names both the index and, via ``moduli``, the prime.
+    """
+    moduli = choose_moduli(watermark_bits)
+    covered = sorted({idx for s in result.accepted for idx in (s.i, s.j)})
+    covered_set = set(covered)
+    report = RecognitionReport(
+        scheme="bytecode",
+        complete=result.complete,
+        value=result.value,
+        windows_inspected=result.windows_inspected,
+        window_hits=result.candidates_found,
+        candidates_after_voting=result.candidates_after_voting,
+        statements_accepted=len(result.accepted),
+        voting={
+            i: dict(tally) for i, tally in result.votes.items() if tally
+        },
+        clear_winners=dict(result.clear_winners),
+        moduli=list(moduli),
+        moduli_covered=covered,
+        moduli_missing=[
+            i for i in range(len(moduli)) if i not in covered_set
+        ],
+        recovered_modulus=(
+            result.congruence.modulus if result.congruence else None
+        ),
+    )
+    if result.windows_inspected and not result.candidates_found:
+        report.notes.append(
+            "no window decrypted into the statement space - wrong key, "
+            "wrong input, or the watermark is gone"
+        )
+    return report
+
+
+def recognize_with_report(
+    module: Module,
+    key: WatermarkKey,
+    watermark_bits: int = DEFAULT_WATERMARK_BITS,
+    use_voting: bool = True,
+    max_steps: Optional[int] = None,
+    trace=None,
+) -> Tuple[RecoveryResult, RecognitionReport]:
+    """:func:`recognize`, plus the diagnostic funnel for the attempt."""
+    result = recognize(
+        module, key, watermark_bits, use_voting, max_steps, trace
+    )
+    return result, recognition_report(result, watermark_bits)

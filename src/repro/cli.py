@@ -19,8 +19,10 @@ Usage (also via ``python -m repro``)::
         --transform sense-inversion
     python -m repro plan --bits 128 --loss 0.4 --target 0.99
 
-    # Fingerprint many copies in parallel from one shared preparation
-    python -m repro batch-embed manifest.json -o dist/ --workers 4
+    # Fingerprint many copies in parallel from one shared preparation,
+    # with spans + metrics + a VM dispatch profile
+    python -m repro batch-embed manifest.json -o dist/ --workers 4 \\
+        --obs-out obs.jsonl --profile
 
 Modules travel as WVM assembly text (the `.wasm` extension here means
 "watermarking asm", not WebAssembly).
@@ -34,6 +36,7 @@ import random
 import sys
 from typing import List, Optional, Sequence
 
+from . import obs
 from .attacks.bytecode import (
     insert_branches,
     insert_noops,
@@ -42,13 +45,19 @@ from .attacks.bytecode import (
     reorder_blocks,
     split_blocks,
 )
-from .bytecode_wm import WatermarkKey, diversify, embed, recognize
+from .bytecode_wm import (
+    WatermarkKey,
+    diversify,
+    embed,
+    recognition_report,
+    recognize,
+)
 from .core.planner import plan_redundancy
 from .lang import compile_source
 from .lang.codegen_native import compile_source_native
 from .native import MachineFault, format_listing, run_image
 from .native.imagefile import dump_image, load_image
-from .native_wm import embed_native, extract_native_auto
+from .native_wm import embed_native, extract_native_auto, native_recognition_report
 from .pipeline import (
     PrepareError,
     PreparedProgram,
@@ -140,6 +149,9 @@ def cmd_recognize(args) -> int:
     except VMError as exc:
         print(f"program trapped during tracing: {exc}", file=sys.stderr)
         return 2
+    if args.diagnose:
+        report = recognition_report(found, watermark_bits=args.bits)
+        print(report.summary(), file=sys.stderr)
     if found.complete:
         print(f"{found.value:#x}")
         return 0
@@ -160,6 +172,10 @@ def cmd_batch_embed(args) -> int:
     manifest = load_manifest(args.manifest)
     module = _read_module(manifest.module_path)
     key = manifest.key()
+
+    tracer = None
+    if args.obs_out:
+        tracer = obs.enable_tracing()
 
     # Shared preparation, optionally persisted across invocations.
     prepared = None
@@ -188,6 +204,7 @@ def cmd_batch_embed(args) -> int:
                 pieces=manifest.pieces,
                 piece_loss=manifest.piece_loss,
                 target_success=manifest.target_success,
+                profile=args.profile,
             )
         except VMError as exc:
             print(f"program trapped during tracing: {exc}", file=sys.stderr)
@@ -203,8 +220,25 @@ def cmd_batch_embed(args) -> int:
         chunksize=args.chunksize,
         cache_hits=1 if cache_hit else 0,
         cache_misses=0 if cache_hit else 1,
+        profile=args.profile,
     )
     report.write(os.path.join(args.output, "report.json"))
+
+    if args.obs_out and tracer is not None:
+        # One JSON object per line, discriminated by "kind": every
+        # span of the run's tree, then every metric sample.
+        with open(args.obs_out, "w") as fp:
+            tracer.write_jsonl(fp)
+            obs.get_registry().write_jsonl(fp)
+        prom_path = os.path.splitext(args.obs_out)[0] + ".prom"
+        with open(prom_path, "w") as fp:
+            fp.write(obs.get_registry().to_prometheus())
+        obs.disable_tracing()
+    if args.profile and report.dispatch_profile is not None:
+        with open(os.path.join(args.output, "profile.json"), "w") as fp:
+            report.dispatch_profile.write_json(fp)
+        print(report.dispatch_profile.summary(), file=sys.stderr)
+
     print(report.summary(), file=sys.stderr)
     return 0 if report.all_ok else 1
 
@@ -261,6 +295,9 @@ def cmd_nextract(args) -> int:
         image, _parse_inputs(args.inputs),
         width=args.bits, tracer=args.tracer,
     )
+    if args.diagnose:
+        report = native_recognition_report(result)
+        print(report.summary(), file=sys.stderr)
     if result.watermark is not None:
         print(f"{result.watermark:#x}")
         return 0
@@ -324,6 +361,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, required=True)
     p.add_argument("--secret", required=True)
     p.add_argument("--inputs", default="")
+    p.add_argument("--diagnose", action="store_true",
+                   help="print the window/voting/CRT funnel to stderr")
     p.set_defaults(fn=cmd_recognize)
 
     p = sub.add_parser(
@@ -340,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prepare-cache", default=None, metavar="FILE",
                    help="pickle file persisting the shared preparation "
                         "across invocations")
+    p.add_argument("--obs-out", default=None, metavar="FILE",
+                   help="write spans + metrics as JSON lines to FILE "
+                        "(plus Prometheus text to FILE's .prom sibling)")
+    p.add_argument("--profile", action="store_true",
+                   help="count VM dispatches (prepare trace + every "
+                        "self-check run); writes <outdir>/profile.json")
     p.set_defaults(fn=cmd_batch_embed)
 
     p = sub.add_parser("attack", help="apply a distortive transformation")
@@ -376,6 +421,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, default=None)
     p.add_argument("--inputs", default="")
     p.add_argument("--tracer", choices=("simple", "smart"), default="smart")
+    p.add_argument("--diagnose", action="store_true",
+                   help="print branch-function/chain diagnostics to stderr")
     p.set_defaults(fn=cmd_nextract)
 
     p = sub.add_parser("ndis", help="disassemble an N32 image")

@@ -60,6 +60,7 @@ class RecoveryResult:
     candidates_found: int = 0
     candidates_after_voting: int = 0
     votes: Dict[int, Counter] = field(default_factory=dict)
+    clear_winners: Dict[int, int] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         return self.complete
@@ -212,6 +213,7 @@ def recover(
     candidates, inspected = extract_candidates(bits, cipher, enumeration)
     found = sum(candidates.values())
     votes: Dict[int, Counter] = {}
+    winners: Dict[int, int] = {}
     if use_voting and candidates:
         votes, winners = hold_votes(candidates, moduli)
         candidates = apply_vote_filter(candidates, winners, moduli)
@@ -225,6 +227,7 @@ def recover(
         candidates_found=found,
         candidates_after_voting=after_voting,
         votes=votes,
+        clear_winners=winners,
     )
     if not candidates:
         return result

@@ -25,6 +25,7 @@ from .extractor import (
     extract_native,
     extract_native_auto,
     identify_branch_function,
+    native_recognition_report,
 )
 from .perfect_hash import PerfectHash, build_perfect_hash, hash_geometry
 
@@ -46,4 +47,5 @@ __all__ = [
     "extract_native_auto",
     "hash_geometry",
     "identify_branch_function",
+    "native_recognition_report",
 ]

@@ -28,7 +28,10 @@ comparing consecutive chain addresses: forward = 1, backward = 0.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from ..obs.recognition import RecognitionReport
 
 from ..native.image import BinaryImage
 from ..native.machine import Machine, MachineFault
@@ -45,10 +48,23 @@ class BranchFunctionEvent:
 
 @dataclass
 class ExtractionResult:
+    """Outcome of one extraction attempt.
+
+    ``events`` holds the *selected chain* (not the full event stream);
+    the diagnostic counters describe the stream it was selected from:
+    ``events_observed`` passes through the branch function overall,
+    split into ``runs_found`` maximal linked runs of the recorded
+    ``run_lengths``. A healthy watermark shows one run of length
+    ``width + 1`` towering over length-1 obfuscation noise.
+    """
+
     watermark: Optional[int]
     width: int
     events: List[BranchFunctionEvent] = field(default_factory=list)
     bf_entry: Optional[int] = None
+    events_observed: int = 0
+    runs_found: int = 0
+    run_lengths: List[int] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -208,14 +224,22 @@ def extract_native_auto(
         pass
     runs = _linked_runs(t.events)
     if not runs:
-        return ExtractionResult(None, width or 0, [], bf_entry)
+        return ExtractionResult(
+            None, width or 0, [], bf_entry,
+            events_observed=len(t.events),
+        )
     if width is not None:
         candidates = [r for r in runs if len(r) == width + 1]
         chain = candidates[0] if candidates else max(runs, key=len)
     else:
         chain = max(runs, key=len)
     found_width = len(chain) - 1
-    result = ExtractionResult(None, width or found_width, chain, bf_entry)
+    result = ExtractionResult(
+        None, width or found_width, chain, bf_entry,
+        events_observed=len(t.events),
+        runs_found=len(runs),
+        run_lengths=[len(r) for r in runs],
+    )
     if found_width < 1 or (width is not None and found_width != width):
         return result
     bits = [1 if chain[i + 1].source > chain[i].source else 0
@@ -265,7 +289,13 @@ def extract_native(
             chain.append(ev)
             if ev.resumed_at == end:
                 break
-    result = ExtractionResult(None, width, chain, bf_entry)
+    runs = _linked_runs(t.events)
+    result = ExtractionResult(
+        None, width, chain, bf_entry,
+        events_observed=len(t.events),
+        runs_found=len(runs),
+        run_lengths=[len(r) for r in runs],
+    )
     if len(chain) != width + 1 or not chain or chain[-1].resumed_at != end:
         return result
     bits = []
@@ -277,3 +307,37 @@ def extract_native(
             return result
     result.watermark = sum(b << k for k, b in enumerate(bits))
     return result
+
+
+def native_recognition_report(result: ExtractionResult) -> "RecognitionReport":
+    """Structured diagnostics for a native extraction attempt."""
+    from ..obs.recognition import RecognitionReport
+
+    report = RecognitionReport(
+        scheme="native",
+        complete=result.complete,
+        value=result.watermark,
+        events_observed=result.events_observed,
+        runs_found=result.runs_found,
+        run_lengths=list(result.run_lengths),
+        chain_length=len(result.events),
+        bf_entry=result.bf_entry,
+        width=result.width,
+    )
+    if result.bf_entry is None:
+        report.notes.append(
+            "branch function not identified - no call was observed "
+            "returning somewhere other than its fall-through"
+        )
+    elif not result.events_observed:
+        report.notes.append(
+            "branch function identified but never passed through on "
+            "this input"
+        )
+    elif not result.complete and result.events:
+        want = result.width + 1
+        report.notes.append(
+            f"selected chain has {len(result.events)} passes but "
+            f"{want} are needed for a {result.width}-bit watermark"
+        )
+    return report

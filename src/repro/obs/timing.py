@@ -1,0 +1,100 @@
+"""Wall-time primitives shared by the pipeline and the CLI.
+
+These used to live ad hoc in ``repro.pipeline.metrics``; they are the
+timing *internals* now, with the pipeline module keeping its public
+names (``Stopwatch``, ``StageTimings``) as thin wrappers so existing
+reports and pickled artifacts keep working.
+
+:class:`StageAccumulator` fixes a long-standing double-count: the old
+``measure`` accumulated elapsed time on *every* exit, so a stage
+re-entered recursively (e.g. a prepare step that recursively prepares
+a sub-module) counted the inner interval twice — once for the inner
+exit and again inside the outer exit's elapsed. Accumulation now
+happens once per outermost entry: the reported total is the real wall
+time the stage was active, never more.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from .metrics import Histogram
+
+
+class Stopwatch:
+    """Context manager measuring one wall-clock interval."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+class StageAccumulator:
+    """Accumulated wall time per named stage, reentrancy-safe.
+
+    A stage re-entered while already being measured does not start a
+    second clock: only the outermost ``measure`` accumulates, so
+    recursive stages report their true wall time instead of double
+    (or N times) the inner intervals.
+
+    Each completed outermost interval is also observed into
+    ``histogram`` (labelled by stage) when one is attached — that is
+    how the pipeline's stage timings reach the metrics registry
+    without the call sites knowing about it.
+    """
+
+    def __init__(self, histogram: Optional[Histogram] = None) -> None:
+        self.stages: Dict[str, float] = {}
+        self._depth: Dict[str, int] = {}
+        self._starts: Dict[str, float] = {}
+        self._histogram = histogram
+
+    @contextmanager
+    def measure(self, stage: str) -> Iterator[None]:
+        depth = self._depth.get(stage, 0)
+        self._depth[stage] = depth + 1
+        if depth == 0:
+            self._starts[stage] = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._depth[stage] -= 1
+            if self._depth[stage] == 0:
+                elapsed = time.perf_counter() - self._starts.pop(stage)
+                self._accumulate(stage, elapsed)
+
+    def record(self, stage: str, seconds: float) -> None:
+        """Credit an externally measured interval to a stage."""
+        self._accumulate(stage, seconds)
+
+    def _accumulate(self, stage: str, seconds: float) -> None:
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+        if self._histogram is not None:
+            self._histogram.observe(seconds, stage=stage)
+
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    # -- pickling -----------------------------------------------------------
+    # Only the accumulated totals travel (to pool workers, or inside a
+    # persisted PreparedProgram); open measurements and the histogram
+    # hook are process-local. Old artifacts that pickled just a
+    # ``stages`` dict restore cleanly through the same path.
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"stages": dict(self.stages)}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.stages = dict(state.get("stages", {}))
+        self._depth = {}
+        self._starts = {}
+        self._histogram = None

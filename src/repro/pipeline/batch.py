@@ -12,23 +12,38 @@ Determinism: each copy embeds with RNG streams salted by its
 or completion order feeds the embedding, so a batch is bit-for-bit
 reproducible at any ``workers`` setting. Failures are isolated: a
 copy that raises comes back as a failed :class:`.metrics.CopyResult`
-and the rest of the batch proceeds.
+(one-line ``error`` plus the full formatted ``traceback``) and the
+rest of the batch proceeds.
 
 Every worker re-runs its emitted copy on the key input and recognizes
 the mark from that same cached trace (one execution serves both the
 semantic check and the recognition self-check).
+
+Observability: when the parent has tracing enabled, the batch span's
+:class:`~repro.obs.spans.SpanContext` rides the pool initializer into
+each worker; workers record their per-copy spans locally, return them
+on the :class:`~.metrics.CopyResult`, and the parent grafts them back
+(:meth:`~repro.obs.spans.Tracer.adopt`) — one coherent tree at any
+``workers`` setting. With ``profile=True`` each self-check run counts
+VM dispatches and the batch folds every copy's counts (plus the
+prepared trace's, if it was profiled) into one
+:class:`~repro.obs.vmprofile.DispatchProfile` on the report.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
+from .. import obs
 from ..bytecode_wm.embedder import embed
 from ..bytecode_wm.recognizer import recognize
+from ..obs.spans import SpanContext, attach
+from ..obs.vmprofile import DispatchProfile
 from ..vm.disassembler import disassemble
 from ..vm.interpreter import run_module
 from .metrics import BatchReport, CopyResult, StageTimings, Stopwatch
@@ -64,7 +79,10 @@ class CopySpec:
 
 
 def embed_copy(
-    prepared: PreparedProgram, spec: CopySpec, self_check: bool = True
+    prepared: PreparedProgram,
+    spec: CopySpec,
+    self_check: bool = True,
+    profile: bool = False,
 ) -> CopyResult:
     """Embed, emit and (by default) self-check one copy. Never raises.
 
@@ -73,37 +91,53 @@ def embed_copy(
     that single trace to both the output comparison and the
     recognizer. ``self_check=False`` skips that run — a throughput
     knob for deployments that verify by sampling instead.
+    ``profile=True`` counts VM dispatches during the self-check run
+    and attaches the raw per-opcode array to the result.
     """
     start = time.perf_counter()
     try:
-        result = embed(
-            prepared.module,
-            spec.watermark,
-            prepared.key,
-            pieces=prepared.pieces,
-            watermark_bits=prepared.watermark_bits,
-            trace=prepared.trace,
-            sites=prepared.sites,
-            rng_salt=f"{spec.watermark}/{spec.seed}",
-        )
-        recognized = None
-        check_ok = output_ok = False
-        if self_check:
-            check_run = run_module(
-                result.module, prepared.key.inputs, trace_mode="branch"
-            )
-            found = recognize(
-                result.module,
-                prepared.key,
-                watermark_bits=prepared.watermark_bits,
-                trace=check_run.trace,
-            )
-            recognized = found.value
-            check_ok = found.complete and found.value == spec.watermark
-            output_ok = (
-                list(check_run.output) == list(prepared.baseline_output)
-            )
-        text = disassemble(result.module)
+        with obs.span("copy", copy_id=spec.copy_id,
+                      watermark=spec.watermark):
+            with obs.span("copy.embed"):
+                result = embed(
+                    prepared.module,
+                    spec.watermark,
+                    prepared.key,
+                    pieces=prepared.pieces,
+                    watermark_bits=prepared.watermark_bits,
+                    trace=prepared.trace,
+                    sites=prepared.sites,
+                    rng_salt=f"{spec.watermark}/{spec.seed}",
+                )
+            recognized = None
+            check_ok = output_ok = False
+            dispatch_counts = None
+            if self_check:
+                with obs.span("copy.self_check") as sp:
+                    check_run = run_module(
+                        result.module,
+                        prepared.key.inputs,
+                        trace_mode="branch",
+                        profile=profile,
+                    )
+                    dispatch_counts = check_run.dispatch_counts
+                    found = recognize(
+                        result.module,
+                        prepared.key,
+                        watermark_bits=prepared.watermark_bits,
+                        trace=check_run.trace,
+                    )
+                    recognized = found.value
+                    check_ok = (
+                        found.complete and found.value == spec.watermark
+                    )
+                    output_ok = (
+                        list(check_run.output)
+                        == list(prepared.baseline_output)
+                    )
+                    sp.set(steps=check_run.steps, recognized=check_ok,
+                           output_ok=output_ok)
+            text = disassemble(result.module)
         return CopyResult(
             copy_id=spec.copy_id,
             watermark=spec.watermark,
@@ -118,6 +152,7 @@ def embed_copy(
             byte_size_increase=result.byte_size_increase,
             wall_seconds=time.perf_counter() - start,
             text=text,
+            dispatch_counts=dispatch_counts,
         )
     except Exception as exc:  # per-copy isolation: report, don't propagate
         return CopyResult(
@@ -127,6 +162,7 @@ def embed_copy(
             ok=False,
             wall_seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback_module.format_exc(),
         )
 
 
@@ -134,17 +170,41 @@ def embed_copy(
 
 _WORKER_PREPARED: Optional[PreparedProgram] = None
 _WORKER_SELF_CHECK: bool = True
+_WORKER_PROFILE: bool = False
+_WORKER_PARENT: Optional[SpanContext] = None
 
 
-def _init_worker(prepared: PreparedProgram, self_check: bool) -> None:
+def _init_worker(
+    prepared: PreparedProgram,
+    self_check: bool,
+    profile: bool = False,
+    parent: Optional[SpanContext] = None,
+) -> None:
     global _WORKER_PREPARED, _WORKER_SELF_CHECK
+    global _WORKER_PROFILE, _WORKER_PARENT
     _WORKER_PREPARED = prepared
     _WORKER_SELF_CHECK = self_check
+    _WORKER_PROFILE = profile
+    _WORKER_PARENT = parent
+    if parent is not None:
+        # The parent batch span's context travels in; record worker
+        # spans locally and hand them back on each CopyResult.
+        obs.enable_tracing()
 
 
 def _embed_in_worker(spec: CopySpec) -> CopyResult:
     assert _WORKER_PREPARED is not None, "worker initializer did not run"
-    return embed_copy(_WORKER_PREPARED, spec, _WORKER_SELF_CHECK)
+    if _WORKER_PARENT is None:
+        return embed_copy(
+            _WORKER_PREPARED, spec, _WORKER_SELF_CHECK, _WORKER_PROFILE
+        )
+    tracer = obs.get_tracer()
+    with attach(_WORKER_PARENT):
+        result = embed_copy(
+            _WORKER_PREPARED, spec, _WORKER_SELF_CHECK, _WORKER_PROFILE
+        )
+    result.spans = tracer.drain()
+    return result
 
 
 def default_chunksize(copy_count: int, workers: int) -> int:
@@ -162,6 +222,7 @@ def run_batch(
     cache_hits: int = 0,
     cache_misses: int = 1,
     self_check: bool = True,
+    profile: bool = False,
 ) -> BatchReport:
     """Embed every requested copy, in parallel when ``workers > 1``.
 
@@ -170,6 +231,9 @@ def run_batch(
     successful copy is written to ``<outdir>/<copy_id>.wasm``.
     Results keep the order of ``copies`` regardless of scheduling.
     ``self_check=False`` skips the per-copy re-run + recognition.
+    ``profile=True`` aggregates per-opcode VM dispatch counts from
+    every self-check run (and the prepared trace, when it was
+    profiled) into ``report.dispatch_profile``.
     """
     specs = list(copies)
     if workers < 1:
@@ -180,19 +244,21 @@ def run_batch(
             raise ValueError(f"duplicate copy id {spec.copy_id!r}")
         seen.add(spec.copy_id)
 
+    tracer = obs.get_tracer()
     timings = StageTimings()
     watch = Stopwatch()
-    with watch:
+    with watch, obs.span("batch", copies=len(specs), workers=workers):
         with timings.measure("embed"):
             if workers == 1 or len(specs) <= 1:
-                results = [embed_copy(prepared, s, self_check)
+                results = [embed_copy(prepared, s, self_check, profile)
                            for s in specs]
             else:
                 chunk = chunksize or default_chunksize(len(specs), workers)
+                parent = obs.current_context() if tracer.enabled else None
                 with ProcessPoolExecutor(
                     max_workers=workers,
                     initializer=_init_worker,
-                    initargs=(prepared, self_check),
+                    initargs=(prepared, self_check, profile, parent),
                 ) as pool:
                     results = list(
                         pool.map(_embed_in_worker, specs, chunksize=chunk)
@@ -207,6 +273,26 @@ def run_batch(
                     with open(path, "w") as fp:
                         fp.write(copy.text)
 
+    if tracer.enabled:
+        for copy in results:
+            if copy.spans:
+                tracer.adopt(copy.spans)
+                copy.spans = []
+
+    dispatch_profile = None
+    if profile:
+        dispatch_profile = DispatchProfile()
+        if prepared.dispatch_counts is not None:
+            dispatch_profile.merge(DispatchProfile.from_counts(
+                prepared.dispatch_counts,
+                wall_seconds=prepared.timings.stages.get("trace", 0.0),
+            ))
+        for copy in results:
+            if copy.dispatch_counts is not None:
+                dispatch_profile.merge(
+                    DispatchProfile.from_counts(copy.dispatch_counts)
+                )
+
     return BatchReport(
         workers=workers,
         copies=results,
@@ -215,6 +301,7 @@ def run_batch(
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         wall_seconds=watch.seconds,
+        dispatch_profile=dispatch_profile,
     )
 
 

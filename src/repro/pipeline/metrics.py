@@ -8,53 +8,56 @@ verification outcome — every emitted module is immediately re-run and
 re-recognized in-worker, so a report with ``all_ok`` set is a batch of
 copies that are *known* to decode to their own fingerprints.
 
-Reports serialize to JSON (``BatchReport.write``) so deployments can
-archive one document per fingerprinting run.
+The timing internals live in :mod:`repro.obs.timing` now;
+:class:`StageTimings` keeps its public name and pickle format but is a
+reentrancy-safe accumulator that also feeds every completed stage into
+the ambient metrics registry (``repro_stage_seconds{stage=...}``), so
+a batch run's stage times are scrapeable without any call-site change.
+
+Reports serialize to JSON (``BatchReport.write``) and back
+(``BatchReport.from_json``) so deployments can archive one document
+per fingerprinting run and tooling can re-load it.
 """
 
 from __future__ import annotations
 
 import json
-import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Dict, List, Optional
+
+from ..obs.metrics import get_registry
+from ..obs.spans import Span
+from ..obs.timing import StageAccumulator, Stopwatch
+from ..obs.vmprofile import DispatchProfile
+
+__all__ = [
+    "BatchReport",
+    "CopyResult",
+    "StageTimings",
+    "Stopwatch",
+]
 
 
-class Stopwatch:
-    """Context manager measuring one wall-clock interval."""
+class StageTimings(StageAccumulator):
+    """Accumulated wall time per named pipeline stage.
 
-    def __init__(self) -> None:
-        self.seconds = 0.0
+    Reentrancy-safe (see :class:`repro.obs.timing.StageAccumulator`):
+    a stage re-entered recursively accumulates once per outermost
+    entry, not once per exit. Completed intervals are additionally
+    observed into the ambient registry's ``repro_stage_seconds``
+    histogram, labelled by stage.
+    """
 
-    def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
-        return self
+    def __init__(self, stages: Optional[Dict[str, float]] = None) -> None:
+        super().__init__()
+        if stages:
+            self.stages.update(stages)
 
-    def __exit__(self, *exc) -> None:
-        self.seconds = time.perf_counter() - self._start
-
-
-@dataclass
-class StageTimings:
-    """Accumulated wall time per named pipeline stage."""
-
-    stages: Dict[str, float] = field(default_factory=dict)
-
-    @contextmanager
-    def measure(self, stage: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.stages[stage] = self.stages.get(stage, 0.0) + elapsed
-
-    def record(self, stage: str, seconds: float) -> None:
+    def _accumulate(self, stage: str, seconds: float) -> None:
         self.stages[stage] = self.stages.get(stage, 0.0) + seconds
-
-    def total(self) -> float:
-        return sum(self.stages.values())
+        get_registry().histogram(
+            "repro_stage_seconds", "Pipeline stage wall time"
+        ).observe(seconds, stage=stage)
 
 
 @dataclass
@@ -63,6 +66,13 @@ class CopyResult:
 
     ``text`` holds the emitted module's assembly and is excluded from
     the JSON report (it lives in the output directory instead).
+    ``traceback`` is the formatted Python traceback of a failed embed —
+    the part of a failure the one-line ``error`` summary loses.
+    ``spans``/``dispatch_counts`` are observability payloads recorded
+    in the worker and aggregated by the parent; they travel on the
+    object (across the process pool) but not into the JSON report —
+    spans land in the ``--obs-out`` stream, dispatch counts in the
+    batch-level profile.
     """
 
     copy_id: str
@@ -78,7 +88,10 @@ class CopyResult:
     byte_size_increase: int = 0
     wall_seconds: float = 0.0
     error: Optional[str] = None
+    traceback: Optional[str] = None
     text: Optional[str] = None
+    spans: List[Span] = field(default_factory=list)
+    dispatch_counts: Optional[List[int]] = None
 
     @property
     def verified(self) -> bool:
@@ -106,7 +119,27 @@ class CopyResult:
             "byte_size_increase": self.byte_size_increase,
             "wall_seconds": self.wall_seconds,
             "error": self.error,
+            "traceback": self.traceback,
         }
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "CopyResult":
+        return CopyResult(
+            copy_id=doc["copy_id"],
+            watermark=doc["watermark"],
+            seed=doc.get("seed", 0),
+            ok=doc.get("ok", False),
+            checked=doc.get("checked", False),
+            self_check=doc.get("self_check", False),
+            output_ok=doc.get("output_ok", False),
+            recognized=doc.get("recognized"),
+            piece_count=doc.get("piece_count", 0),
+            bytes_emitted=doc.get("bytes_emitted", 0),
+            byte_size_increase=doc.get("byte_size_increase", 0),
+            wall_seconds=doc.get("wall_seconds", 0.0),
+            error=doc.get("error"),
+            traceback=doc.get("traceback"),
+        )
 
 
 @dataclass
@@ -120,6 +153,7 @@ class BatchReport:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_seconds: float = 0.0
+    dispatch_profile: Optional[DispatchProfile] = None
 
     @property
     def succeeded(self) -> int:
@@ -144,7 +178,7 @@ class BatchReport:
         return sum(c.bytes_emitted for c in self.copies)
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "workers": self.workers,
             "copy_count": len(self.copies),
             "succeeded": self.succeeded,
@@ -158,14 +192,44 @@ class BatchReport:
             "batch_stages": dict(self.batch_timings.stages),
             "copies": [c.to_dict() for c in self.copies],
         }
+        if self.dispatch_profile is not None:
+            doc["dispatch_profile"] = self.dispatch_profile.to_dict()
+        return doc
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "BatchReport":
+        profile = doc.get("dispatch_profile")
+        return BatchReport(
+            workers=doc["workers"],
+            copies=[CopyResult.from_dict(c) for c in doc.get("copies", [])],
+            prepare_timings=StageTimings(doc.get("prepare_stages", {})),
+            batch_timings=StageTimings(doc.get("batch_stages", {})),
+            cache_hits=doc.get("cache", {}).get("hits", 0),
+            cache_misses=doc.get("cache", {}).get("misses", 0),
+            wall_seconds=doc.get("wall_seconds", 0.0),
+            dispatch_profile=(
+                DispatchProfile.from_dict(profile)
+                if profile is not None
+                else None
+            ),
+        )
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "BatchReport":
+        return BatchReport.from_dict(json.loads(text))
 
     def write(self, path: str) -> None:
         with open(path, "w") as fp:
             fp.write(self.to_json())
             fp.write("\n")
+
+    @staticmethod
+    def read(path: str) -> "BatchReport":
+        with open(path) as fp:
+            return BatchReport.from_json(fp.read())
 
     def summary(self) -> str:
         """A short human-readable account for CLI stderr."""

@@ -31,6 +31,7 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..bytecode_wm.embedder import default_piece_count
 from ..bytecode_wm.keys import WatermarkKey
 from ..bytecode_wm.placement import eligible_sites
@@ -79,6 +80,10 @@ class PreparedProgram:
     baseline_output: List[int]
     timings: StageTimings = field(default_factory=StageTimings)
     version: int = FORMAT_VERSION
+    #: Raw per-opcode dispatch counts of the key-input trace run, set
+    #: only when preparation ran with ``profile=True``. Additive field:
+    #: artifacts pickled before it existed load with ``None``.
+    dispatch_counts: Optional[List[int]] = None
 
     def fingerprint(self) -> str:
         """Content hash identifying (program, key, width, pieces).
@@ -131,6 +136,7 @@ class PreparedProgram:
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         blob = state["trace"]
+        state.setdefault("dispatch_counts", None)
         self.__dict__.update(state)
         if isinstance(blob, bytes):
             try:
@@ -217,6 +223,7 @@ def prepare(
     piece_loss: Optional[float] = None,
     target_success: float = 0.99,
     max_steps: int = DEFAULT_MAX_STEPS,
+    profile: bool = False,
 ) -> PreparedProgram:
     """Run every watermark-independent stage once and snapshot it.
 
@@ -235,44 +242,50 @@ def prepare(
     :class:`PrepareError` naming the step budget; the partial trace is
     discarded with the failed run and never reaches an artifact or a
     :class:`PrepareCache` entry.
+
+    ``profile=True`` counts VM dispatches during the trace run and
+    keeps the raw array on the artifact for batch-level profiling.
     """
     if watermark_bits < 1:
         raise PrepareError("watermark_bits must be positive")
     timings = StageTimings()
-    with timings.measure("verify"):
-        verify_module(module)
-    snapshot = module.copy()
-    with timings.measure("trace"):
-        try:
-            run = run_module(
-                snapshot, key.inputs, trace_mode="full", max_steps=max_steps
-            )
-        except StepLimitExceeded as exc:
-            raise PrepareError(
-                f"key-input trace did not terminate: {exc}"
-            ) from exc
-    trace = run.trace
-    assert trace is not None
-    with timings.measure("cfg"):
-        cfgs = {
-            name: build_cfg(fn) for name, fn in snapshot.functions.items()
-        }
-    with timings.measure("placement"):
-        sites = eligible_sites(trace, snapshot)
-        if not sites:
-            raise PrepareError(
-                "trace contains no usable insertion sites on the key input"
-            )
-        for site in sites:
-            if site.site != "<entry>" and site.site not in cfgs[site.function].blocks:
-                raise PrepareError(
-                    f"trace site {site!r} has no CFG block — "
-                    f"trace and module disagree"
+    with obs.span("prepare", watermark_bits=watermark_bits):
+        with timings.measure("verify"), obs.span("prepare.verify"):
+            verify_module(module)
+        snapshot = module.copy()
+        with timings.measure("trace"), obs.span("prepare.trace") as sp:
+            try:
+                run = run_module(
+                    snapshot, key.inputs, trace_mode="full",
+                    max_steps=max_steps, profile=profile,
                 )
-    with timings.measure("plan"):
-        moduli, piece_count = resolve_piece_count(
-            watermark_bits, pieces, piece_loss, target_success
-        )
+            except StepLimitExceeded as exc:
+                raise PrepareError(
+                    f"key-input trace did not terminate: {exc}"
+                ) from exc
+            sp.set(steps=run.steps)
+        trace = run.trace
+        assert trace is not None
+        with timings.measure("cfg"), obs.span("prepare.cfg"):
+            cfgs = {
+                name: build_cfg(fn) for name, fn in snapshot.functions.items()
+            }
+        with timings.measure("placement"), obs.span("prepare.placement"):
+            sites = eligible_sites(trace, snapshot)
+            if not sites:
+                raise PrepareError(
+                    "trace contains no usable insertion sites on the key input"
+                )
+            for site in sites:
+                if site.site != "<entry>" and site.site not in cfgs[site.function].blocks:
+                    raise PrepareError(
+                        f"trace site {site!r} has no CFG block — "
+                        f"trace and module disagree"
+                    )
+        with timings.measure("plan"), obs.span("prepare.plan"):
+            moduli, piece_count = resolve_piece_count(
+                watermark_bits, pieces, piece_loss, target_success
+            )
     return PreparedProgram(
         module=snapshot,
         key=key,
@@ -284,6 +297,7 @@ def prepare(
         cfgs=cfgs,
         baseline_output=list(run.output),
         timings=timings,
+        dispatch_counts=run.dispatch_counts,
     )
 
 
@@ -316,6 +330,7 @@ class PrepareCache:
         piece_loss: Optional[float] = None,
         target_success: float = 0.99,
         max_steps: int = DEFAULT_MAX_STEPS,
+        profile: bool = False,
     ) -> Tuple[PreparedProgram, bool]:
         """(artifact, was_hit) — preparing and caching on a miss.
 
@@ -338,6 +353,7 @@ class PrepareCache:
             piece_loss,
             target_success,
             max_steps=max_steps,
+            profile=profile,
         )
         if len(self._entries) >= self._max:
             oldest = next(iter(self._entries))

@@ -160,6 +160,39 @@ _STR2INT: Dict[str, int] = {
 #: leading component's mnemonic via ``raw_of``).
 INT2STR: Dict[int, str] = {v: k for k, v in _STR2INT.items()}
 
+#: Names for the fused opcodes, for dispatch-count profiles and
+#: diagnostics. The short forms match the comments above (source kinds
+#: L/C/G, B = binop, I = icmp branch, Z = zero-compare branch, S =
+#: store). Kept in one table so a profile row can always be named.
+FUSED_NAMES: Dict[int, str] = {
+    45: "LL2", 46: "LC2", 47: "LG2", 48: "CL2", 49: "CC2", 50: "CG2",
+    51: "GL2", 52: "GC2", 53: "GG2",
+    54: "LLB", 55: "LCB", 56: "LGB", 57: "CLB", 58: "CGB", 59: "GLB",
+    60: "GCB", 61: "GGB", 62: "CCB",
+    63: "LLI", 64: "LCI", 65: "LGI", 66: "CLI", 67: "CGI", 68: "GLI",
+    69: "GCI", 70: "GGI",
+    71: "LB", 72: "CB", 73: "GB",
+    74: "LIC", 75: "CIC", 76: "GIC",
+    77: "LIZ", 78: "CIZ", 79: "GIZ",
+    80: "BSL", 81: "BSG",
+    82: "LSL", 83: "CSL", 84: "GSL", 85: "LSG", 86: "CSG", 87: "GSG",
+    88: "SLS", 89: "SLD", 90: "SGO", 91: "IGO",
+    95: "CBS", 96: "CBB", 97: "LGC", 98: "GLB2", 99: "LCBSG",
+    100: "BLB", 101: "LBCB", 102: "BSLLCB",
+}
+
+#: One past the highest opcode the run loops can dispatch — the size
+#: of a per-opcode dispatch-count array.
+NUM_OPCODES = 103
+
+
+def opcode_name(op: int) -> str:
+    """Human-readable name of any dispatchable opcode (incl. fused)."""
+    if op == OP_END:
+        return "<end>"
+    name = INT2STR.get(op) or FUSED_NAMES.get(op)
+    return name if name is not None else f"op{op}"
+
 # Binop selector codes for fused arithmetic, ordered by observed dynamic
 # frequency on the jess-like workload (hot first => shallow dispatch).
 SEL_ADD, SEL_MUL, SEL_ALOAD, SEL_BAND, SEL_MOD = range(5)
@@ -528,6 +561,7 @@ def _fuse(ops, aa, bb, cc, dd, evt, evf, fs, ts, labeled) -> None:
 
 #: Opcode -> number of original instructions the slot covers (== the
 #: slot's contribution to ``steps`` and the fall-through advance).
+#: Public as :func:`slot_width` for dispatch-count profiling.
 def _width(op: int) -> int:
     if op < OP_FUSED_BASE:
         return 1
@@ -609,6 +643,19 @@ def _fuse2(ops, aa, bb, cc, dd, ee, fs, ts, labeled) -> None:
             i = nxt
         else:
             i = j
+
+
+def slot_width(op: int) -> int:
+    """Number of original instructions a dispatched slot covers.
+
+    ``1`` for every unfused opcode (and the sentinel); the component
+    count for superinstructions. A dispatch-count profile multiplied
+    through this recovers exact executed-instruction totals.
+    Unassigned opcode numbers (the 92–94 gap) report ``1``.
+    """
+    if 92 <= op <= 94:
+        return 1
+    return _width(op)
 
 
 def compile_function(fn: Function) -> CompiledFunction:

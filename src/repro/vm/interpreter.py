@@ -24,6 +24,12 @@ Execution design (see ``docs/performance.md`` for measurements):
   import time (:func:`_gen_loop`); tracing differs only in the lines
   tagged for that mode, which keeps the semantics of the variants
   in lockstep by construction.
+* Each specialization also has a *profiled* twin that counts every
+  dispatched slot into a per-opcode array (the raw material of
+  :class:`repro.obs.vmprofile.DispatchProfile`). Profiled loops are
+  generated lazily on first use and selected only when
+  ``profile=True`` — exactly the ``trace_mode`` pattern, so plain
+  runs keep paying zero instrumentation cost.
 
 Observable behaviour is identical to the seed engine (kept as
 :mod:`repro.vm._reference` for differential testing): same outputs,
@@ -34,7 +40,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence
 
-from .compiler import CompiledFunction
+from .compiler import NUM_OPCODES, CompiledFunction
 from .instructions import wrap64
 from .program import Module
 from .tracing import RunResult, Trace, TracePoint
@@ -72,7 +78,7 @@ _MIN64 = -(1 << 63)
 _MAX64 = (1 << 63) - 1
 
 
-def _gen_loop(mode: Optional[str]) -> str:
+def _gen_loop(mode: Optional[str], profiled: bool = False) -> str:
     T = mode in ("branch", "full")
     F = mode == "full"
     name = {None: "_run_untraced", "branch": "_run_branch", "full": "_run_full"}
@@ -246,7 +252,11 @@ def _gen_loop(mode: Optional[str]) -> str:
         emit(f"{ind}else:")
         emit(f"{ind}    taken = a_ > b_")
 
-    emit(f"def {name[mode]}(module, compiled, compile_fn, inputs, max_steps):")
+    fname = name[mode] + ("_prof" if profiled else "")
+    args = "module, compiled, compile_fn, inputs, max_steps"
+    if profiled:
+        args += ", prof"
+    emit(f"def {fname}({args}):")
     emit("    compiled_get = compiled.get")
     emit("    glob = [0] * module.globals_count")
     emit("    output = []")
@@ -287,6 +297,11 @@ def _gen_loop(mode: Optional[str]) -> str:
     emit("    try:")
     emit("        while True:")
     emit("            op = ops[pc]")
+    if profiled:
+        # One list-index increment per dispatched slot — the entire
+        # profiling hook. Fused slots count once here; their component
+        # coverage is recovered from slot widths at report time.
+        emit("            prof[op] += 1")
     # ---- singles -----------------------------------------------------
     emit("            if op < 45:")
     emit("                steps += 1")
@@ -753,7 +768,14 @@ def _seed_diagnostic_replay(module, inputs, max_steps):
     return None
 
 
-def _materialize() -> Dict[Optional[str], Callable]:
+_MODE_NAMES: Dict[Optional[str], str] = {
+    None: "_run_untraced",
+    "branch": "_run_branch",
+    "full": "_run_full",
+}
+
+
+def _materialize_loop(mode: Optional[str], profiled: bool = False) -> Callable:
     namespace: Dict = {
         "wrap64": wrap64,
         "VMError": VMError,
@@ -763,20 +785,27 @@ def _materialize() -> Dict[Optional[str], Callable]:
         "RunResult": RunResult,
         "_seed_diagnostic_replay": _seed_diagnostic_replay,
     }
-    loops: Dict[Optional[str], Callable] = {}
-    for mode, fname in (
-        (None, "_run_untraced"),
-        ("branch", "_run_branch"),
-        ("full", "_run_full"),
-    ):
-        source = _gen_loop(mode)
-        code = compile(source, f"<wvm-loop:{fname}>", "exec")
-        exec(code, namespace)  # noqa: S102 - internal template, no user input
-        loops[mode] = namespace[fname]
-    return loops
+    fname = _MODE_NAMES[mode] + ("_prof" if profiled else "")
+    source = _gen_loop(mode, profiled)
+    code = compile(source, f"<wvm-loop:{fname}>", "exec")
+    exec(code, namespace)  # noqa: S102 - internal template, no user input
+    return namespace[fname]
 
 
-_LOOPS = _materialize()
+_LOOPS: Dict[Optional[str], Callable] = {
+    mode: _materialize_loop(mode) for mode in _MODE_NAMES
+}
+
+#: Profiled twins, generated on first request so the common import
+#: path never pays their codegen.
+_PROFILED_LOOPS: Dict[Optional[str], Callable] = {}
+
+
+def _profiled_loop(mode: Optional[str]) -> Callable:
+    loop = _PROFILED_LOOPS.get(mode)
+    if loop is None:
+        loop = _PROFILED_LOOPS[mode] = _materialize_loop(mode, profiled=True)
+    return loop
 
 
 class Interpreter:
@@ -789,6 +818,11 @@ class Interpreter:
       * ``"full"`` — branch events plus per-site variable snapshots
         (the embedding-time tracing phase).
 
+    ``profile=True`` selects the profiled loop twin, which counts
+    every dispatched slot into a per-opcode array surfaced as
+    ``RunResult.dispatch_counts`` (cumulative across ``run`` calls on
+    one interpreter). Plain runs never touch the profiled loops.
+
     Functions are compiled to the dense dispatch form lazily, on first
     call, and cached for the lifetime of the interpreter — so cold
     code (most of a jess-like module) never pays compilation.
@@ -799,6 +833,7 @@ class Interpreter:
         module: Module,
         max_steps: int = DEFAULT_MAX_STEPS,
         trace_mode: Optional[str] = None,
+        profile: bool = False,
     ):
         if trace_mode not in (None, "branch", "full"):
             raise ValueError(f"bad trace_mode {trace_mode!r}")
@@ -807,7 +842,12 @@ class Interpreter:
         self.max_steps = max_steps
         self.trace_mode = trace_mode
         self._compiled: Dict[str, CompiledFunction] = {}
-        self._loop = _LOOPS[trace_mode]
+        self.dispatch_counts: Optional[list] = (
+            [0] * NUM_OPCODES if profile else None
+        )
+        self._loop = (
+            _profiled_loop(trace_mode) if profile else _LOOPS[trace_mode]
+        )
 
     # -- public API ---------------------------------------------------------
 
@@ -817,9 +857,17 @@ class Interpreter:
         ``inputs`` is the secret input sequence consumed by ``input``
         instructions (the watermark key at trace time).
         """
-        return self._loop(
-            self.module, self._compiled, self._compile, inputs, self.max_steps
+        if self.dispatch_counts is None:
+            return self._loop(
+                self.module, self._compiled, self._compile, inputs,
+                self.max_steps,
+            )
+        result = self._loop(
+            self.module, self._compiled, self._compile, inputs,
+            self.max_steps, self.dispatch_counts,
         )
+        result.dispatch_counts = self.dispatch_counts
+        return result
 
     # -- helpers -------------------------------------------------------------
 
@@ -837,8 +885,9 @@ def run_module(
     inputs: Sequence[int] = (),
     trace_mode: Optional[str] = None,
     max_steps: int = DEFAULT_MAX_STEPS,
+    profile: bool = False,
 ) -> RunResult:
     """Convenience wrapper: build an interpreter and run the module."""
-    return Interpreter(module, max_steps=max_steps, trace_mode=trace_mode).run(
-        inputs
-    )
+    return Interpreter(
+        module, max_steps=max_steps, trace_mode=trace_mode, profile=profile
+    ).run(inputs)
