@@ -46,11 +46,26 @@ def recognize_bits(
     watermark_bits: int = DEFAULT_WATERMARK_BITS,
     use_voting: bool = True,
 ) -> RecoveryResult:
-    """Recover a watermark from an already-decoded bit-string."""
+    """Recover a watermark from an already-decoded bit-string.
+
+    A recovery whose CRT value does not fit in ``watermark_bits`` is
+    demoted to incomplete: a legitimate mark is always below
+    ``2**watermark_bits``, but junk windows decrypted under a wrong key
+    occasionally form a mutually consistent statement set covering all
+    moduli, and such forgeries land uniformly in the much larger
+    product-of-moduli space. The partial congruence is kept for
+    diagnostics.
+    """
     moduli = choose_moduli(watermark_bits)
-    return recover(
+    result = recover(
         bits, key.cipher(), StatementEnumeration(moduli), use_voting
     )
+    if result.complete:
+        assert result.value is not None
+        if result.value >= (1 << watermark_bits):
+            result.complete = False
+            result.value = None
+    return result
 
 
 def recognize(
@@ -119,6 +134,17 @@ def recognition_report(
         report.notes.append(
             "no window decrypted into the statement space - wrong key, "
             "wrong input, or the watermark is gone"
+        )
+    if (
+        not result.complete
+        and result.congruence is not None
+        and not report.moduli_missing
+        and result.congruence.value >= (1 << watermark_bits)
+    ):
+        report.notes.append(
+            f"CRT value {result.congruence.value:#x} exceeds the "
+            f"{watermark_bits}-bit watermark space - rejected as a "
+            "junk-window false positive"
         )
     return report
 

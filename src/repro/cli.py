@@ -24,6 +24,11 @@ Usage (also via ``python -m repro``)::
     python -m repro batch-embed manifest.json -o dist/ --workers 4 \\
         --obs-out obs.jsonl --profile
 
+    # Persist the preparation as a store artifact, then serve
+    # embed/recognize over HTTP from it
+    python -m repro artifact prepare manifest.json --store store/
+    python -m repro serve --store store/ --port 8765 --workers 4
+
 Modules travel as WVM assembly text (the `.wasm` extension here means
 "watermarking asm", not WebAssembly).
 """
@@ -65,6 +70,7 @@ from .pipeline import (
     prepare,
     run_batch,
 )
+from .serve import ArtifactStore, ServerConfig, StoreError, serve
 from .vm import VMError, assemble, disassemble, run_module, verify_module
 
 ATTACKS = {
@@ -177,10 +183,27 @@ def cmd_batch_embed(args) -> int:
     if args.obs_out:
         tracer = obs.enable_tracing()
 
-    # Shared preparation, optionally persisted across invocations.
+    # Shared preparation, optionally persisted across invocations —
+    # either in the multi-release artifact store (--store) or a
+    # single-artifact pickle file (--prepare-cache).
     prepared = None
     cache_hit = False
-    if args.prepare_cache and os.path.exists(args.prepare_cache):
+    if args.store:
+        store = ArtifactStore(args.store)
+        try:
+            prepared, cache_hit = store.get_or_prepare(
+                module,
+                key,
+                manifest.watermark_bits,
+                pieces=manifest.pieces,
+                piece_loss=manifest.piece_loss,
+                target_success=manifest.target_success,
+                profile=args.profile,
+            )
+        except VMError as exc:
+            print(f"program trapped during tracing: {exc}", file=sys.stderr)
+            return 2
+    elif args.prepare_cache and os.path.exists(args.prepare_cache):
         try:
             candidate = PreparedProgram.load(args.prepare_cache)
         except PrepareError as exc:
@@ -241,6 +264,115 @@ def cmd_batch_embed(args) -> int:
 
     print(report.summary(), file=sys.stderr)
     return 0 if report.all_ok else 1
+
+
+def cmd_serve(args) -> int:
+    try:
+        config = ServerConfig(
+            store_root=args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            request_timeout=args.timeout,
+            executor=args.executor,
+            self_check=not args.no_self_check,
+        )
+    except ValueError as exc:
+        print(f"bad serve configuration: {exc}", file=sys.stderr)
+        return 2
+    tracer = obs.enable_tracing() if args.obs_out else None
+    try:
+        serve(config)
+    except StoreError as exc:
+        print(f"cannot serve: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if args.obs_out and tracer is not None:
+            with open(args.obs_out, "w") as fp:
+                tracer.write_jsonl(fp)
+                obs.get_registry().write_jsonl(fp)
+            prom_path = os.path.splitext(args.obs_out)[0] + ".prom"
+            with open(prom_path, "w") as fp:
+                fp.write(obs.get_registry().to_prometheus())
+            obs.disable_tracing()
+    return 0
+
+
+def cmd_artifact_prepare(args) -> int:
+    manifest = load_manifest(args.manifest)
+    module = _read_module(manifest.module_path)
+    store = ArtifactStore(args.store)
+    try:
+        prepared, hit = store.get_or_prepare(
+            module,
+            manifest.key(),
+            manifest.watermark_bits,
+            pieces=manifest.pieces,
+            piece_loss=manifest.piece_loss,
+            target_success=manifest.target_success,
+            profile=args.profile,
+            label=args.label,
+        )
+    except VMError as exc:
+        print(f"program trapped during tracing: {exc}", file=sys.stderr)
+        return 2
+    record = store.record(prepared.fingerprint())
+    state = "already stored" if hit else "prepared and stored"
+    print(
+        f"{state}: {record.size_bytes} bytes, "
+        f"{record.watermark_bits}-bit marks, {record.pieces} pieces",
+        file=sys.stderr,
+    )
+    print(record.digest)
+    return 0
+
+
+def cmd_artifact_list(args) -> int:
+    try:
+        store = ArtifactStore(args.store, create=False)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    records = store.records()
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2))
+        return 0
+    for r in records:
+        label = f"  {r.label}" if r.label else ""
+        print(
+            f"{r.digest[:16]}  bits={r.watermark_bits} pieces={r.pieces} "
+            f"{r.size_bytes}B{label}"
+        )
+    print(f"{len(records)} artifact(s) in {args.store}", file=sys.stderr)
+    return 0
+
+
+def cmd_artifact_evict(args) -> int:
+    try:
+        store = ArtifactStore(args.store, create=False)
+        digest = store.resolve(args.digest)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    store.evict(digest)
+    print(f"evicted {digest}", file=sys.stderr)
+    return 0
+
+
+def cmd_artifact_verify(args) -> int:
+    try:
+        store = ArtifactStore(args.store, create=False)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    problems = store.verify()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"{len(store)} artifact(s) intact", file=sys.stderr)
+    return 0
 
 
 def cmd_ncompile(args) -> int:
@@ -376,9 +508,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallel embed processes (default 1)")
     p.add_argument("--chunksize", type=int, default=None,
                    help="work-queue chunk size (default: auto)")
-    p.add_argument("--prepare-cache", default=None, metavar="FILE",
-                   help="pickle file persisting the shared preparation "
-                        "across invocations")
+    cache = p.add_mutually_exclusive_group()
+    cache.add_argument("--prepare-cache", default=None, metavar="FILE",
+                       help="pickle file persisting the shared preparation "
+                            "across invocations")
+    cache.add_argument("--store", default=None, metavar="DIR",
+                       help="content-addressed artifact store persisting "
+                            "preparations across releases (see "
+                            "'repro artifact')")
     p.add_argument("--obs-out", default=None, metavar="FILE",
                    help="write spans + metrics as JSON lines to FILE "
                         "(plus Prometheus text to FILE's .prom sibling)")
@@ -436,6 +573,68 @@ def build_parser() -> argparse.ArgumentParser:
                    help="probability an individual piece is destroyed")
     p.add_argument("--target", type=float, default=0.99)
     p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the fingerprinting HTTP daemon over an artifact store",
+    )
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="artifact store directory (see 'repro artifact')")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="listening port; 0 picks an ephemeral port")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker pool size (default 2)")
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="requests queued beyond the pool before "
+                        "429 backpressure kicks in (default 8)")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-request timeout in seconds (default 60)")
+    p.add_argument("--executor", choices=("process", "thread"),
+                   default="process",
+                   help="worker pool flavour (default process)")
+    p.add_argument("--no-self-check", action="store_true",
+                   help="skip the in-worker recognize pass after embeds")
+    p.add_argument("--obs-out", default=None, metavar="FILE",
+                   help="on shutdown, write spans + metrics as JSON "
+                        "lines to FILE (plus FILE's .prom sibling)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "artifact",
+        help="manage the persistent store of prepared programs",
+    )
+    asub = p.add_subparsers(dest="artifact_command", required=True)
+
+    a = asub.add_parser(
+        "prepare",
+        help="prepare a release from a batch manifest and store it",
+    )
+    a.add_argument("manifest", help="JSON batch manifest (copies ignored)")
+    a.add_argument("--store", required=True, metavar="DIR")
+    a.add_argument("--label", default="",
+                   help="free-form release label kept in the manifest")
+    a.add_argument("--profile", action="store_true",
+                   help="count VM dispatches during the prepare trace")
+    a.set_defaults(fn=cmd_artifact_prepare)
+
+    a = asub.add_parser("list", help="list stored artifacts")
+    a.add_argument("--store", required=True, metavar="DIR")
+    a.add_argument("--json", action="store_true",
+                   help="emit the records as a JSON array")
+    a.set_defaults(fn=cmd_artifact_list)
+
+    a = asub.add_parser("evict", help="remove an artifact from the store")
+    a.add_argument("digest", help="artifact digest (unique prefix ok)")
+    a.add_argument("--store", required=True, metavar="DIR")
+    a.set_defaults(fn=cmd_artifact_evict)
+
+    a = asub.add_parser(
+        "verify",
+        help="integrity-check every blob against the manifest",
+    )
+    a.add_argument("--store", required=True, metavar="DIR")
+    a.set_defaults(fn=cmd_artifact_verify)
 
     return parser
 

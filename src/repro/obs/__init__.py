@@ -44,6 +44,7 @@ from typing import Any, Optional, Union
 
 from .metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -67,6 +68,7 @@ from .vmprofile import DispatchProfile, profile_run
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
     "DispatchProfile",
     "Gauge",
     "Histogram",

@@ -54,6 +54,14 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Request-latency buckets, in seconds: tighter at the low end than
+#: :data:`DEFAULT_BUCKETS` (an admission rejection is microseconds, a
+#: queued embed can be seconds) and topping out at a serving timeout.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
 LabelSet = Tuple[Tuple[str, str], ...]
 
 

@@ -30,8 +30,11 @@ from .batch import (
     CopySpec,
     default_chunksize,
     embed_copy,
+    load_prepared_artifact,
     run_batch,
     sequential_specs,
+    service_embed_copy,
+    service_recognize,
 )
 from .manifest import BatchManifest, ManifestError, load_manifest, parse_manifest
 from .metrics import BatchReport, CopyResult, StageTimings, Stopwatch
@@ -60,10 +63,13 @@ __all__ = [
     "default_chunksize",
     "embed_copy",
     "load_manifest",
+    "load_prepared_artifact",
     "parse_manifest",
     "prepare",
     "prepare_fingerprint",
     "resolve_piece_count",
     "run_batch",
     "sequential_specs",
+    "service_embed_copy",
+    "service_recognize",
 ]

@@ -35,15 +35,17 @@ from __future__ import annotations
 import os
 import time
 import traceback as traceback_module
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .. import obs
 from ..bytecode_wm.embedder import embed
-from ..bytecode_wm.recognizer import recognize
+from ..bytecode_wm.recognizer import recognize, recognize_with_report
 from ..obs.spans import SpanContext, attach
 from ..obs.vmprofile import DispatchProfile
+from ..vm.assembler import assemble
 from ..vm.disassembler import disassemble
 from ..vm.interpreter import run_module
 from .metrics import BatchReport, CopyResult, StageTimings, Stopwatch
@@ -205,6 +207,118 @@ def _embed_in_worker(spec: CopySpec) -> CopyResult:
         )
     result.spans = tracer.drain()
     return result
+
+
+# -- service workers: artifacts load from the store, by digest --------------
+#
+# The serving daemon (repro.serve.daemon) dispatches one job per HTTP
+# request instead of one batch per pool, so the PreparedProgram cannot
+# ride the pool initializer: requests for different releases share the
+# same workers. Workers instead load artifacts from the persistent
+# store lazily, keyed by content digest, through a small per-process
+# cache — each worker pays the unpickle once per release it serves.
+
+#: Per-process artifact cache: releases a worker has already loaded.
+#: Small and FIFO like PrepareCache: a worker serves few releases.
+_ARTIFACT_CACHE: "OrderedDict[Tuple[str, str], PreparedProgram]" = OrderedDict()
+_ARTIFACT_CACHE_MAX = 4
+
+
+def load_prepared_artifact(store_root: str, digest: str) -> PreparedProgram:
+    """Load an artifact from the store, memoized per process.
+
+    The cache key includes the store root so one process can serve
+    multiple stores (tests do; a daemon normally will not).
+    """
+    key = (store_root, digest)
+    cached = _ARTIFACT_CACHE.get(key)
+    if cached is not None:
+        _ARTIFACT_CACHE.move_to_end(key)
+        return cached
+    from ..serve.store import ArtifactStore  # deferred: serve imports us
+
+    prepared = ArtifactStore(store_root, create=False).load(digest)
+    while len(_ARTIFACT_CACHE) >= _ARTIFACT_CACHE_MAX:
+        _ARTIFACT_CACHE.popitem(last=False)
+    _ARTIFACT_CACHE[key] = prepared
+    return prepared
+
+
+def service_embed_copy(
+    store_root: str,
+    digest: str,
+    spec: CopySpec,
+    self_check: bool = True,
+    parent: Optional[SpanContext] = None,
+    drain_spans: bool = False,
+) -> CopyResult:
+    """One serving-daemon embed job: artifact by digest, copy by spec.
+
+    ``parent`` grafts the job's spans under the request span.
+    ``drain_spans=True`` is the process-pool mode: the job records
+    spans on a worker-local tracer and hands them back on the result
+    for the parent to adopt. Thread-pool mode records straight into
+    the server's own tracer and leaves ``result.spans`` empty.
+    """
+    prepared = load_prepared_artifact(store_root, digest)
+    if parent is None:
+        return embed_copy(prepared, spec, self_check)
+    if drain_spans:
+        tracer = obs.get_tracer()
+        if not tracer.enabled:
+            tracer = obs.enable_tracing()
+        tracer.drain()  # a prior job's leavings must not leak in
+        with attach(parent):
+            result = embed_copy(prepared, spec, self_check)
+        result.spans = tracer.drain()
+        return result
+    with attach(parent):
+        return embed_copy(prepared, spec, self_check)
+
+
+def service_recognize(
+    store_root: str,
+    digest: str,
+    module_text: str,
+    parent: Optional[SpanContext] = None,
+    drain_spans: bool = False,
+) -> Dict[str, Any]:
+    """One serving-daemon recognize job, against an artifact's key.
+
+    The artifact supplies the key and fingerprint width — a recognize
+    request names a release and ships only the (possibly attacked)
+    module text. Returns plain data so it travels home from a process
+    pool: the recovered value, the diagnostic funnel, and (in
+    process-pool mode) the job's spans as dicts.
+    """
+
+    def run() -> Dict[str, Any]:
+        prepared = load_prepared_artifact(store_root, digest)
+        module = assemble(module_text)
+        found, report = recognize_with_report(
+            module, prepared.key, watermark_bits=prepared.watermark_bits
+        )
+        value = found.value if found.complete else None
+        return {
+            "complete": found.complete,
+            "value": value,
+            "report": report.to_dict(),
+            "spans": [],
+        }
+
+    if parent is None:
+        return run()
+    if drain_spans:
+        tracer = obs.get_tracer()
+        if not tracer.enabled:
+            tracer = obs.enable_tracing()
+        tracer.drain()
+        with attach(parent):
+            doc = run()
+        doc["spans"] = [sp.to_dict() for sp in tracer.drain()]
+        return doc
+    with attach(parent):
+        return run()
 
 
 def default_chunksize(copy_count: int, workers: int) -> int:

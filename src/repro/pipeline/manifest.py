@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..bytecode_wm.keys import WatermarkKey
 from .batch import CopySpec
@@ -47,7 +47,7 @@ class BatchManifest:
 
     module_path: str
     secret: bytes
-    inputs: tuple
+    inputs: Tuple[int, ...]
     watermark_bits: int
     copies: List[CopySpec] = field(default_factory=list)
     pieces: Optional[int] = None
@@ -58,7 +58,7 @@ class BatchManifest:
         return WatermarkKey(secret=self.secret, inputs=list(self.inputs))
 
 
-def _parse_watermark(value, where: str) -> int:
+def _parse_watermark(value: Any, where: str) -> int:
     if isinstance(value, bool):
         raise ManifestError(f"{where}: watermark must be an integer")
     if isinstance(value, int):
@@ -73,7 +73,7 @@ def _parse_watermark(value, where: str) -> int:
     raise ManifestError(f"{where}: watermark must be an integer")
 
 
-def _parse_copies(doc, bits: int) -> List[CopySpec]:
+def _parse_copies(doc: Any, bits: int) -> List[CopySpec]:
     if isinstance(doc, dict):
         count = doc.get("count")
         if not isinstance(count, int) or count < 1:
@@ -126,7 +126,7 @@ def _parse_copies(doc, bits: int) -> List[CopySpec]:
     return specs
 
 
-def parse_manifest(doc: dict, base_dir: str = ".") -> BatchManifest:
+def parse_manifest(doc: Dict[str, Any], base_dir: str = ".") -> BatchManifest:
     """Validate a loaded JSON document into a :class:`BatchManifest`."""
     if not isinstance(doc, dict):
         raise ManifestError("manifest must be a JSON object")

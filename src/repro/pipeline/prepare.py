@@ -29,7 +29,10 @@ import hashlib
 import io
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from ..serve.store import ArtifactStore
 
 from .. import obs
 from ..bytecode_wm.embedder import default_piece_count
@@ -308,15 +311,28 @@ class PrepareCache:
     many batches across a handful of releases hold one of these and
     pay for preparation once per release. Hit/miss counts feed the
     batch report.
+
+    With a ``store`` (an :class:`~repro.serve.store.ArtifactStore`)
+    the cache becomes the in-memory tier over durable artifacts: a
+    memory miss falls through to the store before preparing (a
+    ``store_hits`` hit), and a fresh preparation is persisted so the
+    *next* process starts warm. Store integrity failures degrade to a
+    re-prepare, never to an error.
     """
 
-    def __init__(self, max_entries: int = 8):
+    def __init__(
+        self,
+        max_entries: int = 8,
+        store: Optional["ArtifactStore"] = None,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self._max = max_entries
+        self._store = store
         self._entries: Dict[str, PreparedProgram] = {}
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -344,6 +360,16 @@ class PrepareCache:
         if cached is not None:
             self.hits += 1
             return cached, True
+        if self._store is not None and self._store.contains(digest):
+            try:
+                prepared = self._store.load(digest)
+            except Exception:
+                pass  # corrupt/stale artifact: fall through and re-prepare
+            else:
+                self.hits += 1
+                self.store_hits += 1
+                self._insert(digest, prepared)
+                return prepared, True
         self.misses += 1
         prepared = prepare(
             module,
@@ -355,8 +381,13 @@ class PrepareCache:
             max_steps=max_steps,
             profile=profile,
         )
+        if self._store is not None:
+            self._store.put(prepared)
+        self._insert(digest, prepared)
+        return prepared, False
+
+    def _insert(self, digest: str, prepared: PreparedProgram) -> None:
         if len(self._entries) >= self._max:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
         self._entries[digest] = prepared
-        return prepared, False

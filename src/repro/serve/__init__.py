@@ -1,0 +1,52 @@
+"""Fingerprinting as a service: durable artifacts + an async daemon.
+
+The paper's schemes are operational workflows — a vendor embeds one
+mark per distributed copy and recognizes marks in suspect binaries,
+continuously, per release. This package turns the library into that
+service:
+
+* :mod:`repro.serve.store` — a content-addressed, integrity-checked
+  on-disk store of :class:`~repro.pipeline.prepare.PreparedProgram`
+  artifacts, so the heavy watermark-independent preparation is paid
+  once per *(program, key)* release and survives process restarts;
+* :mod:`repro.serve.daemon` — a zero-dependency asyncio HTTP daemon
+  (``POST /v1/embed``, ``POST /v1/recognize``, ``GET /healthz``,
+  ``GET /metrics``) that dispatches requests to a worker pool with
+  bounded-queue backpressure, per-request timeouts, retry-once on
+  worker death, and per-request spans + Prometheus metrics.
+
+Typical use::
+
+    from repro.serve import ArtifactStore, ServerConfig, serve
+
+    store = ArtifactStore("store/")
+    record = store.put(prepared)          # or: repro artifact prepare
+    serve(ServerConfig(store_root="store/", port=8765, workers=4))
+
+See ``docs/serving.md`` for the HTTP API and an end-to-end
+walkthrough.
+"""
+
+from .daemon import (
+    ROUTES,
+    Request,
+    Response,
+    ServerConfig,
+    ServerThread,
+    WatermarkService,
+    serve,
+)
+from .store import ArtifactRecord, ArtifactStore, StoreError
+
+__all__ = [
+    "ArtifactRecord",
+    "ArtifactStore",
+    "ROUTES",
+    "Request",
+    "Response",
+    "ServerConfig",
+    "ServerThread",
+    "StoreError",
+    "WatermarkService",
+    "serve",
+]

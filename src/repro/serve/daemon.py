@@ -1,0 +1,643 @@
+"""The asynchronous serving daemon: embed/recognize over HTTP.
+
+A long-lived, zero-dependency fingerprinting service on top of the
+persistent artifact store. The network face is a minimal HTTP/1.1
+server written directly against ``asyncio.start_server`` (no
+``http.server``, no third-party framework): one coroutine per
+connection, request line + headers + ``Content-Length`` body, one
+response, close. That is the entire protocol surface a fingerprinting
+API needs, and it keeps the daemon importable anywhere the library is.
+
+Requests never execute on the event loop. Embed and recognize jobs —
+pure CPU, seconds each — dispatch to a pool of workers (the same
+worker functions the batch pipeline uses, see
+:func:`repro.pipeline.batch.service_embed_copy`) via
+``loop.run_in_executor``. The loop itself only parses, validates,
+admits, and serializes, so health and metrics stay responsive while
+every worker is busy.
+
+Operational behavior, in the order a request meets it:
+
+* **admission** — at most ``workers + queue_depth`` requests may be
+  in flight; the next one is refused immediately with ``429`` and a
+  ``Retry-After`` hint (bounded queue, shed-at-the-door backpressure);
+* **dispatch** — the job runs on a process pool by default (true
+  parallelism, crash isolation) or a thread pool
+  (``executor="thread"``: cheaper startup, in-process);
+* **timeout** — each job gets ``request_timeout`` seconds, then the
+  client sees ``504`` (a process-pool worker may still finish the
+  orphaned job; its slot frees when it does);
+* **worker death** — a job that dies with its worker (``BrokenProcess
+  Pool``) gets the pool rebuilt and exactly one retry, then ``503``;
+* **observability** — every request opens an ``http.request`` span
+  (worker-side spans are grafted under it, exactly like batch runs),
+  increments ``repro_http_requests_total{route,method,status}`` and
+  observes ``repro_http_request_seconds{route}``, all visible at
+  ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import sys
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .. import obs
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, Counter, Histogram
+from ..pipeline.batch import CopySpec, service_embed_copy, service_recognize
+from .store import ArtifactStore, StoreError
+
+#: The service surface: ``(method, path) -> description``. The docs
+#: snippet checker validates walkthrough ``curl`` commands against
+#: this table, so docs and daemon cannot drift apart silently.
+ROUTES: Dict[Tuple[str, str], str] = {
+    ("GET", "/healthz"): "liveness, store size, queue occupancy",
+    ("GET", "/metrics"): "Prometheus text exposition of the registry",
+    ("GET", "/v1/artifacts"): "list stored prepared-program artifacts",
+    ("POST", "/v1/embed"): "mint one fingerprinted copy from an artifact",
+    ("POST", "/v1/recognize"): "recover a mark against an artifact's key",
+}
+
+_REASONS: Dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class BadRequest(Exception):
+    """A malformed or oversized HTTP request; carries the status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Dict[str, Any]:
+        try:
+            doc = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(400, f"request body is not JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise BadRequest(400, "request body must be a JSON object")
+        return doc
+
+
+@dataclass
+class Response:
+    """One HTTP response, ready to serialize."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("ascii") + self.body
+
+
+def json_response(
+    status: int,
+    doc: Dict[str, Any],
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    return Response(status, body, headers=dict(headers or {}))
+
+
+def error_response(
+    status: int, message: str, headers: Optional[Dict[str, str]] = None
+) -> Response:
+    return json_response(status, {"error": message}, headers)
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`BadRequest` for protocol violations (which the
+    connection handler turns into 4xx responses).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client closed without sending a request
+        raise BadRequest(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise BadRequest(431, "request head too large") from exc
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(400, f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    path = target.split("?", 1)[0] or "/"
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise BadRequest(400, f"malformed header line {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise BadRequest(400, "bad Content-Length") from exc
+        if length < 0:
+            raise BadRequest(400, "bad Content-Length")
+        if length > _MAX_BODY_BYTES:
+            raise BadRequest(413, "request body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise BadRequest(400, "truncated request body") from exc
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def _parse_watermark_field(value: Any) -> int:
+    """Accept the manifest's watermark shapes: int or '0x..' string."""
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise BadRequest(400, "watermark must be an integer or 0x string")
+    if isinstance(value, str):
+        try:
+            value = int(value, 0)
+        except ValueError:
+            raise BadRequest(
+                400, f"cannot parse watermark {value!r}"
+            ) from None
+    return value
+
+
+@dataclass
+class ServerConfig:
+    """Everything one serving daemon needs to know."""
+
+    store_root: str
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, read the bound port off the service
+    workers: int = 2
+    queue_depth: int = 8
+    request_timeout: float = 60.0
+    executor: str = "process"  # or "thread"
+    self_check: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be non-negative")
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.executor not in ("process", "thread"):
+            raise ValueError("executor must be 'process' or 'thread'")
+
+
+class WatermarkService:
+    """The daemon: an artifact store behind an asyncio HTTP front."""
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.store = ArtifactStore(config.store_root, create=False)
+        self.port = config.port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[Executor] = None
+        self._inflight = 0
+        self._max_inflight = config.workers + config.queue_depth
+        registry = obs.get_registry()
+        self._requests: Counter = registry.counter(
+            "repro_http_requests_total", "HTTP requests served"
+        )
+        self._latency: Histogram = registry.histogram(
+            "repro_http_request_seconds",
+            "HTTP request wall time",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._retries: Counter = registry.counter(
+            "repro_http_worker_retries_total",
+            "Jobs retried after a worker death",
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _make_executor(self) -> Executor:
+        if self.config.executor == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repro-serve",
+            )
+        return ProcessPoolExecutor(max_workers=self.config.workers)
+
+    async def start(self) -> None:
+        """Bind the listening socket and spin up the worker pool."""
+        self._executor = self._make_executor()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() was not awaited"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    async def run(self) -> None:
+        """start + serve until cancelled, then tear down."""
+        await self.start()
+        try:
+            await self.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        route = "unmatched"
+        try:
+            try:
+                request = await read_request(reader)
+            except BadRequest as exc:
+                response = error_response(exc.status, exc.message)
+            else:
+                if request is None:
+                    return
+                known = {path for _, path in ROUTES}
+                route = request.path if request.path in known else "unmatched"
+                with self._latency.time(route=route):
+                    response = await self._dispatch(request)
+                self._requests.inc(
+                    route=route,
+                    method=request.method,
+                    status=str(response.status),
+                )
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Response:
+        known_paths = {path for _, path in ROUTES}
+        if request.path not in known_paths:
+            return error_response(404, f"no route {request.path!r}")
+        if (request.method, request.path) not in ROUTES:
+            return error_response(
+                405, f"{request.method} not supported on {request.path}"
+            )
+        with obs.span(
+            "http.request", method=request.method, path=request.path
+        ) as sp:
+            try:
+                if request.path == "/healthz":
+                    response = self._handle_healthz()
+                elif request.path == "/metrics":
+                    response = self._handle_metrics()
+                elif request.path == "/v1/artifacts":
+                    response = self._handle_artifacts()
+                elif request.path == "/v1/embed":
+                    response = await self._handle_embed(request)
+                else:
+                    response = await self._handle_recognize(request)
+            except BadRequest as exc:
+                headers = {"Retry-After": "1"} if exc.status == 429 else None
+                response = error_response(exc.status, exc.message, headers)
+            except StoreError as exc:
+                response = error_response(404, str(exc))
+            except Exception as exc:  # the daemon must outlive any request
+                response = error_response(
+                    500, f"{type(exc).__name__}: {exc}"
+                )
+            sp.set(status=response.status)
+        return response
+
+    # -- cheap, loop-local endpoints ---------------------------------------
+
+    def _handle_healthz(self) -> Response:
+        return json_response(
+            200,
+            {
+                "status": "ok",
+                "artifacts": len(self.store),
+                "inflight": self._inflight,
+                "capacity": self._max_inflight,
+                "workers": self.config.workers,
+                "executor": self.config.executor,
+            },
+        )
+
+    def _handle_metrics(self) -> Response:
+        text = obs.get_registry().to_prometheus()
+        return Response(
+            200, text.encode(), content_type=_PROMETHEUS_CONTENT_TYPE
+        )
+
+    def _handle_artifacts(self) -> Response:
+        self.store.refresh()
+        return json_response(
+            200,
+            {"artifacts": [r.to_dict() for r in self.store.records()]},
+        )
+
+    # -- worker-pool endpoints ---------------------------------------------
+
+    def _resolve_artifact(self, doc: Dict[str, Any]) -> str:
+        ref = doc.get("artifact")
+        if not isinstance(ref, str) or not ref:
+            raise BadRequest(400, "'artifact' (digest string) is required")
+        self.store.refresh()
+        return self.store.resolve(ref)  # StoreError -> 404 upstream
+
+    async def _handle_embed(self, request: Request) -> Response:
+        doc = request.json()
+        digest = self._resolve_artifact(doc)
+        record = self.store.record(digest)
+        copy_id = doc.get("copy_id")
+        if not isinstance(copy_id, str):
+            raise BadRequest(400, "'copy_id' (string) is required")
+        if "watermark" not in doc:
+            raise BadRequest(400, "'watermark' is required")
+        watermark = _parse_watermark_field(doc["watermark"])
+        seed = doc.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise BadRequest(400, "'seed' must be an integer")
+        self_check = doc.get("self_check", self.config.self_check)
+        if not isinstance(self_check, bool):
+            raise BadRequest(400, "'self_check' must be a boolean")
+        try:
+            spec = CopySpec(copy_id=copy_id, watermark=watermark, seed=seed)
+        except ValueError as exc:
+            raise BadRequest(400, str(exc)) from None
+        if watermark >= (1 << record.watermark_bits):
+            raise BadRequest(
+                400,
+                f"watermark {watermark:#x} does not fit the artifact's "
+                f"{record.watermark_bits}-bit fingerprint width",
+            )
+
+        job = functools.partial(
+            service_embed_copy,
+            self.config.store_root,
+            digest,
+            spec,
+            self_check,
+            self._parent_context(),
+            self._drain_spans(),
+        )
+        result = await self._run_job(job)
+        tracer = obs.get_tracer()
+        if tracer.enabled and result.spans:
+            tracer.adopt(result.spans)
+            result.spans = []
+        body = {
+            "copy_id": result.copy_id,
+            "watermark": result.watermark,
+            "seed": result.seed,
+            "artifact": digest,
+            "ok": result.ok,
+            "checked": result.checked,
+            "verified": result.verified,
+            "self_check": result.self_check,
+            "output_ok": result.output_ok,
+            "recognized": result.recognized,
+            "piece_count": result.piece_count,
+            "byte_size_increase": result.byte_size_increase,
+            "wall_seconds": result.wall_seconds,
+            "module": result.text,
+        }
+        if not result.ok:
+            body["error"] = result.error
+            return json_response(500, body)
+        if not result.verified:
+            body["error"] = "copy failed its self-check"
+            return json_response(500, body)
+        return json_response(200, body)
+
+    async def _handle_recognize(self, request: Request) -> Response:
+        doc = request.json()
+        digest = self._resolve_artifact(doc)
+        module_text = doc.get("module")
+        if not isinstance(module_text, str) or not module_text.strip():
+            raise BadRequest(
+                400, "'module' (WVM assembly text) is required"
+            )
+        job = functools.partial(
+            service_recognize,
+            self.config.store_root,
+            digest,
+            module_text,
+            self._parent_context(),
+            self._drain_spans(),
+        )
+        outcome = await self._run_job(job)
+        tracer = obs.get_tracer()
+        spans = outcome.pop("spans", [])
+        if tracer.enabled and spans:
+            tracer.adopt(spans)
+        status = 200 if outcome.get("complete") else 422
+        outcome["artifact"] = digest
+        return json_response(status, outcome)
+
+    # -- dispatch plumbing -------------------------------------------------
+
+    def _parent_context(self) -> Optional[obs.SpanContext]:
+        return obs.current_context() if obs.get_tracer().enabled else None
+
+    def _drain_spans(self) -> bool:
+        """Process workers hand spans back; threads record in place."""
+        return self.config.executor == "process"
+
+    async def _run_job(self, job: Callable[[], Any]) -> Any:
+        """Admission control, timeout, and one retry on worker death."""
+        if self._inflight >= self._max_inflight:
+            self._requests.inc(route="rejected", method="-", status="429")
+            raise BadRequest429()
+        self._inflight += 1
+        try:
+            return await asyncio.wait_for(
+                self._submit(job), timeout=self.config.request_timeout
+            )
+        except asyncio.TimeoutError:
+            raise BadRequest(
+                504,
+                f"request exceeded {self.config.request_timeout:g}s budget",
+            ) from None
+        finally:
+            self._inflight -= 1
+
+    async def _submit(self, job: Callable[[], Any]) -> Any:
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None, "service not started"
+        try:
+            return await loop.run_in_executor(self._executor, job)
+        except BrokenExecutor:
+            # The worker died under the job (OOM-kill, segfault in an
+            # extension, operator signal). The pool is unusable now:
+            # rebuild it and give the job exactly one more chance.
+            self._retries.inc()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = self._make_executor()
+            try:
+                return await loop.run_in_executor(self._executor, job)
+            except BrokenExecutor as exc:
+                raise BadRequest(
+                    503, "worker pool died twice running this request"
+                ) from exc
+
+
+class BadRequest429(BadRequest):
+    """Queue full; carries the Retry-After hint."""
+
+    def __init__(self) -> None:
+        super().__init__(429, "queue full, retry shortly")
+
+
+class ServerThread:
+    """Run a :class:`WatermarkService` on a background thread.
+
+    The bridge between the daemon's asyncio world and synchronous
+    callers (tests, notebooks, embedding the service inside another
+    app). ``start()`` returns once the socket is bound — the bound
+    port is ``service.port`` — and ``stop()`` tears the loop down.
+    Usable as a context manager.
+    """
+
+    def __init__(self, config: ServerConfig):
+        self.service = WatermarkService(config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.service.config.host}:{self.service.port}"
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"daemon failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self.service.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.service.stop())
+            loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def serve(config: ServerConfig, announce: bool = True) -> None:
+    """Blocking entry point for the CLI: run until interrupted."""
+    service = WatermarkService(config)
+
+    async def main() -> None:
+        await service.start()
+        if announce:
+            print(
+                f"serving {len(service.store)} artifact(s) on "
+                f"http://{config.host}:{service.port} "
+                f"({config.workers} {config.executor} worker(s), "
+                f"queue depth {config.queue_depth})",
+                file=sys.stderr,
+            )
+        await service.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,378 @@
+"""The persistent artifact store: pay preparation once per release.
+
+A fingerprinting service amortizes the heavy, watermark-independent
+preparation work (key-input tracing, CFGs, site mining, planning) over
+every copy it mints. The in-memory :class:`~repro.pipeline.prepare.
+PrepareCache` already does that within one process; this module makes
+the artifact durable, so the cost is paid once per *(program, key)
+release* across process restarts, CLI invocations, and every worker of
+the serving daemon.
+
+The store is **content-addressed**: an artifact's name is the
+:func:`~repro.pipeline.prepare.prepare_fingerprint` digest of
+everything preparation depends on (module text, key secret, key
+inputs, fingerprint width, piece count). Identical inputs always map
+to the same address; a changed release maps elsewhere, so stale
+artifacts can never be served for new inputs.
+
+On-disk layout::
+
+    <root>/
+      store.json              # integrity manifest (version + records)
+      blobs/<digest>.pickle   # one PreparedProgram pickle per artifact
+
+Each manifest record carries the SHA-256 of its blob; :meth:`
+ArtifactStore.load` re-hashes the blob before unpickling and refuses
+corrupted or substituted files. The blob itself is the
+:class:`~repro.pipeline.prepare.PreparedProgram` pickle, whose trace
+travels as the compact binary format of :mod:`repro.vm.trace_io` —
+artifacts are megabytes, not tens of megabytes. Manifest writes are
+atomic (write-new + rename), so a crashed writer leaves the previous
+manifest intact; blob writes likewise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bytecode_wm.keys import WatermarkKey
+from ..obs.metrics import get_registry
+from ..pipeline.prepare import (
+    PrepareError,
+    PreparedProgram,
+    prepare,
+    prepare_fingerprint,
+)
+from ..vm.interpreter import DEFAULT_MAX_STEPS
+from ..vm.program import Module
+
+#: Bumped whenever the directory layout or manifest schema changes;
+#: opening a store written by a different version is an error, not a
+#: silent misread.
+STORE_VERSION = 1
+
+MANIFEST_NAME = "store.json"
+BLOB_DIR = "blobs"
+
+_DIGEST_LEN = 64  # hex sha256
+
+
+class StoreError(Exception):
+    """The store is unusable, an artifact is missing, or it is corrupt."""
+
+
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """Manifest entry for one stored artifact (metadata, not the blob)."""
+
+    digest: str
+    sha256: str
+    size_bytes: int
+    created_unix: float
+    watermark_bits: int
+    pieces: int
+    label: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "sha256": self.sha256,
+            "size_bytes": self.size_bytes,
+            "created_unix": self.created_unix,
+            "watermark_bits": self.watermark_bits,
+            "pieces": self.pieces,
+            "label": self.label,
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "ArtifactRecord":
+        try:
+            return ArtifactRecord(
+                digest=str(doc["digest"]),
+                sha256=str(doc["sha256"]),
+                size_bytes=int(doc["size_bytes"]),
+                created_unix=float(doc["created_unix"]),
+                watermark_bits=int(doc["watermark_bits"]),
+                pieces=int(doc["pieces"]),
+                label=str(doc.get("label", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed manifest record: {exc}") from exc
+
+
+def _valid_digest(digest: str) -> bool:
+    return (
+        len(digest) == _DIGEST_LEN
+        and all(c in "0123456789abcdef" for c in digest)
+    )
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fp:
+        fp.write(data)
+    os.replace(tmp, path)
+
+
+class ArtifactStore:
+    """A directory of integrity-checked :class:`PreparedProgram` pickles.
+
+    One store per deployment; the address of an artifact is its
+    preparation fingerprint, so ``put`` is idempotent and ``load`` can
+    verify that the blob it decoded really is the artifact it asked
+    for. All mutating operations rewrite the manifest atomically.
+    """
+
+    def __init__(self, root: str, create: bool = True):
+        self.root = root
+        self._blob_dir = os.path.join(root, BLOB_DIR)
+        self._records: Dict[str, ArtifactRecord] = {}
+        manifest = os.path.join(root, MANIFEST_NAME)
+        if os.path.exists(manifest):
+            self._read_manifest(manifest)
+        elif create:
+            os.makedirs(self._blob_dir, exist_ok=True)
+            self._write_manifest()
+        else:
+            raise StoreError(f"no artifact store at {root!r}")
+
+    # -- manifest ----------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _blob_path(self, digest: str) -> str:
+        return os.path.join(self._blob_dir, f"{digest}.pickle")
+
+    def _read_manifest(self, path: str) -> None:
+        try:
+            with open(path) as fp:
+                doc = json.load(fp)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"unreadable store manifest: {exc}") from exc
+        if not isinstance(doc, dict) or "version" not in doc:
+            raise StoreError("store manifest has no version field")
+        if doc["version"] != STORE_VERSION:
+            raise StoreError(
+                f"store version {doc['version']} unsupported "
+                f"(expected {STORE_VERSION})"
+            )
+        records = doc.get("artifacts", [])
+        if not isinstance(records, list):
+            raise StoreError("store manifest 'artifacts' must be a list")
+        for entry in records:
+            record = ArtifactRecord.from_dict(entry)
+            if not _valid_digest(record.digest):
+                raise StoreError(f"bad artifact digest {record.digest!r}")
+            self._records[record.digest] = record
+
+    def refresh(self) -> None:
+        """Re-read the manifest: see artifacts other processes added.
+
+        The daemon holds a store open for days while `repro artifact
+        prepare` runs land new releases next to it; a refresh per
+        store-touching request keeps the view current at the cost of
+        one small JSON read.
+        """
+        manifest = self._manifest_path()
+        if os.path.exists(manifest):
+            self._records = {}
+            self._read_manifest(manifest)
+
+    def _write_manifest(self) -> None:
+        doc = {
+            "version": STORE_VERSION,
+            "artifacts": [
+                self._records[d].to_dict() for d in sorted(self._records)
+            ],
+        }
+        os.makedirs(self._blob_dir, exist_ok=True)
+        payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        _atomic_write(self._manifest_path(), payload.encode())
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._records
+
+    def contains(self, digest: str) -> bool:
+        return digest in self._records
+
+    def record(self, digest: str) -> ArtifactRecord:
+        try:
+            return self._records[digest]
+        except KeyError:
+            raise StoreError(f"no artifact {digest!r} in store") from None
+
+    def records(self) -> List[ArtifactRecord]:
+        """All records, oldest first (stable for CLI listings)."""
+        return sorted(
+            self._records.values(), key=lambda r: (r.created_unix, r.digest)
+        )
+
+    def resolve(self, prefix: str) -> str:
+        """Expand a unique digest prefix (CLI convenience) to the digest."""
+        if prefix in self._records:
+            return prefix
+        matches = [d for d in self._records if d.startswith(prefix)]
+        if not matches:
+            raise StoreError(f"no artifact matches {prefix!r}")
+        if len(matches) > 1:
+            raise StoreError(f"ambiguous artifact prefix {prefix!r}")
+        return matches[0]
+
+    # -- persistence -------------------------------------------------------
+
+    def put(self, prepared: PreparedProgram, label: str = "") -> ArtifactRecord:
+        """Persist an artifact under its content address (idempotent)."""
+        digest = prepared.fingerprint()
+        buf = io.BytesIO()
+        pickle.dump(prepared, buf, protocol=pickle.HIGHEST_PROTOCOL)
+        data = buf.getvalue()
+        record = ArtifactRecord(
+            digest=digest,
+            sha256=hashlib.sha256(data).hexdigest(),
+            size_bytes=len(data),
+            created_unix=time.time(),
+            watermark_bits=prepared.watermark_bits,
+            pieces=prepared.pieces,
+            label=label,
+        )
+        _atomic_write(self._blob_path(digest), data)
+        self._records[digest] = record
+        self._write_manifest()
+        return record
+
+    def load(self, digest: str) -> PreparedProgram:
+        """Read, integrity-check and unpickle one artifact.
+
+        Three defenses, in order: the blob's SHA-256 must match the
+        manifest (bit rot, truncation, substitution); the pickle must
+        decode to a supported :class:`PreparedProgram` (stale format);
+        the decoded artifact's own fingerprint must equal the address
+        it was stored under (a mislabelled or hand-moved blob).
+        """
+        record = self.record(digest)
+        path = self._blob_path(digest)
+        try:
+            with open(path, "rb") as fp:
+                data = fp.read()
+        except OSError as exc:
+            raise StoreError(
+                f"artifact {digest[:12]} blob missing: {exc}"
+            ) from exc
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != record.sha256:
+            raise StoreError(
+                f"artifact {digest[:12]} failed its integrity check "
+                f"(sha256 {actual[:12]}.. != manifest {record.sha256[:12]}..)"
+            )
+        try:
+            obj = pickle.loads(data)
+        except Exception as exc:
+            raise StoreError(
+                f"artifact {digest[:12]} does not unpickle: {exc}"
+            ) from exc
+        if not isinstance(obj, PreparedProgram):
+            raise StoreError(
+                f"artifact {digest[:12]} is not a PreparedProgram"
+            )
+        if obj.fingerprint() != digest:
+            raise StoreError(
+                f"artifact {digest[:12]} decoded to a different "
+                f"preparation fingerprint - store is inconsistent"
+            )
+        return obj
+
+    def evict(self, digest: str) -> bool:
+        """Drop an artifact (blob + record). Returns False if absent."""
+        if digest not in self._records:
+            return False
+        del self._records[digest]
+        try:
+            os.remove(self._blob_path(digest))
+        except OSError:
+            pass  # record removal is what matters; verify() finds orphans
+        self._write_manifest()
+        return True
+
+    def verify(self) -> List[str]:
+        """Integrity-sweep the whole store; returns the problems found."""
+        problems: List[str] = []
+        for digest in sorted(self._records):
+            record = self._records[digest]
+            path = self._blob_path(digest)
+            if not os.path.exists(path):
+                problems.append(f"{digest[:12]}: blob file missing")
+                continue
+            with open(path, "rb") as fp:
+                data = fp.read()
+            if hashlib.sha256(data).hexdigest() != record.sha256:
+                problems.append(f"{digest[:12]}: blob does not match sha256")
+        if os.path.isdir(self._blob_dir):
+            for name in sorted(os.listdir(self._blob_dir)):
+                stem = name.rsplit(".pickle", 1)[0]
+                if name.endswith(".pickle") and stem not in self._records:
+                    problems.append(f"{stem[:12]}: orphan blob (no record)")
+        return problems
+
+    # -- the cache-through path --------------------------------------------
+
+    def get_or_prepare(
+        self,
+        module: Module,
+        key: WatermarkKey,
+        watermark_bits: int,
+        pieces: Optional[int] = None,
+        piece_loss: Optional[float] = None,
+        target_success: float = 0.99,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        profile: bool = False,
+        label: str = "",
+    ) -> Tuple[PreparedProgram, bool]:
+        """(artifact, was_hit): load when stored, else prepare and store.
+
+        The store-level analog of :meth:`~repro.pipeline.prepare.
+        PrepareCache.get_or_prepare`; hits and misses feed the ambient
+        metrics registry (``repro_store_requests_total``). A stored
+        artifact that fails its integrity check is evicted and
+        re-prepared rather than trusted.
+        """
+        digest = prepare_fingerprint(module, key, watermark_bits, pieces)
+        requests = get_registry().counter(
+            "repro_store_requests_total", "Artifact store lookups"
+        )
+        if digest in self._records:
+            try:
+                artifact = self.load(digest)
+            except StoreError:
+                self.evict(digest)
+            else:
+                requests.inc(outcome="hit")
+                return artifact, True
+        requests.inc(outcome="miss")
+        try:
+            artifact = prepare(
+                module,
+                key,
+                watermark_bits,
+                pieces,
+                piece_loss,
+                target_success,
+                max_steps=max_steps,
+                profile=profile,
+            )
+        except PrepareError:
+            raise  # nothing is stored for a failed preparation
+        self.put(artifact, label=label)
+        return artifact, False

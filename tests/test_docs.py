@@ -1,0 +1,268 @@
+"""Executable documentation: every snippet in the docs must be real.
+
+Walks `README.md` and every page under `docs/` and enforces three
+contracts:
+
+* fenced ``python`` blocks execute cleanly (blocks tagged ``skip``
+  in the fence info string are only compiled);
+* every ``python -m repro ...`` command in ``bash``/``console``
+  blocks names a real subcommand and real flags, validated against
+  the actual argparse tree (nested subcommands included);
+* every ``curl`` command targets a ``(method, path)`` pair that the
+  serving daemon actually routes (``repro.serve.daemon.ROUTES``).
+
+So a renamed flag, a dropped subcommand, or a daemon route change
+breaks the build until the docs catch up.
+"""
+
+import argparse
+import json
+import os
+import re
+import shlex
+
+import pytest
+
+from repro import obs
+from repro.cli import build_parser
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ArtifactStore
+from repro.serve.daemon import ROUTES
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_PAGES = sorted(
+    [os.path.join(REPO_ROOT, "README.md")]
+    + [
+        os.path.join(REPO_ROOT, "docs", name)
+        for name in os.listdir(os.path.join(REPO_ROOT, "docs"))
+        if name.endswith(".md")
+    ]
+)
+
+
+def extract_blocks(path):
+    """Yield (info, first_line_number, source) per fenced code block."""
+    with open(path) as fp:
+        lines = fp.read().splitlines()
+    blocks = []
+    info = None
+    start = 0
+    buf = []
+    for number, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if stripped.startswith("```"):
+            if info is None:
+                info = stripped[3:].strip()
+                start = number + 1
+                buf = []
+            else:
+                blocks.append((info, start, "\n".join(buf)))
+                info = None
+        elif info is not None:
+            buf.append(line)
+    assert info is None, f"{path}: unterminated code fence at line {start}"
+    return blocks
+
+
+def blocks_of(language):
+    """All (page, line, source) blocks whose fence starts with `language`."""
+    out = []
+    for page in DOC_PAGES:
+        for info, line, source in extract_blocks(page):
+            tokens = info.split()
+            if tokens and tokens[0] == language:
+                out.append((os.path.relpath(page, REPO_ROOT), line, info, source))
+    return out
+
+
+def _param_id(entry):
+    page, line, _info, _source = entry
+    return f"{page}:{line}"
+
+
+PYTHON_BLOCKS = blocks_of("python")
+SHELL_BLOCKS = blocks_of("bash") + blocks_of("console")
+JSON_BLOCKS = blocks_of("json")
+
+
+def join_continuations(text):
+    """Merge backslash-continued shell lines into single commands."""
+    out = []
+    pending = ""
+    for line in text.splitlines():
+        line = line.rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        out.append(pending + line)
+        pending = ""
+    if pending:
+        out.append(pending.rstrip())
+    return out
+
+
+def shell_commands():
+    """Every (page, line, command) from bash/console blocks."""
+    commands = []
+    for page, line, _info, source in SHELL_BLOCKS:
+        for command in join_continuations(source):
+            command = command.strip()
+            if command.startswith("$ "):  # console prompt form
+                command = command[2:]
+            if command and not command.startswith("#"):
+                commands.append((page, line, command))
+    return commands
+
+
+# ---------------------------------------------------------------------------
+# python blocks actually run
+
+
+class TestPythonSnippets:
+    @pytest.fixture(autouse=True)
+    def _sandbox(self, tmp_path, monkeypatch):
+        """Run each snippet in a scratch cwd with a ready, empty store.
+
+        ``store/`` exists because the serving docs build configs on a
+        relative store path; ambient tracer/registry state is isolated
+        so doc snippets cannot leak into other tests.
+        """
+        monkeypatch.chdir(tmp_path)
+        ArtifactStore(str(tmp_path / "store"))
+        previous = obs.set_registry(MetricsRegistry())
+        obs.disable_tracing()
+        yield
+        obs.set_registry(previous)
+        obs.disable_tracing()
+
+    @pytest.mark.parametrize("entry", PYTHON_BLOCKS, ids=_param_id)
+    def test_block(self, entry):
+        page, line, info, source = entry
+        code = compile(source, f"{page}:{line}", "exec")
+        if "skip" in info.split():
+            return  # compile-only: documented but not runnable here
+        namespace = {"__name__": f"docsnippet_{line}"}
+        exec(code, namespace)
+
+    def test_docs_have_runnable_python(self):
+        assert len(PYTHON_BLOCKS) >= 4
+
+
+# ---------------------------------------------------------------------------
+# CLI commands name real subcommands and flags
+
+
+def _subparser_actions(parser):
+    return [
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    ]
+
+
+def _known_options(parser):
+    options = set()
+    for action in parser._actions:
+        options.update(action.option_strings)
+    return options
+
+
+def validate_repro_command(tokens, parser, where):
+    """Walk `repro <sub> [<subsub>] --flags...` against the live parser."""
+    position = 0
+    while position < len(tokens):
+        subs = _subparser_actions(parser)
+        token = tokens[position]
+        if subs and not token.startswith("-"):
+            choices = subs[0].choices
+            assert token in choices, (
+                f"{where}: unknown subcommand {token!r} "
+                f"(have: {', '.join(sorted(choices))})"
+            )
+            parser = choices[token]
+            position += 1
+            continue
+        break
+    known = _known_options(parser)
+    for token in tokens[position:]:
+        if token.startswith("--"):
+            flag = token.split("=", 1)[0]
+            assert flag in known, (
+                f"{where}: flag {flag!r} is not accepted here "
+                f"(have: {', '.join(sorted(known))})"
+            )
+
+
+class TestCLICommands:
+    parser = build_parser()
+
+    @pytest.mark.parametrize(
+        "page,line,command",
+        [c for c in shell_commands() if "python -m repro" in c[2]],
+        ids=lambda value: value if isinstance(value, str) else None,
+    )
+    def test_repro_invocations(self, page, line, command):
+        text = command[command.index("python -m repro") :]
+        tokens = shlex.split(text)[3:]  # drop python -m repro
+        assert tokens, f"{page}:{line}: bare 'python -m repro'"
+        validate_repro_command(tokens, self.parser, f"{page}:{line}")
+
+    def test_docs_cover_the_new_subcommands(self):
+        joined = " ".join(c for _, _, c in shell_commands())
+        assert "repro serve" in joined
+        assert "repro artifact prepare" in joined
+        assert "repro batch-embed" in joined
+
+
+# ---------------------------------------------------------------------------
+# curl walkthroughs hit real daemon routes
+
+
+def curl_commands():
+    return [
+        (page, line, command)
+        for page, line, command in shell_commands()
+        if command.startswith("curl")
+    ]
+
+
+class TestCurlWalkthrough:
+    @pytest.mark.parametrize(
+        "page,line,command", curl_commands(),
+        ids=lambda value: value if isinstance(value, str) else None,
+    )
+    def test_route_exists(self, page, line, command):
+        url = re.search(r"https?://[^\s'\"]+", command)
+        assert url, f"{page}:{line}: curl command without a URL"
+        path = "/" + url.group(0).split("/", 3)[-1].split("?")[0]
+        method = "GET"
+        if " -X " in command:
+            method = command.split(" -X ", 1)[1].split()[0].upper()
+        elif " -d " in command or " --data" in command:
+            method = "POST"
+        assert (method, path) in ROUTES, (
+            f"{page}:{line}: the daemon does not route {method} {path} "
+            f"(routes: {sorted(ROUTES)})"
+        )
+
+    def test_walkthrough_covers_the_core_routes(self):
+        hit = set()
+        for _, _, command in curl_commands():
+            url = re.search(r"https?://[^\s'\"]+", command)
+            if url:
+                hit.add("/" + url.group(0).split("/", 3)[-1].split("?")[0])
+        assert {"/healthz", "/v1/embed", "/v1/recognize", "/metrics"} <= hit
+
+
+# ---------------------------------------------------------------------------
+# json examples parse
+
+
+class TestJsonExamples:
+    @pytest.mark.parametrize("entry", JSON_BLOCKS, ids=_param_id)
+    def test_parses(self, entry):
+        page, line, _info, source = entry
+        if not source.lstrip().startswith("{"):
+            return  # a fragment (e.g. a single field), not a document
+        json.loads(source)
