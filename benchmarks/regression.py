@@ -50,6 +50,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 REPO = os.path.dirname(HERE)
 sys.path.insert(0, os.path.join(REPO, "src"))
 
+from repro import faults  # noqa: E402
 from repro.obs.vmprofile import profile_run  # noqa: E402
 from repro.vm._reference import run_module_reference  # noqa: E402
 from repro.vm.interpreter import run_module  # noqa: E402
@@ -174,6 +175,37 @@ def _trace_size_ratio(results: Dict[str, dict]) -> None:
     }
 
 
+def _fault_hook_inertness_check() -> dict:
+    """Disarmed fault hooks must be free.
+
+    The injection sites sit on production paths (pipeline workers,
+    store writes, daemon jobs), which is only acceptable if a process
+    with no plan armed pays nothing for them: ``filter_bytes`` must
+    hand back the identical object (no copy), and both hooks must
+    amortize to a single ``is None`` test. The nanosecond ceilings are
+    ~40x what the test machines measure — they catch someone adding
+    real work to the disarmed path, not scheduler noise.
+    """
+    faults.clear()
+    payload = b"x" * 4096
+    identity = faults.filter_bytes("bench.site", payload) is payload
+    calls = 200_000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        faults.check("bench.site")
+    check_ns = (time.perf_counter() - t0) / calls * 1e9
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        faults.filter_bytes("bench.site", payload)
+    filter_ns = (time.perf_counter() - t0) / calls * 1e9
+    return {
+        "inert": identity and check_ns < 2000.0 and filter_ns < 2000.0,
+        "identity_preserved": identity,
+        "check_ns_per_call": round(check_ns, 1),
+        "filter_ns_per_call": round(filter_ns, 1),
+    }
+
+
 def _dispatch_profiles() -> Dict[str, dict]:
     """Per-opcode dispatch profiles of the gated workloads.
 
@@ -256,6 +288,7 @@ def run_benchmarks(repeats: int, figures: bool) -> dict:
     )
     _trace_size_ratio(results)
     trace_identical = _trace_identity_check()
+    fault_hooks = _fault_hook_inertness_check()
     print("== dispatch profiles ==", flush=True)
     dispatch = _dispatch_profiles()
     if figures:
@@ -269,7 +302,10 @@ def run_benchmarks(repeats: int, figures: bool) -> dict:
         "repeats": repeats,
         "benchmarks": results,
         "dispatch": dispatch,
-        "checks": {"trace_byte_identical": trace_identical},
+        "checks": {
+            "trace_byte_identical": trace_identical,
+            "fault_hooks": fault_hooks,
+        },
     }
 
 
@@ -300,6 +336,13 @@ def print_report(report: dict) -> None:
         )
     ident = report["checks"]["trace_byte_identical"]
     print(f"trace byte-identical vs reference engine: {ident}")
+    hooks = report["checks"].get("fault_hooks")
+    if hooks:
+        print(
+            f"fault hooks inert when disarmed: {hooks['inert']} "
+            f"(check {hooks['check_ns_per_call']}ns, "
+            f"filter {hooks['filter_ns_per_call']}ns per call)"
+        )
 
 
 def compare_to_baseline(
@@ -309,6 +352,14 @@ def compare_to_baseline(
     if not report["checks"]["trace_byte_identical"]:
         failures.append(
             "fast engine's trace is not byte-identical to the reference"
+        )
+    hooks = report["checks"].get("fault_hooks", {})
+    if not hooks.get("inert", True):
+        failures.append(
+            "disarmed fault hooks are no longer free: "
+            f"identity={hooks.get('identity_preserved')}, "
+            f"check={hooks.get('check_ns_per_call')}ns, "
+            f"filter={hooks.get('filter_ns_per_call')}ns per call"
         )
     for name, base in baseline.get("benchmarks", {}).items():
         gate = base.get("gate")

@@ -36,6 +36,7 @@ Modules travel as WVM assembly text (the `.wasm` extension here means
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
 import sys
@@ -175,6 +176,9 @@ def cmd_attack(args) -> int:
 
 
 def cmd_batch_embed(args) -> int:
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
     manifest = load_manifest(args.manifest)
     module = _read_module(manifest.module_path)
     key = manifest.key()
@@ -244,6 +248,8 @@ def cmd_batch_embed(args) -> int:
         cache_hits=1 if cache_hit else 0,
         cache_misses=0 if cache_hit else 1,
         profile=args.profile,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     report.write(os.path.join(args.output, "report.json"))
 
@@ -357,6 +363,23 @@ def cmd_artifact_evict(args) -> int:
         return 2
     store.evict(digest)
     print(f"evicted {digest}", file=sys.stderr)
+    return 0
+
+
+def cmd_artifact_quarantine_list(args) -> int:
+    try:
+        store = ArtifactStore(args.store, create=False)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    records = store.quarantined()
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2))
+        return 0
+    for r in records:
+        print(f"{r.digest[:16]}  {r.quarantined_at}  {r.reason}")
+    print(f"{len(records)} quarantined blob(s) in {args.store}",
+          file=sys.stderr)
     return 0
 
 
@@ -522,6 +545,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="count VM dispatches (prepare trace + every "
                         "self-check run); writes <outdir>/profile.json")
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="journal each completed copy to FILE (JSON lines) "
+                        "as it lands")
+    p.add_argument("--resume", action="store_true",
+                   help="skip copies the --checkpoint journal already "
+                        "shows as verified (crash recovery)")
     p.set_defaults(fn=cmd_batch_embed)
 
     p = sub.add_parser("attack", help="apply a distortive transformation")
@@ -635,6 +664,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     a.add_argument("--store", required=True, metavar="DIR")
     a.set_defaults(fn=cmd_artifact_verify)
+
+    a = asub.add_parser(
+        "quarantine-list",
+        help="list blobs moved aside after failing integrity checks",
+    )
+    a.add_argument("--store", required=True, metavar="DIR")
+    a.add_argument("--json", action="store_true",
+                   help="emit the records as a JSON array")
+    a.set_defaults(fn=cmd_artifact_quarantine_list)
 
     return parser
 

@@ -1,0 +1,68 @@
+"""Deterministic fault injection + recovery policy for the pipeline.
+
+The paper's whole argument is behaviour under hostility: a watermark
+is only as good as its survival rate once an adversary starts
+distorting the program. This package applies the same standard to the
+infrastructure *around* the watermarks — the batch pipeline, the
+artifact store and the serving daemon all claim to degrade gracefully,
+and those claims are only worth anything if faults can be injected on
+demand and the recovery measured. Two halves:
+
+* :mod:`~repro.faults.injector` — the fault model. A
+  :class:`FaultPlan` is a seeded, picklable list of
+  :class:`FaultRule`\\ s ("kill the worker on its 2nd task", "return
+  ``ENOSPC`` from the 1st manifest write", "flip a byte in every blob
+  read"). Library code declares *injection sites* by calling
+  :func:`check` / :func:`filter_bytes` at the points where reality
+  fails: the pool worker task loop, the store's write/read paths, the
+  daemon's dispatch path. With no plan installed both calls are a
+  single ``is None`` test — the hooks are free in production.
+* :mod:`~repro.faults.retry` — the recovery policy. One
+  :class:`RetryPolicy` (capped exponential backoff with deterministic,
+  seeded jitter) shared by the batch executor's transient-failure
+  retries and the HTTP client's 429/503 backoff.
+
+Determinism is the design constraint throughout: rules fire on exact
+hit counts (``after``/``times``), probabilistic rules draw from the
+plan's own seeded RNG, and one-shot cross-process faults are anchored
+to filesystem marker files (``once_token``), so a test that kills a
+worker kills it on the same task every run — and only once, even
+though the rebuilt pool re-installs the plan in fresh processes.
+
+Typical test use::
+
+    from repro import faults
+
+    plan = faults.FaultPlan(rules=[
+        faults.FaultRule(site="batch.worker.task", action="kill", after=2,
+                         once_token="kill-once", state_dir=str(tmp_path)),
+    ])
+    with faults.injected(plan):
+        report = run_batch(prepared, specs, workers=2)   # survives
+"""
+
+from .injector import (
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    check,
+    clear,
+    filter_bytes,
+    get_plan,
+    injected,
+    install,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "check",
+    "clear",
+    "filter_bytes",
+    "get_plan",
+    "injected",
+    "install",
+]

@@ -1,0 +1,283 @@
+"""The fault model: seeded, picklable, cross-process fault plans.
+
+An injection *site* is a dotted name a piece of library code claims as
+its failure point (``"batch.worker.task"``, ``"store.write.blob"``,
+``"daemon.job"``). A :class:`FaultRule` matches sites by exact name or
+``fnmatch`` glob and fires an *action* once its counting conditions
+are met. The ambient plan is installed per process
+(:func:`install` / :func:`injected`); the batch pipeline ships the
+parent's plan to pool workers through the pool initializer, so a test
+that arms a plan and calls :func:`~repro.pipeline.batch.run_batch`
+sees its faults fire inside real worker processes.
+
+Actions
+-------
+
+========== ==============================================================
+``raise``  raise ``rule.exception(rule.message)`` at the site
+``kill``   ``os._exit(KILL_EXIT_CODE)`` — an uncatchable process death,
+           the moral equivalent of an OOM-kill or operator ``kill -9``
+``delay``  sleep ``rule.delay_seconds`` then continue
+``disk_full`` raise ``OSError(ENOSPC)`` — for write sites
+``io_error``  raise ``OSError(EIO)`` — unreadable sector / torn device
+``corrupt``   (byte sites) flip one seeded byte of the payload
+``truncate``  (byte sites) drop the payload's second half
+========== ==============================================================
+
+Byte-stream actions only apply at sites routed through
+:func:`filter_bytes`; control actions only at :func:`check` sites. A
+rule whose action does not fit the hook kind is ignored at that hook,
+so one plan can safely target globs spanning both kinds.
+
+Counting is per rule *per process* (a fresh worker starts at zero).
+For faults that must fire once *globally* — "kill one worker, then let
+the retry succeed" — give the rule a ``once_token``: before firing,
+the rule atomically creates ``<state_dir>/fault-<token>.fired`` and
+never fires again anywhere that marker is visible.
+"""
+
+from __future__ import annotations
+
+import errno
+import fnmatch
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from ..obs.metrics import get_registry
+
+#: Exit status used by ``action="kill"``; distinctive enough that a
+#: test inspecting a dead child can tell an injected death from a real
+#: crash.
+KILL_EXIT_CODE = 77
+
+#: Actions that make sense at a :func:`check` site.
+CONTROL_ACTIONS = frozenset({"raise", "kill", "delay", "disk_full", "io_error"})
+#: Actions that make sense at a :func:`filter_bytes` site.
+BYTE_ACTIONS = frozenset({"corrupt", "truncate"})
+
+
+class FaultError(RuntimeError):
+    """Default exception type raised by ``action="raise"`` rules."""
+
+
+@dataclass
+class FaultRule:
+    """One match-and-fire rule inside a :class:`FaultPlan`.
+
+    ``site`` is an exact dotted name or an ``fnmatch`` glob
+    (``"store.write.*"``). The rule fires on matching hits number
+    ``after``, ``after+1``, ... for at most ``times`` firings
+    (``None`` = unlimited), each gated by ``probability`` drawn from
+    the plan's seeded RNG. ``once_token`` adds a filesystem-backed
+    global once-guard (see module docstring).
+    """
+
+    site: str
+    action: str
+    after: int = 1
+    times: Optional[int] = 1
+    probability: float = 1.0
+    delay_seconds: float = 0.0
+    message: str = "injected fault"
+    exception: Type[BaseException] = FaultError
+    once_token: Optional[str] = None
+    state_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        known = CONTROL_ACTIONS | BYTE_ACTIONS
+        if self.action not in known:
+            raise ValueError(
+                f"unknown fault action {self.action!r} "
+                f"(have: {', '.join(sorted(known))})"
+            )
+        if self.after < 1:
+            raise ValueError("'after' counts hits from 1")
+        if self.times is not None and self.times < 1:
+            raise ValueError("'times' must be positive (or None)")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.once_token is not None and self.state_dir is None:
+            raise ValueError("once_token requires a state_dir")
+
+    def matches(self, site: str) -> bool:
+        return site == self.site or fnmatch.fnmatchcase(site, self.site)
+
+    def _marker_path(self) -> str:
+        assert self.state_dir is not None and self.once_token is not None
+        return os.path.join(self.state_dir, f"fault-{self.once_token}.fired")
+
+    def claim_once_marker(self) -> bool:
+        """Atomically claim the cross-process once-guard.
+
+        Returns True when this call created the marker (the rule may
+        fire), False when another process/firing already owns it.
+        """
+        if self.once_token is None:
+            return True
+        try:
+            fd = os.open(
+                self._marker_path(), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+
+@dataclass
+class _Firing:
+    """One recorded fault firing (for test assertions)."""
+
+    site: str
+    action: str
+    rule_index: int
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule` s plus per-process counters.
+
+    Picklable: rules and seed travel (e.g. through a pool
+    initializer); hit counters and the RNG restart fresh in the
+    receiving process, which is exactly the per-process counting
+    semantics documented on the rules.
+    """
+
+    def __init__(
+        self, rules: Sequence[FaultRule] = (), seed: int = 0
+    ) -> None:
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = seed
+        self._hits: Dict[int, int] = {}
+        self._fired: Dict[int, int] = {}
+        self._rng = random.Random(seed)
+        self.firings: List[_Firing] = []
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"rules": self.rules, "seed": self.seed}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(tuple(state["rules"]), state["seed"])
+
+    # -- matching ----------------------------------------------------------
+
+    def _due(self, site: str, kinds: frozenset) -> Iterator[Tuple[int, FaultRule]]:
+        """Yield (index, rule) for every rule due to fire at this hit."""
+        for index, rule in enumerate(self.rules):
+            if rule.action not in kinds or not rule.matches(site):
+                continue
+            hits = self._hits.get(index, 0) + 1
+            self._hits[index] = hits
+            if hits < rule.after:
+                continue
+            fired = self._fired.get(index, 0)
+            if rule.times is not None and fired >= rule.times:
+                continue
+            if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                continue
+            if not rule.claim_once_marker():
+                continue
+            self._fired[index] = fired + 1
+            self.firings.append(_Firing(site, rule.action, index))
+            get_registry().counter(
+                "repro_faults_injected_total", "Faults fired by the injector"
+            ).inc(site=site, action=rule.action)
+            yield index, rule
+
+    def hit(self, site: str) -> None:
+        """Count a control-site hit and fire any due control actions."""
+        for _index, rule in self._due(site, CONTROL_ACTIONS):
+            _fire_control(rule)
+
+    def pipe(self, site: str, data: bytes) -> bytes:
+        """Count a byte-site hit; return the (possibly mangled) payload."""
+        for _index, rule in self._due(site, BYTE_ACTIONS):
+            data = _mangle(rule, data, self._rng)
+        return data
+
+
+def _fire_control(rule: FaultRule) -> None:
+    if rule.action == "delay":
+        time.sleep(rule.delay_seconds)
+        return
+    if rule.action == "kill":
+        os._exit(KILL_EXIT_CODE)
+    if rule.action == "disk_full":
+        raise OSError(errno.ENOSPC, f"injected: {rule.message}")
+    if rule.action == "io_error":
+        raise OSError(errno.EIO, f"injected: {rule.message}")
+    raise rule.exception(rule.message)
+
+
+def _mangle(rule: FaultRule, data: bytes, rng: random.Random) -> bytes:
+    if not data:
+        return data
+    if rule.action == "truncate":
+        return data[: len(data) // 2]
+    position = rng.randrange(len(data))
+    mutated = bytearray(data)
+    mutated[position] ^= 0xFF
+    return bytes(mutated)
+
+
+# -- the ambient plan --------------------------------------------------------
+
+#: Per-process active plan. ``None`` (the overwhelmingly common case)
+#: makes every hook a single attribute load + ``is None`` test.
+_PLAN: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as this process's ambient fault plan."""
+    global _PLAN
+    _PLAN = plan
+    return plan
+
+
+def clear() -> None:
+    """Remove the ambient plan (hooks go back to no-ops)."""
+    global _PLAN
+    _PLAN = None
+
+
+def get_plan() -> Optional[FaultPlan]:
+    """The ambient plan, or ``None`` when injection is disabled."""
+    return _PLAN
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scope an ambient plan to a ``with`` block (tests)."""
+    global _PLAN
+    previous = _PLAN
+    install(plan)
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+
+
+def check(site: str, **context: Any) -> None:
+    """Declare a control injection site. Free when no plan is armed.
+
+    ``context`` is accepted (and ignored) so call sites can document
+    what was in flight without paying for string formatting.
+    """
+    if _PLAN is None:
+        return
+    _PLAN.hit(site)
+
+
+def filter_bytes(site: str, data: bytes) -> bytes:
+    """Declare a byte-stream injection site; may corrupt or truncate.
+
+    Returns ``data`` itself (same object) when no plan is armed.
+    """
+    if _PLAN is None:
+        return data
+    return _PLAN.pipe(site, data)

@@ -32,17 +32,20 @@ prepared trace's, if it was profiled) into one
 
 from __future__ import annotations
 
+import json
 import os
 import time
 import traceback as traceback_module
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, TextIO, Tuple
 
-from .. import obs
+from .. import faults, obs
 from ..bytecode_wm.embedder import embed
 from ..bytecode_wm.recognizer import recognize, recognize_with_report
+from ..faults.injector import FaultPlan
+from ..faults.retry import RetryPolicy
 from ..obs.spans import SpanContext, attach
 from ..obs.vmprofile import DispatchProfile
 from ..vm.assembler import assemble
@@ -157,6 +160,9 @@ def embed_copy(
             dispatch_counts=dispatch_counts,
         )
     except Exception as exc:  # per-copy isolation: report, don't propagate
+        # An exception raised *inside* the embed is deterministic in
+        # (watermark, seed): re-running it would fail identically, so
+        # the failure is classified permanent and never retried.
         return CopyResult(
             copy_id=spec.copy_id,
             watermark=spec.watermark,
@@ -164,6 +170,7 @@ def embed_copy(
             ok=False,
             wall_seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
+            error_kind="permanent",
             traceback=traceback_module.format_exc(),
         )
 
@@ -181,6 +188,7 @@ def _init_worker(
     self_check: bool,
     profile: bool = False,
     parent: Optional[SpanContext] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
     global _WORKER_PREPARED, _WORKER_SELF_CHECK
     global _WORKER_PROFILE, _WORKER_PARENT
@@ -188,6 +196,10 @@ def _init_worker(
     _WORKER_SELF_CHECK = self_check
     _WORKER_PROFILE = profile
     _WORKER_PARENT = parent
+    if fault_plan is not None:
+        # A parent with an armed fault plan arms every worker too —
+        # that is how injected kills land inside real pool processes.
+        faults.install(fault_plan)
     if parent is not None:
         # The parent batch span's context travels in; record worker
         # spans locally and hand them back on each CopyResult.
@@ -196,6 +208,10 @@ def _init_worker(
 
 def _embed_in_worker(spec: CopySpec) -> CopyResult:
     assert _WORKER_PREPARED is not None, "worker initializer did not run"
+    # The canonical worker-death site: "kill"/"raise"/"delay" rules
+    # here simulate a worker lost mid-task, *outside* the per-copy
+    # exception isolation of embed_copy.
+    faults.check("batch.worker.task", copy_id=spec.copy_id)
     if _WORKER_PARENT is None:
         return embed_copy(
             _WORKER_PREPARED, spec, _WORKER_SELF_CHECK, _WORKER_PROFILE
@@ -207,6 +223,16 @@ def _embed_in_worker(spec: CopySpec) -> CopyResult:
         )
     result.spans = tracer.drain()
     return result
+
+
+def _embed_chunk(specs: List[CopySpec]) -> List[CopyResult]:
+    """One pool task: embed a chunk of specs, return all their results.
+
+    Chunks are submitted as individual futures (not ``pool.map``) so
+    the parent can tell exactly which specs went down with a dead
+    worker and resubmit only those.
+    """
+    return [_embed_in_worker(spec) for spec in specs]
 
 
 # -- service workers: artifacts load from the store, by digest --------------
@@ -327,6 +353,121 @@ def default_chunksize(copy_count: int, workers: int) -> int:
     return max(1, copy_count // max(1, workers * 4))
 
 
+# -- checkpoint journal ------------------------------------------------------
+
+
+def read_checkpoint(path: str) -> List[CopyResult]:
+    """Parse a checkpoint journal, tolerating a torn final line.
+
+    The journal is JSONL appended result-by-result; a process killed
+    mid-write leaves at most one truncated trailing line, which is
+    dropped (that copy simply re-embeds on resume).
+    """
+    results: List[CopyResult] = []
+    try:
+        with open(path) as fp:
+            lines = fp.read().splitlines()
+    except OSError:
+        return results
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+            results.append(CopyResult.from_dict(doc))
+        except (ValueError, KeyError, TypeError):
+            continue  # torn write; the copy re-runs
+    return results
+
+
+def _journal_result(journal: Optional[TextIO], result: CopyResult) -> None:
+    if journal is None:
+        return
+    doc = result.to_dict()
+    journal.write(json.dumps(doc, sort_keys=True) + "\n")
+    journal.flush()
+    try:
+        os.fsync(journal.fileno())
+    except OSError:
+        pass  # a best-effort journal beats none; resume re-embeds losses
+
+
+def _run_round(
+    prepared: PreparedProgram,
+    pending: List[CopySpec],
+    workers: int,
+    chunksize: Optional[int],
+    self_check: bool,
+    profile: bool,
+    attempt: int,
+    record: Callable[[CopyResult], None],
+    tracer: Any,
+) -> Dict[str, str]:
+    """Run one submission round over ``pending``; record what lands.
+
+    Returns a map of ``copy_id -> error text`` for specs whose worker
+    died under them this round (they stay pending). Specs that produce
+    a :class:`CopyResult` — success or permanent failure — are handed
+    to ``record`` and leave the pending set.
+    """
+    errors: Dict[str, str] = {}
+
+    def stamp(result: CopyResult) -> CopyResult:
+        result.attempts = attempt
+        return result
+
+    if workers == 1 or len(pending) <= 1:
+        for spec in pending:
+            try:
+                faults.check("batch.worker.task", copy_id=spec.copy_id)
+                record(stamp(embed_copy(prepared, spec, self_check, profile)))
+            except Exception as exc:
+                # In-process there is no worker to lose, but an injected
+                # control fault here still counts as transient loss.
+                errors[spec.copy_id] = f"{type(exc).__name__}: {exc}"
+        return errors
+
+    chunk = chunksize or default_chunksize(len(pending), workers)
+    chunks = [pending[i:i + chunk] for i in range(0, len(pending), chunk)]
+    parent = obs.current_context() if tracer.enabled else None
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(prepared, self_check, profile, parent, faults.get_plan()),
+    ) as pool:
+        futures: Dict[Future, List[CopySpec]] = {
+            pool.submit(_embed_chunk, group): group for group in chunks
+        }
+        for future in as_completed(futures):
+            group = futures[future]
+            try:
+                for result in future.result():
+                    record(stamp(result))
+            except Exception as exc:
+                # The whole chunk went down with its worker (e.g. a
+                # BrokenProcessPool): every spec in it stays pending.
+                for spec in group:
+                    errors[spec.copy_id] = f"{type(exc).__name__}: {exc}"
+    return errors
+
+
+def _lost_copy_result(
+    spec: CopySpec, attempts: int, error: Optional[str]
+) -> CopyResult:
+    """The exactly-one-result guarantee's last resort: a spec whose
+    worker died on every attempt still yields a (failed) result."""
+    return CopyResult(
+        copy_id=spec.copy_id,
+        watermark=spec.watermark,
+        seed=spec.seed,
+        ok=False,
+        error=error or "worker lost before the copy completed",
+        error_kind="transient",
+        attempts=attempts,
+    )
+
+
 def run_batch(
     prepared: PreparedProgram,
     copies: Iterable[CopySpec],
@@ -337,6 +478,9 @@ def run_batch(
     cache_misses: int = 1,
     self_check: bool = True,
     profile: bool = False,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> BatchReport:
     """Embed every requested copy, in parallel when ``workers > 1``.
 
@@ -348,47 +492,112 @@ def run_batch(
     ``profile=True`` aggregates per-opcode VM dispatch counts from
     every self-check run (and the prepared trace, when it was
     profiled) into ``report.dispatch_profile``.
+
+    Resilience:
+
+    * **every submitted spec yields exactly one result** — verified,
+      failed, or restored-from-checkpoint; work lost to a dead worker
+      is resubmitted, and a spec whose worker dies on every attempt
+      comes back as a *transient* failure rather than vanishing;
+    * **transient failures retry** — a dead pool worker (or an
+      injected kill, see :mod:`repro.faults`) triggers resubmission of
+      only the unfinished specs, on a fresh pool, after a capped
+      jittered backoff from ``retry`` (default :class:`RetryPolicy`).
+      Failures *inside* a copy are deterministic, classified
+      permanent, and never retried;
+    * **checkpoint/resume** — with ``checkpoint=path`` every completed
+      copy (and its output file, when ``outdir`` is set) is journaled
+      to a JSONL file as it lands; ``resume=True`` then skips copies
+      the journal already shows as verified, so a batch killed mid-run
+      finishes without re-embedding its survivors.
+
+    A fault plan armed in the parent (``faults.install``) rides the
+    pool initializer into every worker.
     """
     specs = list(copies)
     if workers < 1:
         raise ValueError("workers must be positive")
+    if resume and not checkpoint:
+        raise ValueError("resume=True requires a checkpoint path")
     seen = set()
     for spec in specs:
         if spec.copy_id in seen:
             raise ValueError(f"duplicate copy id {spec.copy_id!r}")
         seen.add(spec.copy_id)
+    policy = retry or RetryPolicy()
 
     tracer = obs.get_tracer()
     timings = StageTimings()
     watch = Stopwatch()
-    with watch, obs.span("batch", copies=len(specs), workers=workers):
-        with timings.measure("embed"):
-            if workers == 1 or len(specs) <= 1:
-                results = [embed_copy(prepared, s, self_check, profile)
-                           for s in specs]
-            else:
-                chunk = chunksize or default_chunksize(len(specs), workers)
-                parent = obs.current_context() if tracer.enabled else None
-                with ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_init_worker,
-                    initargs=(prepared, self_check, profile, parent),
-                ) as pool:
-                    results = list(
-                        pool.map(_embed_in_worker, specs, chunksize=chunk)
-                    )
-        if outdir is not None:
+    results: Dict[str, CopyResult] = {}
+    retry_rounds = 0
+
+    journal: Optional[TextIO] = None
+    if checkpoint:
+        if resume and os.path.exists(checkpoint):
+            for prior in read_checkpoint(checkpoint):
+                if prior.copy_id in seen and prior.verified:
+                    prior.resumed = True
+                    prior.text = None  # the file already exists on disk
+                    results[prior.copy_id] = prior
+        checkpoint_dir = os.path.dirname(checkpoint)
+        if checkpoint_dir:
+            os.makedirs(checkpoint_dir, exist_ok=True)
+        journal = open(checkpoint, "a")
+
+    if outdir is not None:
+        os.makedirs(outdir, exist_ok=True)
+
+    def record(result: CopyResult) -> None:
+        """Land one result: output file first, then the journal line,
+        so a journaled copy always has its module on disk."""
+        results[result.copy_id] = result
+        if outdir is not None and result.text is not None:
             with timings.measure("write"):
-                os.makedirs(outdir, exist_ok=True)
-                for copy in results:
-                    if copy.text is None:
-                        continue
-                    path = os.path.join(outdir, f"{copy.copy_id}.wasm")
-                    with open(path, "w") as fp:
-                        fp.write(copy.text)
+                path = os.path.join(outdir, f"{result.copy_id}.wasm")
+                with open(path, "w") as fp:
+                    fp.write(result.text)
+        _journal_result(journal, result)
+
+    try:
+        with watch, obs.span("batch", copies=len(specs), workers=workers):
+            with timings.measure("embed"):
+                pending = [s for s in specs if s.copy_id not in results]
+                attempt = 1
+                while pending:
+                    round_errors = _run_round(
+                        prepared, pending, workers, chunksize,
+                        self_check, profile, attempt, record, tracer,
+                    )
+                    pending = [
+                        s for s in pending if s.copy_id not in results
+                    ]
+                    if not pending:
+                        break
+                    if not policy.retries_left(attempt):
+                        for spec in pending:
+                            record(_lost_copy_result(
+                                spec, attempt,
+                                round_errors.get(spec.copy_id),
+                            ))
+                        break
+                    # Transient loss: back off, then resubmit only the
+                    # unfinished specs on a fresh pool.
+                    retry_rounds += 1
+                    obs.get_registry().counter(
+                        "repro_batch_retries_total",
+                        "Copies resubmitted after a worker loss",
+                    ).inc(len(pending))
+                    time.sleep(policy.delay(attempt))
+                    attempt += 1
+    finally:
+        if journal is not None:
+            journal.close()
+
+    results_in_order = [results[s.copy_id] for s in specs]
 
     if tracer.enabled:
-        for copy in results:
+        for copy in results_in_order:
             if copy.spans:
                 tracer.adopt(copy.spans)
                 copy.spans = []
@@ -401,7 +610,7 @@ def run_batch(
                 prepared.dispatch_counts,
                 wall_seconds=prepared.timings.stages.get("trace", 0.0),
             ))
-        for copy in results:
+        for copy in results_in_order:
             if copy.dispatch_counts is not None:
                 dispatch_profile.merge(
                     DispatchProfile.from_counts(copy.dispatch_counts)
@@ -409,13 +618,14 @@ def run_batch(
 
     return BatchReport(
         workers=workers,
-        copies=results,
+        copies=results_in_order,
         prepare_timings=prepared.timings,
         batch_timings=timings,
         cache_hits=cache_hits,
         cache_misses=cache_misses,
         wall_seconds=watch.seconds,
         dispatch_profile=dispatch_profile,
+        retry_rounds=retry_rounds,
     )
 
 

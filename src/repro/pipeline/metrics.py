@@ -68,6 +68,13 @@ class CopyResult:
     the JSON report (it lives in the output directory instead).
     ``traceback`` is the formatted Python traceback of a failed embed —
     the part of a failure the one-line ``error`` summary loses.
+    ``error_kind`` classifies failures for the retry machinery:
+    ``"permanent"`` (the embed itself raised — deterministic, retrying
+    cannot help) versus ``"transient"`` (the worker was lost under the
+    copy — a dead process, an injected kill — and retries were
+    exhausted). ``attempts`` counts how many rounds the copy took;
+    ``resumed`` marks a copy restored from a checkpoint journal
+    instead of re-embedded (see ``run_batch(..., resume=True)``).
     ``spans``/``dispatch_counts`` are observability payloads recorded
     in the worker and aggregated by the parent; they travel on the
     object (across the process pool) but not into the JSON report —
@@ -88,7 +95,10 @@ class CopyResult:
     byte_size_increase: int = 0
     wall_seconds: float = 0.0
     error: Optional[str] = None
+    error_kind: Optional[str] = None
     traceback: Optional[str] = None
+    attempts: int = 1
+    resumed: bool = False
     text: Optional[str] = None
     spans: List[Span] = field(default_factory=list)
     dispatch_counts: Optional[List[int]] = None
@@ -119,7 +129,10 @@ class CopyResult:
             "byte_size_increase": self.byte_size_increase,
             "wall_seconds": self.wall_seconds,
             "error": self.error,
+            "error_kind": self.error_kind,
             "traceback": self.traceback,
+            "attempts": self.attempts,
+            "resumed": self.resumed,
         }
 
     @staticmethod
@@ -138,7 +151,10 @@ class CopyResult:
             byte_size_increase=doc.get("byte_size_increase", 0),
             wall_seconds=doc.get("wall_seconds", 0.0),
             error=doc.get("error"),
+            error_kind=doc.get("error_kind"),
             traceback=doc.get("traceback"),
+            attempts=doc.get("attempts", 1),
+            resumed=doc.get("resumed", False),
         )
 
 
@@ -154,10 +170,18 @@ class BatchReport:
     cache_misses: int = 0
     wall_seconds: float = 0.0
     dispatch_profile: Optional[DispatchProfile] = None
+    #: How many extra submission rounds the executor ran after losing
+    #: work to dead workers (0 = nothing was ever retried).
+    retry_rounds: int = 0
 
     @property
     def succeeded(self) -> int:
         return sum(1 for c in self.copies if c.verified)
+
+    @property
+    def resumed(self) -> int:
+        """Copies restored from a checkpoint journal, not re-embedded."""
+        return sum(1 for c in self.copies if c.resumed)
 
     @property
     def failed(self) -> int:
@@ -188,6 +212,8 @@ class BatchReport:
             "copies_per_second": self.copies_per_second,
             "total_bytes_emitted": self.total_bytes_emitted,
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "retry_rounds": self.retry_rounds,
+            "resumed": self.resumed,
             "prepare_stages": dict(self.prepare_timings.stages),
             "batch_stages": dict(self.batch_timings.stages),
             "copies": [c.to_dict() for c in self.copies],
@@ -212,6 +238,7 @@ class BatchReport:
                 if profile is not None
                 else None
             ),
+            retry_rounds=doc.get("retry_rounds", 0),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -242,6 +269,15 @@ class BatchReport:
             f"verified: {self.succeeded}/{len(self.copies)}, "
             f"{self.total_bytes_emitted} bytes emitted",
         ]
+        if self.retry_rounds:
+            lines.append(
+                f"recovered: {self.retry_rounds} retry round(s) after "
+                f"worker loss"
+            )
+        if self.resumed:
+            lines.append(
+                f"resumed: {self.resumed} copies restored from checkpoint"
+            )
         for c in self.copies:
             if not c.verified:
                 reason = c.error or (

@@ -317,7 +317,8 @@ class PrepareCache:
     memory miss falls through to the store before preparing (a
     ``store_hits`` hit), and a fresh preparation is persisted so the
     *next* process starts warm. Store integrity failures degrade to a
-    re-prepare, never to an error.
+    re-prepare, and store write failures (disk full) to an unpersisted
+    artifact — never to an error.
     """
 
     def __init__(
@@ -382,7 +383,13 @@ class PrepareCache:
             profile=profile,
         )
         if self._store is not None:
-            self._store.put(prepared)
+            try:
+                self._store.put(prepared)
+            except OSError:
+                # A full or failing disk must not cost the caller the
+                # preparation it just paid for; the next process simply
+                # starts cold.
+                pass
         self._insert(digest, prepared)
         return prepared, False
 

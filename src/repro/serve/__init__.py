@@ -13,7 +13,13 @@ service:
   (``POST /v1/embed``, ``POST /v1/recognize``, ``GET /healthz``,
   ``GET /metrics``) that dispatches requests to a worker pool with
   bounded-queue backpressure, per-request timeouts, retry-once on
-  worker death, and per-request spans + Prometheus metrics.
+  worker death, per-route circuit breakers, graceful SIGTERM drain,
+  and per-request spans + Prometheus metrics;
+* :mod:`repro.serve.circuit` — the consecutive-failure
+  :class:`CircuitBreaker` state machine behind those routes;
+* :mod:`repro.serve.client` — a stdlib :class:`ServiceClient` that
+  honors the daemon's ``Retry-After`` backpressure with the shared
+  :class:`~repro.faults.retry.RetryPolicy` backoff.
 
 Typical use::
 
@@ -27,6 +33,8 @@ See ``docs/serving.md`` for the HTTP API and an end-to-end
 walkthrough.
 """
 
+from .circuit import CircuitBreaker
+from .client import ServiceClient, ServiceError
 from .daemon import (
     ROUTES,
     Request,
@@ -36,16 +44,25 @@ from .daemon import (
     WatermarkService,
     serve,
 )
-from .store import ArtifactRecord, ArtifactStore, StoreError
+from .store import (
+    ArtifactRecord,
+    ArtifactStore,
+    QuarantineRecord,
+    StoreError,
+)
 
 __all__ = [
     "ArtifactRecord",
     "ArtifactStore",
+    "CircuitBreaker",
+    "QuarantineRecord",
     "ROUTES",
     "Request",
     "Response",
     "ServerConfig",
     "ServerThread",
+    "ServiceClient",
+    "ServiceError",
     "StoreError",
     "WatermarkService",
     "serve",

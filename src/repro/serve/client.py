@@ -1,0 +1,206 @@
+"""A resilient stdlib client for the fingerprinting daemon.
+
+The other half of the daemon's backpressure contract: the server says
+*when* to come back (``429``/``503`` + ``Retry-After``), this client
+actually does so. Built on ``http.client`` only, retrying with the
+same capped, seeded :class:`~repro.faults.retry.RetryPolicy` the batch
+executor uses — when the server supplies ``Retry-After`` the client
+honors it (taking the larger of the header and the policy's backoff),
+otherwise the policy's jittered exponential schedule applies.
+
+What retries: connection failures (daemon restarting), ``429``
+(queue full), ``503`` (draining, circuit open, pool died). What does
+not: every other status — ``400``/``404``/``422`` are the caller's
+problem and ``504`` already cost a full request timeout, so hammering
+it again unprompted is exactly what a loaded server does not need.
+
+``sleep`` is injectable so tests assert on the produced schedule
+instead of waiting through it::
+
+    naps = []
+    client = ServiceClient(url, retry=RetryPolicy(max_attempts=3),
+                           sleep=naps.append)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..faults.retry import RetryPolicy
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: Statuses worth retrying: the server explicitly said "later".
+_RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class ServiceError(Exception):
+    """The daemon answered with an error status (after any retries).
+
+    ``status`` is the HTTP status; ``doc`` is the parsed JSON error
+    body when there was one.
+    """
+
+    def __init__(self, status: int, message: str,
+                 doc: Optional[Dict[str, Any]] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.doc = doc or {}
+
+
+class ServiceClient:
+    """Synchronous client: embed/recognize/health against one daemon.
+
+    One instance per base URL; connections are per-request (the daemon
+    closes after each response anyway). Retry behaviour is wholly
+    owned by the ``retry`` policy — pass
+    ``RetryPolicy(max_attempts=1)`` to disable retries.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(
+                f"base_url must be http://host[:port], got {base_url!r}"
+            )
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy()
+        self._sleep = sleep
+
+    # -- transport ---------------------------------------------------------
+
+    def _once(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                payload,
+            )
+        finally:
+            conn.close()
+
+    def request(
+        self, method: str, path: str, doc: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One logical request, retried per the policy.
+
+        Returns ``(status, parsed_body)`` for any non-retryable
+        outcome (including error statuses — the typed helpers below
+        decide what to raise). Exhausted retries return the last
+        retryable status; a connection that never succeeds re-raises
+        the last ``OSError``.
+        """
+        body = (
+            json.dumps(doc).encode() if doc is not None else None
+        )
+        attempt = 0
+        while True:
+            attempt += 1
+            retry_after: Optional[float] = None
+            try:
+                status, headers, payload = self._once(method, path, body)
+            except (OSError, http.client.HTTPException):
+                if not self.retry.retries_left(attempt):
+                    raise
+                self._sleep(self.retry.delay(attempt))
+                continue
+            if status in _RETRYABLE_STATUSES and self.retry.retries_left(
+                attempt
+            ):
+                header = headers.get("retry-after")
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+                delay = self.retry.delay(attempt)
+                if retry_after is not None:
+                    delay = max(delay, retry_after)
+                self._sleep(delay)
+                continue
+            return status, _parse_json(payload)
+
+    # -- typed endpoints ---------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        status, doc = self.request("GET", "/healthz")
+        if status != 200:
+            raise ServiceError(status, str(doc.get("error", "unhealthy")), doc)
+        return doc
+
+    def metrics(self) -> str:
+        status, headers, payload = self._once("GET", "/metrics", None)
+        if status != 200:
+            raise ServiceError(status, "metrics unavailable")
+        return payload.decode()
+
+    def artifacts(self) -> Dict[str, Any]:
+        status, doc = self.request("GET", "/v1/artifacts")
+        if status != 200:
+            raise ServiceError(status, str(doc.get("error", "")), doc)
+        return doc
+
+    def embed(
+        self,
+        artifact: str,
+        copy_id: str,
+        watermark: int,
+        seed: int = 0,
+        self_check: Optional[bool] = None,
+    ) -> Dict[str, Any]:
+        """Mint one fingerprinted copy; returns the response document."""
+        doc: Dict[str, Any] = {
+            "artifact": artifact,
+            "copy_id": copy_id,
+            "watermark": watermark,
+            "seed": seed,
+        }
+        if self_check is not None:
+            doc["self_check"] = self_check
+        status, out = self.request("POST", "/v1/embed", doc)
+        if status != 200:
+            raise ServiceError(status, str(out.get("error", "")), out)
+        return out
+
+    def recognize(self, artifact: str, module_text: str) -> Dict[str, Any]:
+        """Recover a mark; 422 (incomplete recovery) is a result, not
+        an error — check ``doc["complete"]``."""
+        status, out = self.request(
+            "POST", "/v1/recognize",
+            {"artifact": artifact, "module": module_text},
+        )
+        if status not in (200, 422):
+            raise ServiceError(status, str(out.get("error", "")), out)
+        return out
+
+
+def _parse_json(payload: bytes) -> Dict[str, Any]:
+    if not payload:
+        return {}
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return {"raw": payload.decode("utf-8", "replace")}
+    return doc if isinstance(doc, dict) else {"raw": doc}

@@ -29,11 +29,27 @@ Operational behavior, in the order a request meets it:
   orphaned job; its slot frees when it does);
 * **worker death** — a job that dies with its worker (``BrokenProcess
   Pool``) gets the pool rebuilt and exactly one retry, then ``503``;
+* **circuit breaking** — each worker-pool route carries a
+  :class:`~repro.serve.circuit.CircuitBreaker`: after
+  ``circuit_threshold`` consecutive job failures the route fails fast
+  with ``503`` + ``Retry-After`` without touching the pool, probes
+  half-open after ``circuit_reset`` seconds, and closes again on the
+  first success;
+* **graceful drain** — ``SIGTERM`` (or :meth:`WatermarkService.
+  shutdown`) stops admitting work (new jobs see ``503`` +
+  ``Retry-After``, ``/healthz`` reports ``"draining"``) while
+  in-flight jobs get up to ``drain_timeout`` seconds to finish; only
+  then is the pool torn down (stragglers see ``503``);
 * **observability** — every request opens an ``http.request`` span
   (worker-side spans are grafted under it, exactly like batch runs),
   increments ``repro_http_requests_total{route,method,status}`` and
   observes ``repro_http_request_seconds{route}``, all visible at
   ``GET /metrics``.
+
+Jobs also declare a :mod:`repro.faults` site (``daemon.job``) just
+inside the worker, so tests can pin a worker with an injected delay
+(driving real 429/504 responses) or kill it (driving the rebuild and
+circuit paths) deterministically.
 """
 
 from __future__ import annotations
@@ -41,6 +57,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import signal
 import sys
 import threading
 from concurrent.futures import (
@@ -52,9 +69,11 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from .. import obs
+from .. import faults, obs
+from ..faults.injector import FaultPlan
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, Counter, Histogram
 from ..pipeline.batch import CopySpec, service_embed_copy, service_recognize
+from .circuit import CircuitBreaker
 from .store import ArtifactStore, StoreError
 
 #: The service surface: ``(method, path) -> description``. The docs
@@ -87,12 +106,21 @@ _PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class BadRequest(Exception):
-    """A malformed or oversized HTTP request; carries the status code."""
+    """A malformed or oversized HTTP request; carries the status code.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` (seconds) becomes a ``Retry-After`` header on the
+    response — backpressure (429), drain and open-circuit (503)
+    rejections all tell the client when trying again is worthwhile.
+    """
+
+    def __init__(
+        self, status: int, message: str,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -227,6 +255,12 @@ class ServerConfig:
     request_timeout: float = 60.0
     executor: str = "process"  # or "thread"
     self_check: bool = True
+    #: Consecutive worker-job failures before a route's circuit opens.
+    circuit_threshold: int = 5
+    #: Seconds an open circuit waits before its half-open probe.
+    circuit_reset: float = 30.0
+    #: Seconds a graceful shutdown waits for in-flight jobs.
+    drain_timeout: float = 10.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -237,6 +271,12 @@ class ServerConfig:
             raise ValueError("request_timeout must be positive")
         if self.executor not in ("process", "thread"):
             raise ValueError("executor must be 'process' or 'thread'")
+        if self.circuit_threshold < 1:
+            raise ValueError("circuit_threshold must be positive")
+        if self.circuit_reset <= 0:
+            raise ValueError("circuit_reset must be positive")
+        if self.drain_timeout < 0:
+            raise ValueError("drain_timeout must be non-negative")
 
 
 class WatermarkService:
@@ -250,6 +290,17 @@ class WatermarkService:
         self._executor: Optional[Executor] = None
         self._inflight = 0
         self._max_inflight = config.workers + config.queue_depth
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._breakers: Dict[str, CircuitBreaker] = {
+            route: CircuitBreaker(
+                threshold=config.circuit_threshold,
+                reset_after=config.circuit_reset,
+                name=route,
+            )
+            for route in ("/v1/embed", "/v1/recognize")
+        }
         registry = obs.get_registry()
         self._requests: Counter = registry.counter(
             "repro_http_requests_total", "HTTP requests served"
@@ -272,7 +323,13 @@ class WatermarkService:
                 max_workers=self.config.workers,
                 thread_name_prefix="repro-serve",
             )
-        return ProcessPoolExecutor(max_workers=self.config.workers)
+        # An armed fault plan in the daemon process rides into pool
+        # workers, same as the batch pipeline's initializer does.
+        return ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            initializer=_init_service_worker,
+            initargs=(faults.get_plan(),),
+        )
 
     async def start(self) -> None:
         """Bind the listening socket and spin up the worker pool."""
@@ -296,6 +353,24 @@ class WatermarkService:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+
+    async def shutdown(self) -> None:
+        """Graceful drain, then stop.
+
+        New worker jobs are refused with ``503`` + ``Retry-After`` the
+        moment this is called (``/healthz`` flips to ``"draining"``);
+        jobs already in flight get up to ``drain_timeout`` seconds to
+        finish before the pool is torn down — a straggler cancelled at
+        the deadline reports ``503`` rather than vanishing.
+        """
+        self._draining = True
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.config.drain_timeout
+            )
+        except asyncio.TimeoutError:
+            pass  # deadline: stop() cancels whatever is still running
+        await self.stop()
 
     async def run(self) -> None:
         """start + serve until cancelled, then tear down."""
@@ -364,7 +439,11 @@ class WatermarkService:
                 else:
                     response = await self._handle_recognize(request)
             except BadRequest as exc:
-                headers = {"Retry-After": "1"} if exc.status == 429 else None
+                headers = None
+                if exc.retry_after is not None:
+                    headers = {
+                        "Retry-After": f"{max(1, round(exc.retry_after))}"
+                    }
                 response = error_response(exc.status, exc.message, headers)
             except StoreError as exc:
                 response = error_response(404, str(exc))
@@ -381,12 +460,16 @@ class WatermarkService:
         return json_response(
             200,
             {
-                "status": "ok",
+                "status": "draining" if self._draining else "ok",
                 "artifacts": len(self.store),
                 "inflight": self._inflight,
                 "capacity": self._max_inflight,
                 "workers": self.config.workers,
                 "executor": self.config.executor,
+                "circuits": {
+                    route: breaker.state
+                    for route, breaker in self._breakers.items()
+                },
             },
         )
 
@@ -448,7 +531,7 @@ class WatermarkService:
             self._parent_context(),
             self._drain_spans(),
         )
-        result = await self._run_job(job)
+        result = await self._run_job("/v1/embed", job)
         tracer = obs.get_tracer()
         if tracer.enabled and result.spans:
             tracer.adopt(result.spans)
@@ -493,7 +576,7 @@ class WatermarkService:
             self._parent_context(),
             self._drain_spans(),
         )
-        outcome = await self._run_job(job)
+        outcome = await self._run_job("/v1/recognize", job)
         tracer = obs.get_tracer()
         spans = outcome.pop("spans", [])
         if tracer.enabled and spans:
@@ -511,27 +594,65 @@ class WatermarkService:
         """Process workers hand spans back; threads record in place."""
         return self.config.executor == "process"
 
-    async def _run_job(self, job: Callable[[], Any]) -> Any:
-        """Admission control, timeout, and one retry on worker death."""
+    async def _run_job(self, route: str, job: Callable[[], Any]) -> Any:
+        """Admission, circuit, timeout, and one retry on worker death.
+
+        Gate order is cheapest-first: drain check, circuit check,
+        queue-bound check — only then does the job touch the pool.
+        Job outcomes feed the route's breaker: worker-infrastructure
+        failures (pool died twice, timeout, cancelled at drain) count
+        against it, anything the worker actually computed resets it.
+        """
+        if self._draining:
+            raise BadRequest(
+                503, "server is draining", retry_after=self.config.drain_timeout
+            )
+        breaker = self._breakers[route]
+        if not breaker.allow():
+            self._requests.inc(route=route, method="-", status="503")
+            raise BadRequest(
+                503,
+                f"circuit open for {route} after repeated worker failures",
+                retry_after=breaker.retry_after(),
+            )
         if self._inflight >= self._max_inflight:
             self._requests.inc(route="rejected", method="-", status="429")
             raise BadRequest429()
         self._inflight += 1
+        self._idle.clear()
         try:
-            return await asyncio.wait_for(
+            result = await asyncio.wait_for(
                 self._submit(job), timeout=self.config.request_timeout
             )
         except asyncio.TimeoutError:
+            breaker.record_failure()
             raise BadRequest(
                 504,
                 f"request exceeded {self.config.request_timeout:g}s budget",
             ) from None
+        except asyncio.CancelledError:
+            if self._draining:
+                # The drain deadline cancelled this straggler.
+                raise BadRequest(
+                    503, "job cancelled by server shutdown"
+                ) from None
+            raise
+        except BadRequest as exc:
+            if exc.status == 503:
+                breaker.record_failure()
+            raise
+        else:
+            breaker.record_success()
+            return result
         finally:
             self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
 
     async def _submit(self, job: Callable[[], Any]) -> Any:
         loop = asyncio.get_running_loop()
         assert self._executor is not None, "service not started"
+        job = functools.partial(_faultable_job, job)
         try:
             return await loop.run_in_executor(self._executor, job)
         except BrokenExecutor:
@@ -549,11 +670,29 @@ class WatermarkService:
                 ) from exc
 
 
+def _init_service_worker(fault_plan: Optional[FaultPlan]) -> None:
+    """Process-pool initializer: arm the parent's fault plan, if any."""
+    if fault_plan is not None:
+        faults.install(fault_plan)
+
+
+def _faultable_job(job: Callable[[], Any]) -> Any:
+    """Run one dispatched job behind the ``daemon.job`` fault site.
+
+    The hook runs *inside the worker* (thread or process), so an
+    injected delay genuinely occupies a pool slot — that is what lets
+    tests drive real 429 backpressure and 504 timeouts — and an
+    injected kill takes the worker process down for real.
+    """
+    faults.check("daemon.job")
+    return job()
+
+
 class BadRequest429(BadRequest):
     """Queue full; carries the Retry-After hint."""
 
     def __init__(self) -> None:
-        super().__init__(429, "queue full, retry shortly")
+        super().__init__(429, "queue full, retry shortly", retry_after=1.0)
 
 
 class ServerThread:
@@ -614,6 +753,22 @@ class ServerThread:
             self._loop = None
             self._thread = None
 
+    def shutdown(self) -> None:
+        """Gracefully drain in-flight jobs, then stop the loop.
+
+        The synchronous face of :meth:`WatermarkService.shutdown`:
+        returns once the drain completed (or its deadline passed) and
+        the background loop has exited.
+        """
+        if self._loop is not None and self._thread is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.shutdown(), self._loop
+            )
+            future.result(
+                timeout=self.service.config.drain_timeout + 30
+            )
+        self.stop()
+
     def __enter__(self) -> "ServerThread":
         return self.start()
 
@@ -622,7 +777,13 @@ class ServerThread:
 
 
 def serve(config: ServerConfig, announce: bool = True) -> None:
-    """Blocking entry point for the CLI: run until interrupted."""
+    """Blocking entry point for the CLI: run until interrupted.
+
+    ``SIGTERM`` (the fleet manager's stop signal) triggers a graceful
+    drain — in-flight jobs get ``drain_timeout`` seconds to finish
+    while new work is refused — where Ctrl-C still tears down
+    immediately.
+    """
     service = WatermarkService(config)
 
     async def main() -> None:
@@ -635,7 +796,28 @@ def serve(config: ServerConfig, announce: bool = True) -> None:
                 f"queue depth {config.queue_depth})",
                 file=sys.stderr,
             )
-        await service.serve_forever()
+        loop = asyncio.get_running_loop()
+        terminated = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, terminated.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platform without signal handlers: hard stop only
+        serve_task = asyncio.create_task(service.serve_forever())
+        stop_task = asyncio.create_task(terminated.wait())
+        await asyncio.wait(
+            {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if terminated.is_set():
+            if announce:
+                print("SIGTERM: draining in-flight jobs", file=sys.stderr)
+            serve_task.cancel()
+            await service.shutdown()
+        for task in (serve_task, stop_task):
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
 
     try:
         asyncio.run(main())

@@ -19,7 +19,11 @@ On-disk layout::
 
     <root>/
       store.json              # integrity manifest (version + records)
+      store.lock              # advisory lock serializing manifest writers
       blobs/<digest>.pickle   # one PreparedProgram pickle per artifact
+      quarantine/             # blobs that failed their integrity checks
+        <digest>.pickle       #   the evidence, moved out of blobs/
+        <digest>.json         #   why and when it was quarantined
 
 Each manifest record carries the SHA-256 of its blob; :meth:`
 ArtifactStore.load` re-hashes the blob before unpickling and refuses
@@ -29,19 +33,44 @@ travels as the compact binary format of :mod:`repro.vm.trace_io` —
 artifacts are megabytes, not tens of megabytes. Manifest writes are
 atomic (write-new + rename), so a crashed writer leaves the previous
 manifest intact; blob writes likewise.
+
+Hardening (the failure modes this module absorbs rather than
+propagates):
+
+* **concurrent writers** — every manifest rewrite holds an ``fcntl``
+  advisory lock on ``store.lock``, so two processes ``put``-ing into
+  the same store serialize instead of interleaving rename races;
+* **failed blobs quarantine** — a blob that fails :meth:`load`'s
+  integrity funnel is *moved* to ``quarantine/`` (with a JSON sidecar
+  recording the reason) instead of deleted: the record leaves the
+  manifest so the store heals, while the evidence survives for
+  forensics (``repro artifact quarantine-list``);
+* **torn manifests rebuild** — a ``store.json`` cut off mid-write by
+  a crashed machine (atomic rename makes this rare, not impossible)
+  is preserved as ``store.json.corrupt`` and the manifest is rebuilt
+  by scanning ``blobs/``; only blobs that decode and self-verify
+  re-enter it;
+* **fault injection** — the write and load paths declare
+  :mod:`repro.faults` sites (``store.write.manifest``,
+  ``store.write.blob``, ``store.load``) so tests can inject
+  ``ENOSPC``, torn bytes, or corruption deterministically.
 """
 
 from __future__ import annotations
 
+import fcntl
 import hashlib
 import io
 import json
 import os
 import pickle
 import time
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from .. import faults
 from ..bytecode_wm.keys import WatermarkKey
 from ..obs.metrics import get_registry
 from ..pipeline.prepare import (
@@ -59,7 +88,9 @@ from ..vm.program import Module
 STORE_VERSION = 1
 
 MANIFEST_NAME = "store.json"
+LOCK_NAME = "store.lock"
 BLOB_DIR = "blobs"
+QUARANTINE_DIR = "quarantine"
 
 _DIGEST_LEN = 64  # hex sha256
 
@@ -107,6 +138,33 @@ class ArtifactRecord:
             raise StoreError(f"malformed manifest record: {exc}") from exc
 
 
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """Sidecar metadata for one quarantined blob."""
+
+    digest: str
+    reason: str
+    quarantined_at: str  # ISO-ish UTC timestamp for the CLI listing
+    sha256_observed: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "reason": self.reason,
+            "quarantined_at": self.quarantined_at,
+            "sha256_observed": self.sha256_observed,
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "QuarantineRecord":
+        return QuarantineRecord(
+            digest=str(doc.get("digest", "")),
+            reason=str(doc.get("reason", "")),
+            quarantined_at=str(doc.get("quarantined_at", "")),
+            sha256_observed=str(doc.get("sha256_observed", "")),
+        )
+
+
 def _valid_digest(digest: str) -> bool:
     return (
         len(digest) == _DIGEST_LEN
@@ -114,7 +172,16 @@ def _valid_digest(digest: str) -> bool:
     )
 
 
-def _atomic_write(path: str, data: bytes) -> None:
+def _atomic_write(path: str, data: bytes, site: str = "store.write") -> None:
+    """Write-new + rename, declared as a fault-injection site.
+
+    ``site`` names the hook (``store.write.manifest`` /
+    ``store.write.blob``): control rules there raise ``ENOSPC``/``EIO``
+    before any bytes land; byte rules corrupt or truncate the payload
+    on its way to disk — a torn write with the rename still completing.
+    """
+    faults.check(site, path=path)
+    data = faults.filter_bytes(site, data)
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "wb") as fp:
         fp.write(data)
@@ -151,11 +218,38 @@ class ArtifactStore:
     def _blob_path(self, digest: str) -> str:
         return os.path.join(self._blob_dir, f"{digest}.pickle")
 
+    def _quarantine_dir(self) -> str:
+        return os.path.join(self.root, QUARANTINE_DIR)
+
+    @contextmanager
+    def _manifest_lock(self) -> Iterator[None]:
+        """Hold the store's advisory write lock (``store.lock``).
+
+        Serializes concurrent manifest writers across processes; the
+        lock file itself carries no data and is never removed.
+        """
+        fd = os.open(
+            os.path.join(self.root, LOCK_NAME), os.O_CREAT | os.O_WRONLY,
+            0o644,
+        )
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
     def _read_manifest(self, path: str) -> None:
         try:
             with open(path) as fp:
                 doc = json.load(fp)
-        except (OSError, json.JSONDecodeError) as exc:
+        except json.JSONDecodeError:
+            # A torn/truncated manifest (crash mid-write on a machine
+            # whose rename was not atomic after all). Keep the evidence
+            # and rebuild from the blobs themselves.
+            self._rebuild_manifest(path)
+            return
+        except OSError as exc:
             raise StoreError(f"unreadable store manifest: {exc}") from exc
         if not isinstance(doc, dict) or "version" not in doc:
             raise StoreError("store manifest has no version field")
@@ -172,6 +266,58 @@ class ArtifactStore:
             if not _valid_digest(record.digest):
                 raise StoreError(f"bad artifact digest {record.digest!r}")
             self._records[record.digest] = record
+
+    def _rebuild_manifest(self, path: str) -> None:
+        """Recover from a torn ``store.json`` by scanning ``blobs/``.
+
+        The unparseable manifest is preserved as ``store.json.corrupt``
+        for forensics. Only blobs that unpickle to a
+        :class:`PreparedProgram` whose own fingerprint matches their
+        file name re-enter the rebuilt manifest — anything else is
+        left on disk for ``verify()`` to report as an orphan.
+        """
+        warnings.warn(
+            f"store manifest {path!r} is torn/unparseable; rebuilding "
+            f"from blob scan (original kept as {MANIFEST_NAME}.corrupt)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            pass
+        self._records = {}
+        if os.path.isdir(self._blob_dir):
+            for name in sorted(os.listdir(self._blob_dir)):
+                if not name.endswith(".pickle"):
+                    continue
+                digest = name.rsplit(".pickle", 1)[0]
+                if not _valid_digest(digest):
+                    continue
+                blob = os.path.join(self._blob_dir, name)
+                try:
+                    with open(blob, "rb") as fp:
+                        data = fp.read()
+                    obj = pickle.loads(data)
+                except Exception:
+                    continue  # verify() will flag it as an orphan
+                if not isinstance(obj, PreparedProgram):
+                    continue
+                if obj.fingerprint() != digest:
+                    continue
+                self._records[digest] = ArtifactRecord(
+                    digest=digest,
+                    sha256=hashlib.sha256(data).hexdigest(),
+                    size_bytes=len(data),
+                    created_unix=os.path.getmtime(blob),
+                    watermark_bits=obj.watermark_bits,
+                    pieces=obj.pieces,
+                )
+        get_registry().counter(
+            "repro_store_manifest_rebuilds_total",
+            "Torn store manifests rebuilt from blob scans",
+        ).inc()
+        self._write_manifest()
 
     def refresh(self) -> None:
         """Re-read the manifest: see artifacts other processes added.
@@ -195,7 +341,11 @@ class ArtifactStore:
         }
         os.makedirs(self._blob_dir, exist_ok=True)
         payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
-        _atomic_write(self._manifest_path(), payload.encode())
+        with self._manifest_lock():
+            _atomic_write(
+                self._manifest_path(), payload.encode(),
+                site="store.write.manifest",
+            )
 
     # -- queries -----------------------------------------------------------
 
@@ -248,7 +398,7 @@ class ArtifactStore:
             pieces=prepared.pieces,
             label=label,
         )
-        _atomic_write(self._blob_path(digest), data)
+        _atomic_write(self._blob_path(digest), data, site="store.write.blob")
         self._records[digest] = record
         self._write_manifest()
         return record
@@ -260,10 +410,16 @@ class ArtifactStore:
         manifest (bit rot, truncation, substitution); the pickle must
         decode to a supported :class:`PreparedProgram` (stale format);
         the decoded artifact's own fingerprint must equal the address
-        it was stored under (a mislabelled or hand-moved blob).
+        it was stored under (a mislabelled or hand-moved blob). A blob
+        failing any of the three is **quarantined** — moved to
+        ``quarantine/`` with a reason sidecar and dropped from the
+        manifest — before the :class:`StoreError` propagates, so the
+        next ``get_or_prepare`` heals the store instead of tripping
+        over the same bad bytes.
         """
         record = self.record(digest)
         path = self._blob_path(digest)
+        faults.check("store.load", digest=digest)
         try:
             with open(path, "rb") as fp:
                 data = fp.read()
@@ -271,8 +427,10 @@ class ArtifactStore:
             raise StoreError(
                 f"artifact {digest[:12]} blob missing: {exc}"
             ) from exc
+        data = faults.filter_bytes("store.load", data)
         actual = hashlib.sha256(data).hexdigest()
         if actual != record.sha256:
+            self.quarantine(digest, "sha256 mismatch", sha256_observed=actual)
             raise StoreError(
                 f"artifact {digest[:12]} failed its integrity check "
                 f"(sha256 {actual[:12]}.. != manifest {record.sha256[:12]}..)"
@@ -280,19 +438,88 @@ class ArtifactStore:
         try:
             obj = pickle.loads(data)
         except Exception as exc:
+            self.quarantine(
+                digest, f"does not unpickle: {type(exc).__name__}",
+                sha256_observed=actual,
+            )
             raise StoreError(
                 f"artifact {digest[:12]} does not unpickle: {exc}"
             ) from exc
         if not isinstance(obj, PreparedProgram):
+            self.quarantine(
+                digest, "not a PreparedProgram", sha256_observed=actual
+            )
             raise StoreError(
                 f"artifact {digest[:12]} is not a PreparedProgram"
             )
         if obj.fingerprint() != digest:
+            self.quarantine(
+                digest, "fingerprint does not match address",
+                sha256_observed=actual,
+            )
             raise StoreError(
                 f"artifact {digest[:12]} decoded to a different "
                 f"preparation fingerprint - store is inconsistent"
             )
         return obj
+
+    # -- quarantine --------------------------------------------------------
+
+    def quarantine(
+        self, digest: str, reason: str, sha256_observed: str = ""
+    ) -> bool:
+        """Move a failed blob aside and drop its manifest record.
+
+        Unlike :meth:`evict`, the bytes survive (``quarantine/``) for
+        forensics, next to a JSON sidecar saying why. Idempotent and
+        safe for a blob that has already vanished; returns True when a
+        blob was actually moved.
+        """
+        src = self._blob_path(digest)
+        qdir = self._quarantine_dir()
+        os.makedirs(qdir, exist_ok=True)
+        moved = False
+        try:
+            os.replace(src, os.path.join(qdir, f"{digest}.pickle"))
+            moved = True
+        except OSError:
+            pass  # already moved or never landed; the sidecar still tells why
+        record = QuarantineRecord(
+            digest=digest,
+            reason=reason,
+            quarantined_at=time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            sha256_observed=sha256_observed,
+        )
+        sidecar = json.dumps(record.to_dict(), indent=2, sort_keys=True)
+        with open(os.path.join(qdir, f"{digest}.json"), "w") as fp:
+            fp.write(sidecar + "\n")
+        if digest in self._records:
+            del self._records[digest]
+            self._write_manifest()
+        get_registry().counter(
+            "repro_store_quarantined_total",
+            "Blobs quarantined after failing integrity checks",
+        ).inc(reason=reason.split(":")[0])
+        return moved
+
+    def quarantined(self) -> List[QuarantineRecord]:
+        """All quarantine sidecars, oldest first (CLI listing order)."""
+        qdir = self._quarantine_dir()
+        records: List[QuarantineRecord] = []
+        if not os.path.isdir(qdir):
+            return records
+        for name in sorted(os.listdir(qdir)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(qdir, name)) as fp:
+                    records.append(QuarantineRecord.from_dict(json.load(fp)))
+            except (OSError, ValueError):
+                continue  # a torn sidecar should not break the listing
+        records.sort(key=lambda r: (r.quarantined_at, r.digest))
+        return records
 
     def evict(self, digest: str) -> bool:
         """Drop an artifact (blob + record). Returns False if absent."""

@@ -1,0 +1,219 @@
+"""Tests for the fault-injection framework and the shared retry policy."""
+
+import os
+import pickle
+
+import pytest
+
+from repro import faults
+from repro.faults.injector import (
+    BYTE_ACTIONS,
+    CONTROL_ACTIONS,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+)
+from repro.faults.retry import RetryPolicy
+from repro.obs import MetricsRegistry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = set_registry(MetricsRegistry())
+    yield
+    set_registry(previous)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_plan():
+    yield
+    faults.clear()
+
+
+class TestFaultRule:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultRule(site="x", action="explode")
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            FaultRule(site="x", action="raise", after=0)
+        with pytest.raises(ValueError):
+            FaultRule(site="x", action="raise", times=0)
+        with pytest.raises(ValueError):
+            FaultRule(site="x", action="raise", probability=1.5)
+
+    def test_once_token_requires_state_dir(self):
+        with pytest.raises(ValueError, match="state_dir"):
+            FaultRule(site="x", action="kill", once_token="t")
+
+    def test_glob_matching(self):
+        rule = FaultRule(site="store.write.*", action="disk_full")
+        assert rule.matches("store.write.blob")
+        assert rule.matches("store.write.manifest")
+        assert not rule.matches("store.load")
+
+    def test_action_kind_partition(self):
+        assert not CONTROL_ACTIONS & BYTE_ACTIONS
+
+
+class TestFaultPlan:
+    def test_fires_on_exact_hit_count(self):
+        plan = FaultPlan(rules=[
+            FaultRule(site="s", action="raise", after=3),
+        ])
+        plan.hit("s")
+        plan.hit("s")
+        with pytest.raises(FaultError):
+            plan.hit("s")
+        plan.hit("s")  # times=1: exhausted, never again
+
+    def test_times_none_fires_forever(self):
+        plan = FaultPlan(rules=[
+            FaultRule(site="s", action="raise", times=None),
+        ])
+        for _ in range(5):
+            with pytest.raises(FaultError):
+                plan.hit("s")
+
+    def test_custom_exception_and_message(self):
+        plan = FaultPlan(rules=[
+            FaultRule(site="s", action="raise", message="boom",
+                      exception=TimeoutError),
+        ])
+        with pytest.raises(TimeoutError, match="boom"):
+            plan.hit("s")
+
+    def test_disk_full_and_io_error_are_oserrors(self):
+        import errno
+        plan = FaultPlan(rules=[
+            FaultRule(site="w", action="disk_full"),
+            FaultRule(site="r", action="io_error"),
+        ])
+        with pytest.raises(OSError) as info:
+            plan.hit("w")
+        assert info.value.errno == errno.ENOSPC
+        with pytest.raises(OSError) as info:
+            plan.hit("r")
+        assert info.value.errno == errno.EIO
+
+    def test_byte_actions_ignore_control_sites_and_vice_versa(self):
+        plan = FaultPlan(rules=[
+            FaultRule(site="s", action="corrupt"),
+            FaultRule(site="s", action="raise"),
+        ])
+        # pipe() only fires byte rules; the raise rule stays dormant.
+        mangled = plan.pipe("s", b"payload")
+        assert mangled != b"payload" and len(mangled) == len(b"payload")
+
+    def test_corrupt_is_seed_deterministic(self):
+        data = bytes(range(64))
+        outs = []
+        for _ in range(2):
+            plan = FaultPlan(
+                rules=[FaultRule(site="s", action="corrupt")], seed=7
+            )
+            outs.append(plan.pipe("s", data))
+        assert outs[0] == outs[1] != data
+
+    def test_truncate_halves_payload(self):
+        plan = FaultPlan(rules=[FaultRule(site="s", action="truncate")])
+        assert plan.pipe("s", b"12345678") == b"1234"
+
+    def test_pickle_resets_counters(self):
+        plan = FaultPlan(rules=[
+            FaultRule(site="s", action="raise", after=2),
+        ])
+        plan.hit("s")  # counter at 1; next hit would fire
+        clone = pickle.loads(pickle.dumps(plan))
+        clone.hit("s")  # fresh counters: hit 1 of 2, no fire
+        with pytest.raises(FaultError):
+            clone.hit("s")
+
+    def test_once_token_fires_once_across_instances(self, tmp_path):
+        def make():
+            return FaultPlan(rules=[
+                FaultRule(site="s", action="raise",
+                          once_token="only", state_dir=str(tmp_path)),
+            ])
+
+        with pytest.raises(FaultError):
+            make().hit("s")
+        # A "different process" (fresh plan, fresh counters) sees the
+        # marker file and never fires.
+        plan = make()
+        for _ in range(3):
+            plan.hit("s")
+        assert os.path.exists(tmp_path / "fault-only.fired")
+
+    def test_firings_recorded_and_counted(self):
+        from repro.obs import get_registry
+        plan = FaultPlan(rules=[FaultRule(site="s", action="truncate")])
+        plan.pipe("s", b"xx")
+        assert [(f.site, f.action) for f in plan.firings] == [
+            ("s", "truncate")
+        ]
+        counter = get_registry().counter("repro_faults_injected_total")
+        assert counter.value(site="s", action="truncate") == 1
+
+
+class TestAmbientHooks:
+    def test_hooks_are_noops_without_a_plan(self):
+        faults.clear()
+        faults.check("anything")
+        data = b"untouched"
+        assert faults.filter_bytes("anything", data) is data
+
+    def test_injected_scopes_and_restores(self):
+        plan = FaultPlan(rules=[FaultRule(site="s", action="raise")])
+        assert faults.get_plan() is None
+        with faults.injected(plan):
+            assert faults.get_plan() is plan
+            with pytest.raises(FaultError):
+                faults.check("s")
+        assert faults.get_plan() is None
+
+    def test_install_and_clear(self):
+        plan = faults.install(FaultPlan())
+        assert faults.get_plan() is plan
+        faults.clear()
+        assert faults.get_plan() is None
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_retries_left(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.retries_left(1) and policy.retries_left(2)
+        assert not policy.retries_left(3)
+        assert not RetryPolicy(max_attempts=1).retries_left(1)
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.1, max_delay=0.5, jitter=0.0
+        )
+        assert policy.schedule() == [
+            0.1, 0.2, 0.4, 0.5, 0.5, 0.5, 0.5
+        ]
+
+    def test_jitter_is_seed_deterministic(self):
+        a = RetryPolicy(max_attempts=5, jitter=0.5, seed=11).schedule()
+        b = RetryPolicy(max_attempts=5, jitter=0.5, seed=11).schedule()
+        c = RetryPolicy(max_attempts=5, jitter=0.5, seed=12).schedule()
+        assert a == b != c
+
+    def test_jitter_only_shrinks(self):
+        raw = RetryPolicy(max_attempts=6, jitter=0.0).schedule()
+        jittered = RetryPolicy(max_attempts=6, jitter=0.9, seed=3).schedule()
+        assert all(0 < j <= r for j, r in zip(jittered, raw))
+
+    def test_delay_counts_from_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)

@@ -1,0 +1,247 @@
+"""Fault-injection tests for the batch pipeline's recovery paths.
+
+Every scenario here is deterministic: faults fire on exact hit counts
+from seeded plans, and one-shot cross-process faults (worker kills)
+are anchored to filesystem markers so a rebuilt pool cannot re-fire
+them.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import faults
+from repro.bytecode_wm import WatermarkKey, recognize
+from repro.cli import main
+from repro.faults.injector import FaultPlan, FaultRule
+from repro.faults.retry import RetryPolicy
+from repro.obs import MetricsRegistry, get_registry, set_registry
+from repro.pipeline import CopySpec, prepare, run_batch
+from repro.pipeline.batch import read_checkpoint
+from repro.vm import assemble
+from repro.workloads import gcd_module
+
+KEY = WatermarkKey(secret=b"pldi-2004", inputs=[25, 10])
+BITS = 16
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return prepare(gcd_module(), KEY, BITS)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    previous = set_registry(MetricsRegistry())
+    yield
+    set_registry(previous)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_plan():
+    yield
+    faults.clear()
+
+
+def specs(n, start=1):
+    return [CopySpec(f"c{i:03d}", watermark=start + i, seed=i)
+            for i in range(n)]
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+class TestWorkerLossRecovery:
+    def test_killed_worker_mid_batch_retries_and_completes(
+        self, prepared, tmp_path
+    ):
+        """The tentpole scenario: one worker dies (os._exit, as an
+        OOM-kill would) under its 2nd task; the batch still completes
+        with every copy verified."""
+        plan = FaultPlan(rules=[
+            FaultRule(site="batch.worker.task", action="kill", after=2,
+                      once_token="kill-one", state_dir=str(tmp_path)),
+        ])
+        with faults.injected(plan):
+            report = run_batch(
+                prepared, specs(8), workers=2, retry=FAST_RETRY
+            )
+        assert report.all_ok
+        assert report.retry_rounds >= 1
+        assert any(c.attempts > 1 for c in report.copies)
+        assert get_registry().counter(
+            "repro_batch_retries_total"
+        ).value() > 0
+
+    def test_every_spec_yields_exactly_one_result(self, prepared, tmp_path):
+        """A dead chunk must never strand its specs: success, failure,
+        or resumed — one result per submitted CopySpec, in order."""
+        plan = FaultPlan(rules=[
+            FaultRule(site="batch.worker.task", action="kill", after=3,
+                      once_token="kill-mid", state_dir=str(tmp_path)),
+        ])
+        wanted = specs(10)
+        with faults.injected(plan):
+            report = run_batch(
+                prepared, wanted, workers=3, chunksize=2, retry=FAST_RETRY
+            )
+        assert [c.copy_id for c in report.copies] == [
+            s.copy_id for s in wanted
+        ]
+
+    def test_retry_exhaustion_reports_transient_failures(self, prepared):
+        """A fault that kills every round exhausts the policy; the
+        stranded specs come back as transient failures, not silence."""
+        plan = FaultPlan(rules=[
+            FaultRule(site="batch.worker.task", action="raise", times=None),
+        ])
+        with faults.injected(plan):
+            report = run_batch(
+                prepared, specs(4), workers=2,
+                retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            )
+        assert len(report.copies) == 4
+        assert all(c.error_kind == "transient" for c in report.copies)
+        assert not report.all_ok
+        assert report.retry_rounds == 1
+
+    def test_permanent_failures_are_not_retried(self, prepared):
+        """An exception inside embed_copy is deterministic: classified
+        permanent, reported once, zero retry rounds."""
+        bad = CopySpec("over", watermark=(1 << BITS) + 1, seed=0)
+        report = run_batch(
+            prepared, [bad] + specs(2), workers=1, retry=FAST_RETRY
+        )
+        failed = report.copies[0]
+        assert not failed.ok and failed.error_kind == "permanent"
+        assert failed.attempts == 1
+        assert report.retry_rounds == 0
+        assert all(c.verified for c in report.copies[1:])
+
+    def test_sequential_path_retries_injected_raises(self, prepared):
+        plan = FaultPlan(rules=[
+            FaultRule(site="batch.worker.task", action="raise", times=1),
+        ])
+        with faults.injected(plan):
+            report = run_batch(
+                prepared, specs(3), workers=1, retry=FAST_RETRY
+            )
+        assert report.all_ok and report.retry_rounds == 1
+
+
+class TestCheckpointResume:
+    def test_checkpoint_journals_every_result(self, prepared, tmp_path):
+        ckpt = str(tmp_path / "journal.jsonl")
+        report = run_batch(prepared, specs(4), checkpoint=ckpt)
+        assert report.all_ok
+        entries = read_checkpoint(ckpt)
+        assert sorted(e.copy_id for e in entries) == [
+            s.copy_id for s in specs(4)
+        ]
+
+    def test_resume_skips_verified_copies(self, prepared, tmp_path):
+        ckpt = str(tmp_path / "journal.jsonl")
+        outdir = str(tmp_path / "out")
+        first = run_batch(
+            prepared, specs(3), checkpoint=ckpt, outdir=outdir
+        )
+        assert first.all_ok
+        full = run_batch(
+            prepared, specs(6), checkpoint=ckpt, resume=True, outdir=outdir
+        )
+        assert full.all_ok
+        assert full.resumed == 3
+        resumed = {c.copy_id for c in full.copies if c.resumed}
+        assert resumed == {s.copy_id for s in specs(3)}
+        for s in specs(6):
+            assert os.path.exists(os.path.join(outdir, f"{s.copy_id}.wasm"))
+
+    def test_resume_tolerates_torn_final_line(self, prepared, tmp_path):
+        ckpt = str(tmp_path / "journal.jsonl")
+        run_batch(prepared, specs(3), checkpoint=ckpt)
+        with open(ckpt, "a") as fp:
+            fp.write('{"copy_id": "torn-wri')  # crash mid-append
+        report = run_batch(
+            prepared, specs(4), checkpoint=ckpt, resume=True
+        )
+        assert report.all_ok and report.resumed == 3
+
+    def test_resume_requires_checkpoint(self, prepared):
+        with pytest.raises(ValueError, match="checkpoint"):
+            run_batch(prepared, specs(1), resume=True)
+
+    def test_resume_after_hard_kill_completes_without_reembedding(
+        self, prepared, tmp_path
+    ):
+        """End-to-end crash recovery: a batch process is hard-killed
+        mid-run (an injected worker kill with retries disabled takes
+        the whole run down), then a --resume run finishes the batch
+        re-embedding only what the journal does not already have."""
+        module_path = tmp_path / "program.wasm"
+        from repro.vm import disassemble
+        module_path.write_text(disassemble(gcd_module()))
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({
+            "module": "program.wasm",
+            "secret": "pldi-2004",
+            "inputs": [25, 10],
+            "bits": BITS,
+            "copies": [
+                {"id": f"c{i:03d}", "watermark": i + 1, "seed": i}
+                for i in range(6)
+            ],
+        }))
+        outdir = tmp_path / "out"
+        ckpt = tmp_path / "journal.jsonl"
+        driver = tmp_path / "crashy.py"
+        driver.write_text(
+            "import sys\n"
+            "from repro import faults\n"
+            "from repro.cli import main\n"
+            "plan = faults.FaultPlan(rules=[\n"
+            "    faults.FaultRule(site='batch.worker.task', action='kill',\n"
+            f"                     after=3, once_token='crash',\n"
+            f"                     state_dir={str(tmp_path)!r},\n"
+            "                     times=None)])\n"
+            "faults.install(plan)\n"
+            "sys.exit(main([\n"
+            f"    'batch-embed', {str(manifest)!r}, '-o', {str(outdir)!r},\n"
+            f"    '--workers', '1', '--checkpoint', {str(ckpt)!r},\n"
+            "]))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        proc = subprocess.run(
+            [sys.executable, str(driver)], env=env,
+            capture_output=True, text=True, timeout=120,
+        )
+        # workers=1 runs in-process, so the injected kill takes the
+        # whole batch down — the hard mid-run crash we want.
+        assert proc.returncode == 77, proc.stderr
+        survived = read_checkpoint(str(ckpt))
+        assert 0 < len(survived) < 6
+
+        rc = main([
+            "batch-embed", str(manifest), "-o", str(outdir),
+            "--workers", "1", "--checkpoint", str(ckpt), "--resume",
+        ])
+        assert rc == 0
+        report = json.loads((outdir / "report.json").read_text())
+        assert report["all_ok"] and report["copy_count"] == 6
+        assert report["resumed"] == len(survived)
+        # The minted copies really carry their marks.
+        for i in (0, 5):
+            text = (outdir / f"c{i:03d}.wasm").read_text()
+            found = recognize(assemble(text), KEY, watermark_bits=BITS)
+            assert found.complete and found.value == i + 1
+
+    def test_cli_resume_flag_requires_checkpoint(self, prepared, capsys):
+        rc = main(["batch-embed", "nope.json", "-o", "out", "--resume"])
+        assert rc == 2
+        assert "--checkpoint" in capsys.readouterr().err
