@@ -1,0 +1,56 @@
+"""Seeded workload generation + swept attack campaigns.
+
+The campaign subsystem turns the paper's spot-check evaluation into a
+swept one: :mod:`.generator` emits diverse-but-deterministic wee
+programs (each validated against the reference interpreter before
+use), :mod:`.attacks` schedules the distortive attack families over an
+intensity axis, :mod:`.runner` sweeps the full
+workloads x attacks x bit-widths matrix through the batch pipeline,
+and :mod:`.report` serializes the per-cell outcomes with enough seeds
+to replay any single cell.
+
+    from repro.campaign import CampaignConfig, run_campaign
+
+    report = run_campaign(CampaignConfig(seed=7, workloads=2))
+    print(report.summary())
+    report.write("campaign.json")
+"""
+
+from .attacks import (
+    AttackSchedule,
+    DEFAULT_ATTACKS,
+    campaign_attacks,
+    cell_seed,
+    copy_rng,
+)
+from .generator import (
+    GeneratedProgram,
+    GeneratorConfig,
+    GeneratorError,
+    OracleResult,
+    differential_check,
+    generate_corpus,
+    generate_program,
+)
+from .report import CampaignCell, CampaignReport, WorkloadRecord
+from .runner import CampaignConfig, run_campaign
+
+__all__ = [
+    "AttackSchedule",
+    "CampaignCell",
+    "CampaignConfig",
+    "CampaignReport",
+    "DEFAULT_ATTACKS",
+    "GeneratedProgram",
+    "GeneratorConfig",
+    "GeneratorError",
+    "OracleResult",
+    "WorkloadRecord",
+    "campaign_attacks",
+    "cell_seed",
+    "copy_rng",
+    "differential_check",
+    "generate_corpus",
+    "generate_program",
+    "run_campaign",
+]

@@ -1,0 +1,207 @@
+"""Seeded attack schedules for campaign sweeps.
+
+A campaign cell applies one **scheduled attack** — a semantics-
+preserving transformation from :mod:`repro.attacks.bytecode` plus an
+*intensity schedule* mapping the sweep's abstract intensity axis
+(``0 < intensity <= 1``) onto that attack's natural knob (a count of
+insertions, a probability, a number of peeled loops). Scheduling
+lives here, in one table, so every consumer — runner, CLI, tests,
+docs — sweeps the same axes.
+
+Determinism: every random choice an attack makes flows from a
+``random.Random`` handed in by the caller, and the campaign derives
+that RNG's seed from the cell coordinates alone (:func:`cell_seed`).
+No module-level RNG state exists to leak between cells, so cells are
+order-independent and individually replayable.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..attacks.bytecode import (
+    chain_branches,
+    insert_branches,
+    insert_noops,
+    invert_branch_senses,
+    peel_loops,
+    renumber_locals,
+    reorder_blocks,
+    split_blocks,
+    unfold_constants,
+)
+from ..vm.program import Module
+
+__all__ = [
+    "AttackSchedule",
+    "DEFAULT_ATTACKS",
+    "campaign_attacks",
+    "cell_seed",
+    "copy_rng",
+]
+
+#: An attack as the campaign sees it: (module, intensity, rng) -> module.
+ApplyFn = Callable[[Module, float, random.Random], Module]
+
+
+@dataclass(frozen=True)
+class AttackSchedule:
+    """One attack family with its intensity ladder."""
+
+    name: str
+    apply: ApplyFn
+    #: The intensities a default sweep visits, weakest first.
+    levels: Tuple[float, ...]
+    description: str = ""
+
+
+def _scaled(count_at_full: int) -> Callable[[float], int]:
+    """Map intensity in (0, 1] to a count, never below one."""
+
+    def scale(intensity: float) -> int:
+        return max(1, round(count_at_full * intensity))
+
+    return scale
+
+
+_NOOPS = _scaled(160)
+_BRANCHES = _scaled(24)
+_SPLITS = _scaled(40)
+_CHAINS = _scaled(30)
+_UNFOLDS = _scaled(48)
+_PEELS = _scaled(4)
+
+_THREE_STEP = (0.25, 0.5, 1.0)
+_SINGLE = (1.0,)
+
+
+def _combined_layout(module: Module, intensity: float,
+                     rng: random.Random) -> Module:
+    """The kitchen-sink adversary: layout attacks stacked in one pass."""
+    module = insert_noops(module, _NOOPS(intensity) // 2, rng)
+    module = split_blocks(module, _SPLITS(intensity) // 2, rng)
+    module = reorder_blocks(module, rng)
+    module = renumber_locals(module, rng)
+    return module
+
+
+_SCHEDULES: Tuple[AttackSchedule, ...] = (
+    AttackSchedule(
+        "noop-insertion",
+        lambda m, x, r: insert_noops(m, _NOOPS(x), r),
+        _THREE_STEP,
+        "random nop padding (layout noise; should never dislodge marks)",
+    ),
+    AttackSchedule(
+        "branch-insertion",
+        lambda m, x, r: insert_branches(m, _BRANCHES(x), r),
+        _THREE_STEP,
+        "opaque executed branches — the Fig. 8(c) resilience axis",
+    ),
+    AttackSchedule(
+        "sense-inversion",
+        lambda m, x, r: invert_branch_senses(m, x, r),
+        _THREE_STEP,
+        "invert each conditional with probability = intensity",
+    ),
+    AttackSchedule(
+        "block-splitting",
+        lambda m, x, r: split_blocks(m, _SPLITS(x), r),
+        _THREE_STEP,
+        "cut straight-line runs with goto bridges",
+    ),
+    AttackSchedule(
+        "block-reordering",
+        lambda m, x, r: reorder_blocks(m, r),
+        _SINGLE,
+        "shuffle every function's basic blocks",
+    ),
+    AttackSchedule(
+        "branch-chaining",
+        lambda m, x, r: chain_branches(m, _CHAINS(x), r),
+        _THREE_STEP,
+        "reroute branches through goto trampolines",
+    ),
+    AttackSchedule(
+        "constant-unfolding",
+        lambda m, x, r: unfold_constants(m, _UNFOLDS(x), r),
+        _THREE_STEP,
+        "rewrite consts as additions (data obfuscation)",
+    ),
+    AttackSchedule(
+        "loop-peeling",
+        lambda m, x, r: peel_loops(m, _PEELS(x), r),
+        _THREE_STEP,
+        "peel loop iterations (duplicates marked bodies)",
+    ),
+    AttackSchedule(
+        "locals-renumbering",
+        lambda m, x, r: renumber_locals(m, r),
+        _SINGLE,
+        "permute frame slots",
+    ),
+    AttackSchedule(
+        "combined-layout",
+        _combined_layout,
+        (0.5, 1.0),
+        "noops + splits + reorder + renumber stacked in one pass",
+    ),
+)
+
+_BY_NAME: Dict[str, AttackSchedule] = {s.name: s for s in _SCHEDULES}
+
+#: The default sweep: one cheap layout attack, the paper's headline
+#: distortive axis, and the stacked adversary.
+DEFAULT_ATTACKS: Tuple[str, ...] = (
+    "noop-insertion",
+    "branch-insertion",
+    "sense-inversion",
+    "combined-layout",
+)
+
+
+def campaign_attacks(
+    names: Optional[Iterable[str]] = None,
+) -> List[AttackSchedule]:
+    """Resolve attack names (default: every registered family).
+
+    Raises ``KeyError`` naming the unknown attack and the available
+    set, so CLI typos fail with a usable message.
+    """
+    if names is None:
+        return list(_SCHEDULES)
+    out = []
+    for name in names:
+        if name not in _BY_NAME:
+            raise KeyError(
+                f"unknown attack {name!r}; available: "
+                f"{', '.join(sorted(_BY_NAME))}"
+            )
+        out.append(_BY_NAME[name])
+    return out
+
+
+def cell_seed(
+    campaign_seed: int,
+    workload: str,
+    bits: int,
+    attack: str,
+    intensity_index: int,
+    substrate: str = "bytecode",
+) -> int:
+    """The cell's RNG seed, a pure function of its matrix coordinates.
+
+    crc32 over the coordinate string folds each coordinate in, so
+    neighbouring cells (same workload, adjacent intensity) get
+    unrelated streams and sweep order cannot matter.
+    """
+    tag = f"{workload}/{bits}/{substrate}/{attack}/{intensity_index}"
+    return (campaign_seed ^ zlib.crc32(tag.encode())) & 0xFFFFFFFF
+
+
+def copy_rng(seed: int, copy_id: str) -> random.Random:
+    """A per-copy RNG inside a cell, independent of copy order."""
+    return random.Random(seed ^ zlib.crc32(copy_id.encode()))

@@ -1,0 +1,382 @@
+"""The campaign runner: workloads x attacks x widths, resumably.
+
+A campaign is three nested sweeps over deterministic coordinates:
+
+1. **Generate** — :func:`~.generator.generate_corpus` emits the
+   workload set, each program oracle-validated against the reference
+   interpreter before it is allowed into the matrix.
+2. **Mint** — for every (workload, bits) pair the runner prepares the
+   program once (:func:`repro.pipeline.prepare.prepare`) and mints its
+   fingerprinted copies through :func:`repro.pipeline.batch.run_batch`,
+   inheriting that pipeline's workers/retry/checkpoint machinery.
+   Copy watermarks and embed salts derive from the campaign seed, so
+   the fleet of marked modules is a pure function of the seed.
+3. **Attack** — every (attack, intensity) cell re-derives the minted
+   modules (embedding is deterministic in ``(watermark, seed)``, so no
+   module needs to survive the batch boundary), attacks each with a
+   per-copy RNG derived from the cell coordinates, and judges
+   recovery, semantics and stealth per copy.
+
+Resumability: with a ``checkpoint_dir``, each (workload, bits) batch
+journals through ``run_batch``'s own checkpoint file and every
+finished cell appends to ``cells.jsonl``; a rerun with ``resume=True``
+replays finished cells from the journal instead of re-attacking.
+Because cell outcomes are deterministic, a resumed campaign's report
+is identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..attacks.bytecode import branch_increase_fraction
+from ..bytecode_wm import WatermarkKey, embed, recognize
+from ..faults.retry import RetryPolicy
+from ..pipeline.batch import CopySpec, run_batch
+from ..pipeline.prepare import PreparedProgram, prepare
+from ..vm import VMError, run_module
+from ..vm.program import Module
+from .attacks import (
+    AttackSchedule,
+    DEFAULT_ATTACKS,
+    campaign_attacks,
+    cell_seed,
+    copy_rng,
+)
+from .generator import (
+    GeneratedProgram,
+    GeneratorConfig,
+    differential_check,
+    generate_corpus,
+)
+from .report import CampaignCell, CampaignReport, WorkloadRecord
+
+__all__ = ["CampaignConfig", "run_campaign"]
+
+_MAX_CELL_ERRORS = 8
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign's outcome.
+
+    Two configs with equal deterministic fields produce byte-identical
+    outcome documents; ``workers``/``checkpoint_dir``/``resume``/
+    ``retry`` only affect how (and whether) the work is redone.
+    """
+
+    seed: int = 2004
+    workloads: int = 3
+    copies: int = 4
+    bits: Tuple[int, ...] = (16,)
+    attacks: Tuple[str, ...] = DEFAULT_ATTACKS
+    pieces: Optional[int] = None
+    secret: bytes = b"campaign"
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    max_steps: int = 2_000_000
+    # Execution knobs (outcome-neutral).
+    workers: int = 1
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.workloads < 1:
+            raise ValueError("need at least one workload")
+        if self.copies < 1:
+            raise ValueError("need at least one copy per cell")
+        if not self.bits:
+            raise ValueError("need at least one bit width")
+        for width in self.bits:
+            if not 4 <= width <= 32:
+                raise ValueError(f"bits={width} out of range [4, 32]")
+        # Fail on unknown attack names now, not mid-campaign.
+        campaign_attacks(self.attacks)
+
+
+def _copy_specs(config: CampaignConfig, workload: GeneratedProgram,
+                bits: int) -> List[CopySpec]:
+    """The minted fleet for one (workload, bits): distinct random
+    watermarks drawn from a coordinate-derived stream."""
+    rng = copy_rng(cell_seed(config.seed, workload.name, bits, "mint", 0),
+                   "specs")
+    seen: set = set()
+    specs = []
+    for index in range(config.copies):
+        watermark = rng.randrange(1, 1 << bits)
+        while watermark in seen:
+            watermark = rng.randrange(1, 1 << bits)
+        seen.add(watermark)
+        specs.append(CopySpec(
+            copy_id=f"{workload.name}-b{bits}-c{index:03d}",
+            watermark=watermark,
+            seed=index,
+        ))
+    return specs
+
+
+def _remint(prepared: PreparedProgram, spec: CopySpec) -> Module:
+    """Re-derive the exact module ``run_batch`` emitted for ``spec``.
+
+    Embedding is deterministic in (watermark, seed) — the batch
+    docstring's reproducibility contract — so this avoids shipping
+    modules back across the process pool.
+    """
+    return embed(
+        prepared.module,
+        spec.watermark,
+        prepared.key,
+        pieces=prepared.pieces,
+        watermark_bits=prepared.watermark_bits,
+        trace=prepared.trace,
+        sites=prepared.sites,
+        rng_salt=f"{spec.watermark}/{spec.seed}",
+    ).module
+
+
+def _attack_cell(
+    config: CampaignConfig,
+    workload: GeneratedProgram,
+    bits: int,
+    prepared: PreparedProgram,
+    specs: Sequence[CopySpec],
+    marked: Sequence[Module],
+    schedule: AttackSchedule,
+    intensity: float,
+    intensity_index: int,
+) -> CampaignCell:
+    """Attack every minted copy at one intensity and judge each."""
+    seed = cell_seed(config.seed, workload.name, bits, schedule.name,
+                     intensity_index)
+    cell = CampaignCell(
+        workload=workload.name,
+        workload_seed=workload.seed,
+        bits=bits,
+        attack=schedule.name,
+        intensity=intensity,
+        intensity_index=intensity_index,
+        cell_seed=seed,
+        copies=len(specs),
+        copy_watermarks=[s.watermark for s in specs],
+        copy_seeds=[s.seed for s in specs],
+    )
+    start = time.perf_counter()
+    branch_deltas: List[float] = []
+    size_deltas: List[float] = []
+    for spec, module in zip(specs, marked):
+        rng = copy_rng(seed, spec.copy_id)
+        try:
+            attacked = schedule.apply(module, intensity, rng)
+        except Exception as exc:  # attack itself broke — isolate it
+            cell.errored += 1
+            if len(cell.errors) < _MAX_CELL_ERRORS:
+                cell.errors.append(f"{spec.copy_id}: attack: {exc}")
+            continue
+        branch_deltas.append(branch_increase_fraction(module, attacked))
+        size_deltas.append(
+            float(attacked.byte_size() - module.byte_size())
+        )
+        try:
+            out = run_module(attacked, workload.inputs,
+                             max_steps=config.max_steps)
+            if out.output == prepared.baseline_output:
+                cell.program_ok += 1
+        except VMError as exc:
+            if len(cell.errors) < _MAX_CELL_ERRORS:
+                cell.errors.append(f"{spec.copy_id}: run: {exc}")
+        try:
+            found = recognize(attacked, prepared.key,
+                              watermark_bits=bits,
+                              max_steps=config.max_steps)
+            if found.complete and found.value == spec.watermark:
+                cell.recovered += 1
+        except VMError as exc:
+            if len(cell.errors) < _MAX_CELL_ERRORS:
+                cell.errors.append(f"{spec.copy_id}: recognize: {exc}")
+    if branch_deltas:
+        cell.branch_delta = sum(branch_deltas) / len(branch_deltas)
+        cell.size_delta_bytes = sum(size_deltas) / len(size_deltas)
+    cell.wall_seconds = time.perf_counter() - start
+    return cell
+
+
+def _journal_path(config: CampaignConfig) -> Optional[str]:
+    if config.checkpoint_dir is None:
+        return None
+    return os.path.join(config.checkpoint_dir, "cells.jsonl")
+
+
+def _load_journal(path: Optional[str]) -> Dict[tuple, CampaignCell]:
+    """Finished cells from a previous run; torn tail lines tolerated."""
+    done: Dict[tuple, CampaignCell] = {}
+    if path is None or not os.path.exists(path):
+        return done
+    with open(path) as fp:
+        for line in fp:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                cell = CampaignCell.from_dict(json.loads(line))
+            except (ValueError, KeyError):
+                continue  # torn write from an interrupted run
+            done[cell.key()] = cell
+    return done
+
+
+def run_campaign(
+    config: CampaignConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignReport:
+    """Run the full matrix and return its :class:`CampaignReport`."""
+    say = progress or (lambda _msg: None)
+    registry = obs.get_registry()
+    cells_total = registry.counter(
+        "repro_campaign_cells_total", "Campaign cells completed"
+    )
+    copies_attacked = registry.counter(
+        "repro_campaign_copies_attacked_total",
+        "Fingerprinted copies put through an attack cell",
+    )
+    recovered_total = registry.counter(
+        "repro_campaign_recovered_total",
+        "Copies whose mark survived the attack",
+    )
+    cell_seconds = registry.histogram(
+        "repro_campaign_cell_seconds", "Wall time per campaign cell"
+    )
+
+    start = time.perf_counter()
+    schedules = campaign_attacks(config.attacks)
+    report = CampaignReport(
+        seed=config.seed,
+        attacks=[s.name for s in schedules],
+        bits=sorted(config.bits),
+        copies_per_cell=config.copies,
+    )
+    journal = _journal_path(config)
+    if config.checkpoint_dir is not None:
+        os.makedirs(config.checkpoint_dir, exist_ok=True)
+    done = _load_journal(journal) if config.resume else {}
+    journal_fp = open(journal, "a") if journal is not None else None
+
+    try:
+        with obs.span("campaign", seed=config.seed,
+                      workloads=config.workloads,
+                      attacks=len(schedules)):
+            with obs.span("campaign.generate", count=config.workloads):
+                corpus = generate_corpus(
+                    config.workloads, base_seed=config.seed,
+                    config=config.generator,
+                )
+            for program in corpus:
+                oracle = differential_check(
+                    program,
+                    min_branch_events=config.generator.min_branch_events,
+                )
+                report.workloads.append(WorkloadRecord(
+                    name=program.name,
+                    seed=program.seed,
+                    inputs=list(program.inputs),
+                    functions=program.functions,
+                    loops=program.loops,
+                    branches=program.branches,
+                    oracle_ok=oracle.ok,
+                    oracle_steps=oracle.steps,
+                    oracle_branch_events=oracle.branch_events,
+                ))
+            say(f"generated {len(corpus)} workloads, oracle-validated")
+
+            for program in corpus:
+                key = WatermarkKey(secret=config.secret,
+                                   inputs=list(program.inputs))
+                for bits in sorted(config.bits):
+                    with obs.span("campaign.mint", workload=program.name,
+                                  bits=bits):
+                        prepared = prepare(
+                            program.module(), key,
+                            watermark_bits=bits,
+                            pieces=config.pieces,
+                            max_steps=config.max_steps,
+                        )
+                        specs = _copy_specs(config, program, bits)
+                        checkpoint = None
+                        if config.checkpoint_dir is not None:
+                            checkpoint = os.path.join(
+                                config.checkpoint_dir,
+                                f"batch-{program.name}-b{bits}.jsonl",
+                            )
+                        batch = run_batch(
+                            prepared, specs,
+                            workers=config.workers,
+                            checkpoint=checkpoint,
+                            resume=config.resume,
+                            retry=config.retry,
+                        )
+                    if not batch.all_ok:
+                        bad = [r.copy_id for r in batch.copies
+                               if not r.verified]
+                        raise RuntimeError(
+                            f"{program.name} b{bits}: batch failed to mint "
+                            f"{len(bad)} copies ({bad[:3]}...)"
+                        )
+                    report.embeds.append({
+                        "workload": program.name,
+                        "bits": bits,
+                        "copies": len(batch.copies),
+                        "resumed": batch.resumed,
+                        "mean_size_increase": (
+                            sum(r.byte_size_increase for r in batch.copies)
+                            / len(batch.copies)
+                        ),
+                        "wall_seconds": batch.wall_seconds,
+                    })
+                    marked = [_remint(prepared, s) for s in specs]
+                    say(f"{program.name} b{bits}: minted "
+                        f"{len(marked)} copies")
+
+                    for schedule in schedules:
+                        for index, intensity in enumerate(schedule.levels):
+                            key_tuple = (program.name, bits, "bytecode",
+                                         schedule.name, index)
+                            if key_tuple in done:
+                                cell = done[key_tuple]
+                                report.cells.append(cell)
+                                report.resumed_cells += 1
+                                continue
+                            with obs.span("campaign.cell",
+                                          workload=program.name,
+                                          bits=bits,
+                                          attack=schedule.name,
+                                          intensity=intensity):
+                                cell = _attack_cell(
+                                    config, program, bits, prepared,
+                                    specs, marked, schedule,
+                                    intensity, index,
+                                )
+                            report.cells.append(cell)
+                            cells_total.inc(attack=schedule.name)
+                            copies_attacked.inc(cell.copies)
+                            recovered_total.inc(cell.recovered)
+                            cell_seconds.observe(cell.wall_seconds,
+                                                 attack=schedule.name)
+                            if journal_fp is not None:
+                                journal_fp.write(
+                                    json.dumps(cell.to_dict(),
+                                               sort_keys=True) + "\n"
+                                )
+                                journal_fp.flush()
+                    say(f"{program.name} b{bits}: "
+                        f"{len(schedules)} attacks swept")
+    finally:
+        if journal_fp is not None:
+            journal_fp.close()
+
+    report.cells.sort(key=CampaignCell.key)
+    report.wall_seconds = time.perf_counter() - start
+    return report

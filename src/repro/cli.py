@@ -58,6 +58,8 @@ from .bytecode_wm import (
     recognition_report,
     recognize,
 )
+from .campaign import CampaignConfig, DEFAULT_ATTACKS, run_campaign
+from .campaign.generator import GeneratorError
 from .core.planner import plan_redundancy
 from .lang import compile_source
 from .lang.codegen_native import compile_source_native
@@ -270,6 +272,54 @@ def cmd_batch_embed(args) -> int:
 
     print(report.summary(), file=sys.stderr)
     return 0 if report.all_ok else 1
+
+
+def cmd_campaign(args) -> int:
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint", file=sys.stderr)
+        return 2
+    try:
+        config = CampaignConfig(
+            seed=args.seed,
+            workloads=args.workloads,
+            copies=args.copies,
+            bits=tuple(args.bits or [16]),
+            attacks=tuple(args.attacks.split(","))
+            if args.attacks else DEFAULT_ATTACKS,
+            secret=args.secret.encode(),
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint,
+            resume=args.resume,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"bad campaign configuration: {exc}", file=sys.stderr)
+        return 2
+    tracer = obs.enable_tracing() if args.obs_out else None
+    os.makedirs(args.output, exist_ok=True)
+    try:
+        report = run_campaign(
+            config,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except GeneratorError as exc:
+        print(f"workload generation failed the oracle: {exc}",
+              file=sys.stderr)
+        return 2
+    report.write(os.path.join(args.output, "report.json"))
+    # The outcome view is deterministic in the seed: byte-identical
+    # across reruns, so CI can diff it and cells can be replayed.
+    with open(os.path.join(args.output, "outcomes.json"), "w") as fp:
+        fp.write(report.outcomes_json())
+    if args.obs_out and tracer is not None:
+        with open(args.obs_out, "w") as fp:
+            tracer.write_jsonl(fp)
+            obs.get_registry().write_jsonl(fp)
+        prom_path = os.path.splitext(args.obs_out)[0] + ".prom"
+        with open(prom_path, "w") as fp:
+            fp.write(obs.get_registry().to_prometheus())
+        obs.disable_tracing()
+    print(report.summary(), file=sys.stderr)
+    return 0
 
 
 def cmd_serve(args) -> int:
@@ -552,6 +602,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip copies the --checkpoint journal already "
                         "shows as verified (crash recovery)")
     p.set_defaults(fn=cmd_batch_embed)
+
+    p = sub.add_parser(
+        "campaign",
+        help="sweep generated workloads x attacks x widths and report "
+             "per-cell recovery",
+    )
+    p.add_argument("-o", "--output", required=True,
+                   help="output directory for report.json + outcomes.json")
+    p.add_argument("--seed", type=int, default=2004,
+                   help="campaign seed; every workload, watermark and "
+                        "attack stream derives from it (default 2004)")
+    p.add_argument("--workloads", type=int, default=3,
+                   help="generated programs to sweep (default 3)")
+    p.add_argument("--copies", type=int, default=4,
+                   help="fingerprinted copies per (workload, bits) "
+                        "(default 4)")
+    p.add_argument("--bits", type=int, action="append", default=None,
+                   help="watermark width; repeat for a multi-width sweep "
+                        "(default 16)")
+    p.add_argument("--attacks", default=None, metavar="A,B,...",
+                   help="comma-separated attack names (default: "
+                        f"{','.join(DEFAULT_ATTACKS)})")
+    p.add_argument("--secret", default="campaign",
+                   help="watermark key secret (default 'campaign')")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel embed processes per batch (default 1)")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="journal batches and finished cells under DIR")
+    p.add_argument("--resume", action="store_true",
+                   help="replay cells already in the --checkpoint journal")
+    p.add_argument("--obs-out", default=None, metavar="FILE",
+                   help="write spans + metrics as JSON lines to FILE "
+                        "(plus Prometheus text to FILE's .prom sibling)")
+    p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("attack", help="apply a distortive transformation")
     p.add_argument("module")

@@ -1,17 +1,20 @@
 """Differential fuzzing of the wee compilers.
 
-Hypothesis generates random expression trees and statement lists; each
-program is evaluated three ways — a Python reference evaluator, the
-WVM build, and the N32 build — over a 32-bit-safe value domain where
-the substrates' integer semantics coincide. Any divergence is a
-compiler or interpreter bug.
+Two generators feed this file. Hypothesis builds random expression
+trees and statement lists from scratch (`slow` tier — shrinking makes
+them minutes-long). The campaign generator contributes a 50-program
+seeded corpus of full programs (loops, calls, recursion, arrays); a
+fixed subset runs in the fast tier, the whole corpus under ``-m
+slow``. Each program is evaluated three ways — the Python reference
+interpreter, the WVM build, and the N32 build — over a 32-bit-safe
+value domain where the substrates' integer semantics coincide. Any
+divergence is a compiler or interpreter bug.
 """
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-pytestmark = pytest.mark.slow
-
+from repro.campaign.generator import differential_check, generate_program
 from repro.lang import compile_source
 from repro.lang.codegen_native import compile_source_native
 from repro.native import run_image
@@ -76,6 +79,7 @@ def expressions(draw, depth=0):
     return Expr(src, value)
 
 
+@pytest.mark.slow
 @settings(max_examples=60, deadline=None)
 @given(expressions())
 def test_expression_differential(expr):
@@ -104,6 +108,7 @@ def straightline_programs(draw):
     return f"fn main() {{\n    {body}\n    return 0;\n}}", expected
 
 
+@pytest.mark.slow
 @settings(max_examples=40, deadline=None)
 @given(straightline_programs())
 def test_straightline_differential(case):
@@ -143,6 +148,7 @@ fn main() {{
     return src, acc
 
 
+@pytest.mark.slow
 @settings(max_examples=40, deadline=None)
 @given(loop_programs())
 def test_loop_differential(case):
@@ -150,3 +156,37 @@ def test_loop_differential(case):
     vm_out = run_module(compile_source(src)).output
     native_out = run_image(compile_source_native(src)).output
     assert vm_out == native_out == [expected], src
+
+
+# ---------------------------------------------------------------------------
+# Seeded corpus from the campaign generator (full programs: nested
+# loops, helpers, recursion, arrays, dead code)
+# ---------------------------------------------------------------------------
+
+CORPUS_SEEDS = list(range(50))
+#: Enough shape diversity to catch codegen regressions in the fast
+#: tier without dragging it: every construct appears within 8 seeds.
+FAST_SEEDS = CORPUS_SEEDS[:8]
+
+
+def _check_three_ways(seed):
+    program = generate_program(seed)
+    oracle = differential_check(program)
+    assert oracle.ok, f"seed {seed}: {oracle.detail}\n{program.source}"
+    vm_out = run_module(compile_source(program.source),
+                        program.inputs).output
+    native_out = run_image(compile_source_native(program.source),
+                           program.inputs).output
+    assert native_out == vm_out, f"seed {seed}: native diverges"
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_generated_corpus_differential(seed):
+    _check_three_ways(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [s for s in CORPUS_SEEDS
+                                  if s not in FAST_SEEDS])
+def test_generated_corpus_differential_full(seed):
+    _check_three_ways(seed)

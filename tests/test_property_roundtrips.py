@@ -174,3 +174,120 @@ def test_random_layout_pipelines_never_dislodge_the_mark(picks, seed):
         run_module(marked.module, [27]).output
     found = recognize(module, _KEY, watermark_bits=16)
     assert found.complete and found.value == 0x5E5E
+
+
+# ---------------------------------------------------------------------------
+# CampaignReport serialization: roundtrip + additive merge
+# ---------------------------------------------------------------------------
+
+from repro.campaign import CampaignCell, CampaignReport, WorkloadRecord
+
+_NAMES = st.text(alphabet="abcdefgh0123456789-", min_size=1, max_size=12)
+_SMALL_FLOAT = st.floats(min_value=0.0, max_value=8.0,
+                         allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def campaign_cells(draw):
+    copies = draw(st.integers(0, 6))
+    return CampaignCell(
+        workload=draw(_NAMES),
+        workload_seed=draw(st.integers(0, 2**31)),
+        bits=draw(st.sampled_from([8, 16, 24, 32])),
+        attack=draw(_NAMES),
+        intensity=draw(_SMALL_FLOAT),
+        intensity_index=draw(st.integers(0, 4)),
+        cell_seed=draw(st.integers(0, 2**32)),
+        copies=copies,
+        recovered=draw(st.integers(0, copies)),
+        program_ok=draw(st.integers(0, copies)),
+        errored=draw(st.integers(0, copies)),
+        branch_delta=draw(_SMALL_FLOAT),
+        size_delta_bytes=draw(_SMALL_FLOAT),
+        copy_watermarks=draw(st.lists(st.integers(0, 2**16), max_size=6)),
+        copy_seeds=draw(st.lists(st.integers(0, 2**16), max_size=6)),
+        errors=draw(st.lists(_NAMES, max_size=3)),
+        wall_seconds=draw(_SMALL_FLOAT),
+    )
+
+
+@st.composite
+def campaign_reports(draw):
+    cells = draw(st.lists(campaign_cells(), max_size=8))
+    workloads = [
+        WorkloadRecord(name=draw(_NAMES), seed=draw(st.integers(0, 2**31)),
+                       inputs=draw(st.lists(st.integers(1, 1023),
+                                            max_size=3)),
+                       oracle_ok=draw(st.booleans()),
+                       oracle_steps=draw(st.integers(0, 10**6)))
+        for _ in range(draw(st.integers(0, 3)))
+    ]
+    return CampaignReport(
+        seed=draw(st.integers(0, 2**31)),
+        attacks=draw(st.lists(_NAMES, max_size=4)),
+        bits=draw(st.lists(st.sampled_from([8, 16, 32]), max_size=2)),
+        copies_per_cell=draw(st.integers(0, 8)),
+        workloads=workloads,
+        cells=cells,
+        resumed_cells=draw(st.integers(0, 8)),
+        wall_seconds=draw(_SMALL_FLOAT),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(campaign_reports())
+def test_campaign_report_dict_roundtrip(report):
+    doc = report.to_dict()
+    assert CampaignReport.from_dict(doc).to_dict() == doc
+
+
+@settings(max_examples=120, deadline=None)
+@given(campaign_reports())
+def test_campaign_report_json_roundtrip(report):
+    text = report.to_json()
+    again = CampaignReport.from_json(text)
+    assert again.to_dict() == report.to_dict()
+    assert again.outcomes_json() == report.outcomes_json()
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(campaign_cells(), min_size=3, max_size=12,
+                unique_by=lambda c: c.key()),
+       st.integers(0, 2**31))
+def test_campaign_merge_is_associative_on_disjoint_shards(cells, seed):
+    """Sharding a matrix and folding the shards back, in any grouping,
+    rebuilds the same report — the contract sharded campaigns rely on."""
+    third = max(1, len(cells) // 3)
+    shards = [cells[:third], cells[third:2 * third], cells[2 * third:]]
+
+    def rep(shard):
+        return CampaignReport(seed=seed,
+                              cells=[CampaignCell.from_dict(c.to_dict())
+                                     for c in shard])
+
+    a, b, c = (rep(s) for s in shards)
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left.to_dict() == right.to_dict()
+    assert left.outcomes_json() == right.outcomes_json()
+    whole = rep(cells)
+    assert left.outcomes_json() == whole.outcomes_json()
+
+
+@settings(max_examples=60, deadline=None)
+@given(campaign_cells(), campaign_cells())
+def test_campaign_merge_sums_counts_for_the_same_cell(x, y):
+    """Two shards that each attacked part of one cell's fleet combine
+    by summing counts and pooling the replay seeds."""
+    y = CampaignCell.from_dict({**y.to_dict(), **{
+        k: getattr(x, k) for k in ("workload", "bits", "attack",
+                                   "intensity_index", "substrate")
+    }})
+    merged = CampaignReport(seed=1, cells=[x]).merge(
+        CampaignReport(seed=1, cells=[y]))
+    assert len(merged.cells) == 1
+    cell = merged.cells[0]
+    assert cell.copies == x.copies + y.copies
+    assert cell.recovered == x.recovered + y.recovered
+    assert cell.program_ok == x.program_ok + y.program_ok
+    assert cell.copy_watermarks == x.copy_watermarks + y.copy_watermarks
