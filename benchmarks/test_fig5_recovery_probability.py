@@ -14,12 +14,22 @@ the theoretical approximation of Eq. (1). We regenerate both series:
 
 Expected shape: a sharp S-curve rising from ~0 to ~1 as k passes the
 coverage threshold, with empirical points tracking the formula.
+
+A second sweep (:func:`test_fig5_codec_recovery`) extends the figure
+with the codec axis: the same bit-level plant-delete-recover loop runs
+for each registered codec under loss patterns chosen to separate them —
+uniform loss (where GCRT's heavy replication shines), a residue-class
+knockout (where pure GCRT is structurally blind and the hybrid's
+parity rescue answers), and a wiped statement channel (where only
+position-addressed symbols survive).
 """
 
 import random
+import zlib
 
 from benchmarks._util import monotone_nondecreasing, print_table, run_once
 from repro.bytecode_wm import WatermarkKey
+from repro.codec import resolve_codec
 from repro.core.bitstring import int_to_bits_lsb_first
 from repro.core.enumeration import StatementEnumeration
 from repro.core.primes import choose_moduli
@@ -96,3 +106,118 @@ def test_fig5_recovery_probability(benchmark):
     # End-to-end recovery agrees with the coverage model.
     for k, p in spot.items():
         assert abs(p - success_probability_k_intact(n, k)) < 0.45
+
+
+# -- codec axis -------------------------------------------------------------
+
+CODECS = ["gcrt", "rs-8", "hybrid-4"]
+CODEC_KEY = WatermarkKey(secret=b"fig5-codec", inputs=[])
+CODEC_TRIALS = 3
+
+
+def _plant(blocks, rng):
+    """Lay encrypted blocks into a synthetic trace with junk padding."""
+    bits = [rng.randint(0, 1) for _ in range(32)]
+    for block in blocks:
+        bits.extend(int_to_bits_lsb_first(block, 64))
+        bits.extend(rng.randint(0, 1) for _ in range(16))
+    return bits
+
+
+def _keep_uniform(keep):
+    """Uniform loss: a random ``keep``-piece subset survives."""
+    def survive(pieces, rng):
+        return rng.sample(pieces, min(keep, len(pieces)))
+    return survive
+
+
+def _keep_knockout(pieces, rng):
+    """Residue-class knockout: every piece touching modulus 0 dies.
+
+    This models an attack (or an optimizer) that happens to rewrite
+    every instance of one planted statement class. Codecs without a
+    residue channel offer the attack no structural handle, so they
+    lose a uniform subset of the same expected size (two-thirds of the
+    pieces — the share of K_3 pairs touching one modulus).
+    """
+    targeted = [
+        p for p in pieces
+        if p.statement is not None and 0 in (p.statement.i, p.statement.j)
+    ]
+    if targeted:
+        doomed = {id(p) for p in targeted}
+        return [p for p in pieces if id(p) not in doomed]
+    return rng.sample(pieces, len(pieces) - 2 * len(pieces) // 3)
+
+
+def _keep_wiped(pieces, rng):
+    """Statement channel wiped: only position-addressed symbols survive."""
+    return [p for p in pieces if p.statement is None]
+
+
+def _codec_recovery(codec, bits_width, piece_count, survive, trial):
+    watermark = ((1 << (bits_width - 1)) // 7) | 1
+    cipher = CODEC_KEY.cipher()
+    seed = zlib.crc32(
+        f"fig5-codec/{codec.spec}/{bits_width}/{piece_count}/{trial}".encode()
+    )
+    pieces = codec.encode(
+        watermark, bits_width, piece_count, cipher, random.Random(seed)
+    )
+    rng = random.Random(seed ^ 0x5EED)
+    kept = survive(pieces, rng)
+    trace = _plant([p.block for p in kept], rng)
+    result = codec.decode(trace, bits_width, cipher)
+    return result.complete and result.value == watermark
+
+
+def test_fig5_codec_recovery(benchmark):
+    scenarios = [
+        # (label, bits, pieces, survival pattern)
+        ("no loss", 64, 40, _keep_uniform(40)),
+        ("uniform, 16/40 survive", 64, 40, _keep_uniform(16)),
+        ("uniform, 6/40 survive", 64, 40, _keep_uniform(6)),
+        ("residue-class knockout", 64, 40, _keep_knockout),
+        ("statement channel wiped", 16, 16, _keep_wiped),
+    ]
+
+    def experiment():
+        rates = {}
+        for label, bits_width, pieces, survive in scenarios:
+            for spec in CODECS:
+                codec = resolve_codec(spec)
+                wins = sum(
+                    _codec_recovery(codec, bits_width, pieces, survive, t)
+                    for t in range(CODEC_TRIALS)
+                )
+                rates[(label, spec)] = wins / CODEC_TRIALS
+        return rates
+
+    rates = run_once(benchmark, experiment)
+
+    print_table(
+        "Figure 5 (codec axis) - recovery rate by loss pattern",
+        ("loss pattern", "bits", *CODECS),
+        [
+            (label, bits_width,
+             *(f"{rates[(label, spec)]:.2f}" for spec in CODECS))
+            for label, bits_width, _, _ in scenarios
+        ],
+    )
+
+    # Intact embeds decode under every codec.
+    assert all(rates[("no loss", spec)] == 1.0 for spec in CODECS)
+    # Under uniform loss GCRT's few-classes/heavy-replication layout is
+    # at least as durable as RS's many-distinct-positions layout.
+    assert (rates[("uniform, 6/40 survive", "gcrt")]
+            >= rates[("uniform, 6/40 survive", "rs-8")])
+    assert rates[("uniform, 6/40 survive", "hybrid-4")] > 0.5
+    # The knockout leaves a modulus uncovered: pure GCRT is structurally
+    # blind, while the hybrid's parity channel rescues the congruence.
+    assert rates[("residue-class knockout", "gcrt")] == 0.0
+    assert rates[("residue-class knockout", "hybrid-4")] > 0.5
+    # With the statement channel gone only position-addressed codecs
+    # answer (the hybrid via its blind parity scan of the 16-bit space).
+    assert rates[("statement channel wiped", "gcrt")] == 0.0
+    assert rates[("statement channel wiped", "rs-8")] == 1.0
+    assert rates[("statement channel wiped", "hybrid-4")] > 0.5

@@ -70,7 +70,10 @@ def distribution_distance(a: CodeStatistics, b: CodeStatistics) -> float:
     """
     da = a.opcode_distribution()
     db = b.opcode_distribution()
-    keys = set(da) | set(db)
+    # Sorted so the float summation order is fixed: set iteration is
+    # hash-seed dependent, and an order-dependent sum breaks exact
+    # symmetry (d(a,b) != d(b,a) in the last ulp) on some seeds.
+    keys = sorted(set(da) | set(db))
     return 0.5 * sum(abs(da.get(k, 0.0) - db.get(k, 0.0)) for k in keys)
 
 

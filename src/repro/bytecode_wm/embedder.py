@@ -20,13 +20,13 @@ randomness comes from the key's RNG streams.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
+from ..codec import WatermarkCodec, resolve_codec
 from ..core.bitstring import int_to_bits_lsb_first
-from ..core.enumeration import Statement, StatementEnumeration
+from ..core.enumeration import Statement
 from ..core.errors import CodegenError, EmbeddingError
 from ..core.primes import choose_moduli
-from ..core.splitting import split
 from ..vm.interpreter import run_module
 from ..vm.program import Module
 from ..vm.rewriter import insert_at_site
@@ -42,12 +42,18 @@ PIECE_BITS = 64
 
 @dataclass
 class Placement:
-    """Where one piece landed and how it was generated."""
+    """Where one piece landed and how it was generated.
 
-    statement: Statement
+    ``statement`` is the residue statement for GCRT-channel pieces and
+    ``None`` for position-addressed symbol pieces (RS/hybrid parity);
+    ``label`` names the piece either way.
+    """
+
+    statement: Optional[Statement]
     site: SiteKey
     generator: str  # "loop" or "condition"
     site_frequency: int
+    label: str = ""
 
 
 @dataclass
@@ -60,6 +66,7 @@ class EmbeddingResult:
     moduli: List[int]
     placements: List[Placement] = field(default_factory=list)
     original_byte_size: int = 0
+    codec: str = "gcrt"
 
     @property
     def piece_count(self) -> int:
@@ -71,7 +78,7 @@ class EmbeddingResult:
 
 
 def default_piece_count(moduli: List[int]) -> int:
-    """Twice the modulus count: full coverage with headroom."""
+    """Twice the modulus count: full coverage with headroom (GCRT)."""
     return 2 * len(moduli)
 
 
@@ -86,6 +93,7 @@ def embed(
     trace=None,
     sites=None,
     rng_salt: str = "",
+    codec: Union[str, WatermarkCodec, None] = None,
 ) -> EmbeddingResult:
     """Embed ``watermark`` into a copy of ``module``.
 
@@ -102,6 +110,11 @@ def embed(
     distinct copies diversify their placements while staying
     deterministic in (module, watermark, key, salt). Recognition never
     uses these streams, so salting cannot affect recoverability.
+
+    ``codec`` selects the redundancy scheme (a spec string like
+    ``"rs-8"``, a :class:`~repro.codec.WatermarkCodec` instance, or
+    ``None`` for the default GCRT scheme — byte-for-byte identical to
+    pre-codec embeds). Recognition must use the same codec.
     """
     if watermark < 0:
         raise EmbeddingError("watermark must be non-negative")
@@ -110,8 +123,12 @@ def embed(
         raise EmbeddingError(
             f"watermark needs more than watermark_bits={bits_width} bits"
         )
+    codec_impl = resolve_codec(codec)
     moduli = choose_moduli(bits_width)
-    piece_count = pieces if pieces is not None else default_piece_count(moduli)
+    piece_count = (
+        pieces if pieces is not None
+        else codec_impl.default_piece_count(bits_width)
+    )
 
     marked = module.copy()
     original_size = marked.byte_size()
@@ -128,11 +145,13 @@ def embed(
         sites = eligible_sites(trace, marked)
     picker = SitePicker(sites, stream("placement"), placement_policy)
 
-    # Phase 2: split and encrypt.
+    # Phase 2: codec-encode the mark into encrypted pieces. The GCRT
+    # codec consumes the "split" RNG stream exactly as the historical
+    # inline splitter did, keeping default embeds byte-identical.
     split_rng = stream("split")
-    statements = split(watermark, moduli, piece_count, split_rng)
-    cipher = key.cipher()
-    enumeration = StatementEnumeration(moduli)
+    encoded = codec_impl.encode(
+        watermark, bits_width, piece_count, key.cipher(), split_rng
+    )
 
     # Phase 3: generate and insert code for each piece.
     codegen_rng = stream("codegen")
@@ -142,10 +161,10 @@ def embed(
         watermark_bits=bits_width,
         moduli=moduli,
         original_byte_size=original_size,
+        codec=codec_impl.spec,
     )
-    for statement in statements:
-        block = cipher.encrypt_block(enumeration.encode(statement))
-        piece_bits = int_to_bits_lsb_first(block, PIECE_BITS)
+    for piece in encoded:
+        piece_bits = int_to_bits_lsb_first(piece.block, PIECE_BITS)
         site = picker.pick()
         fn = marked.function(site.function)
         live_slot = (
@@ -167,7 +186,9 @@ def embed(
             code = generate_loop_piece(fn, piece_bits, live_slot, codegen_rng)
         insert_at_site(marked, site, code)
         result.placements.append(
-            Placement(statement, site, generator, sites[site])
+            Placement(
+                piece.statement, site, generator, sites[site], piece.label
+            )
         )
 
     verify_module(marked)

@@ -14,13 +14,13 @@ does not need the unwatermarked program or the watermark value.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from .. import obs
+from ..codec import WatermarkCodec, resolve_codec
 from ..core.bitstring import decode_bits
-from ..core.enumeration import StatementEnumeration
 from ..core.primes import choose_moduli
-from ..core.recovery import RecoveryResult, recover
+from ..core.recovery import RecoveryResult
 from ..obs.recognition import RecognitionReport
 from ..vm.interpreter import run_module
 from ..vm.program import Module
@@ -45,27 +45,21 @@ def recognize_bits(
     key: WatermarkKey,
     watermark_bits: int = DEFAULT_WATERMARK_BITS,
     use_voting: bool = True,
+    codec: Union[str, WatermarkCodec, None] = None,
 ) -> RecoveryResult:
     """Recover a watermark from an already-decoded bit-string.
 
-    A recovery whose CRT value does not fit in ``watermark_bits`` is
-    demoted to incomplete: a legitimate mark is always below
-    ``2**watermark_bits``, but junk windows decrypted under a wrong key
-    occasionally form a mutually consistent statement set covering all
-    moduli, and such forgeries land uniformly in the much larger
-    product-of-moduli space. The partial congruence is kept for
-    diagnostics.
+    ``codec`` must match the embedding codec (``None`` = GCRT). The
+    phantom-mark guard — demoting a "complete" recovery whose value
+    does not fit in ``watermark_bits``, since junk windows decrypted
+    under a wrong key occasionally form a consistent-looking recovery
+    in a much larger value space — lives in the codec protocol
+    (:func:`repro.codec.validate_recovery`), so every codec's decode
+    passes through it; partial diagnostics are kept either way.
     """
-    moduli = choose_moduli(watermark_bits)
-    result = recover(
-        bits, key.cipher(), StatementEnumeration(moduli), use_voting
+    return resolve_codec(codec).decode(
+        bits, watermark_bits, key.cipher(), use_voting
     )
-    if result.complete:
-        assert result.value is not None
-        if result.value >= (1 << watermark_bits):
-            result.complete = False
-            result.value = None
-    return result
 
 
 def recognize(
@@ -75,6 +69,7 @@ def recognize(
     use_voting: bool = True,
     max_steps: Optional[int] = None,
     trace=None,
+    codec: Union[str, WatermarkCodec, None] = None,
 ) -> RecoveryResult:
     """End-to-end recognition: trace, decode, recombine.
 
@@ -93,7 +88,7 @@ def recognize(
     else:
         bits = trace_bitstring(module, key, max_steps)
     with obs.span("recognize.recover", bits=len(bits)):
-        return recognize_bits(bits, key, watermark_bits, use_voting)
+        return recognize_bits(bits, key, watermark_bits, use_voting, codec)
 
 
 def recognition_report(
@@ -105,12 +100,17 @@ def recognition_report(
     ``moduli_covered``/``moduli_missing`` hold *indices* into the
     moduli list (matching the ``p_i`` naming of the paper), so a
     missing entry names both the index and, via ``moduli``, the prime.
+    For non-GCRT codecs the moduli funnel reflects only the GCRT
+    channel (empty for pure RS); ``scheme`` carries the codec spec.
     """
     moduli = choose_moduli(watermark_bits)
     covered = sorted({idx for s in result.accepted for idx in (s.i, s.j)})
     covered_set = set(covered)
     report = RecognitionReport(
-        scheme="bytecode",
+        scheme=(
+            "bytecode" if result.codec == "gcrt"
+            else f"bytecode/{result.codec}"
+        ),
         complete=result.complete,
         value=result.value,
         windows_inspected=result.windows_inspected,
@@ -156,9 +156,10 @@ def recognize_with_report(
     use_voting: bool = True,
     max_steps: Optional[int] = None,
     trace=None,
+    codec: Union[str, WatermarkCodec, None] = None,
 ) -> Tuple[RecoveryResult, RecognitionReport]:
     """:func:`recognize`, plus the diagnostic funnel for the attempt."""
     result = recognize(
-        module, key, watermark_bits, use_voting, max_steps, trace
+        module, key, watermark_bits, use_voting, max_steps, trace, codec
     )
     return result, recognition_report(result, watermark_bits)

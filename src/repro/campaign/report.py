@@ -89,6 +89,9 @@ class CampaignCell:
     intensity_index: int
     cell_seed: int
     substrate: str = "bytecode"
+    #: Redundancy codec the cell's copies were embedded (and their
+    #: marks recognized) with — one axis of the sweep matrix.
+    codec: str = "gcrt"
     copies: int = 0
     #: Copies whose mark survived the attack (complete + correct value).
     recovered: int = 0
@@ -122,8 +125,8 @@ class CampaignCell:
 
     def key(self) -> tuple:
         """Stable identity of the cell inside a campaign matrix."""
-        return (self.workload, self.bits, self.substrate, self.attack,
-                self.intensity_index)
+        return (self.workload, self.bits, self.substrate, self.codec,
+                self.attack, self.intensity_index)
 
     def outcome_dict(self) -> Dict[str, Any]:
         """The deterministic slice: everything except measurements.
@@ -141,6 +144,7 @@ class CampaignCell:
             "intensity_index": self.intensity_index,
             "cell_seed": self.cell_seed,
             "substrate": self.substrate,
+            "codec": self.codec,
             "copies": self.copies,
             "recovered": self.recovered,
             "program_ok": self.program_ok,
@@ -168,6 +172,7 @@ class CampaignCell:
             intensity_index=doc.get("intensity_index", 0),
             cell_seed=doc.get("cell_seed", 0),
             substrate=doc.get("substrate", "bytecode"),
+            codec=doc.get("codec", "gcrt"),
             copies=doc.get("copies", 0),
             recovered=doc.get("recovered", 0),
             program_ok=doc.get("program_ok", 0),
@@ -188,6 +193,7 @@ class CampaignReport:
     seed: int
     attacks: List[str] = field(default_factory=list)
     bits: List[int] = field(default_factory=list)
+    codecs: List[str] = field(default_factory=lambda: ["gcrt"])
     copies_per_cell: int = 0
     workloads: List[WorkloadRecord] = field(default_factory=list)
     cells: List[CampaignCell] = field(default_factory=list)
@@ -217,6 +223,19 @@ class CampaignReport:
         totals: Dict[str, List[int]] = {}
         for cell in self.cells:
             bucket = totals.setdefault(cell.attack, [0, 0])
+            bucket[0] += cell.recovered
+            bucket[1] += cell.copies
+        return {
+            name: (rec / cop if cop else 0.0)
+            for name, (rec, cop) in sorted(totals.items())
+        }
+
+    def by_codec(self) -> Dict[str, float]:
+        """Recovery rate per codec spec — the resilience comparison a
+        multi-codec campaign exists to make."""
+        totals: Dict[str, List[int]] = {}
+        for cell in self.cells:
+            bucket = totals.setdefault(cell.codec, [0, 0])
             bucket[0] += cell.recovered
             bucket[1] += cell.copies
         return {
@@ -294,6 +313,7 @@ class CampaignReport:
             seed=self.seed,
             attacks=sorted(set(self.attacks) | set(other.attacks)),
             bits=sorted(set(self.bits) | set(other.bits)),
+            codecs=sorted(set(self.codecs) | set(other.codecs)),
             copies_per_cell=max(self.copies_per_cell, other.copies_per_cell),
             workloads=workloads,
             cells=sorted(merged.values(), key=CampaignCell.key),
@@ -309,12 +329,14 @@ class CampaignReport:
             "seed": self.seed,
             "attacks": list(self.attacks),
             "bits": list(self.bits),
+            "codecs": list(self.codecs),
             "copies_per_cell": self.copies_per_cell,
             "cell_count": len(self.cells),
             "total_copies_attacked": self.total_copies_attacked,
             "total_recovered": self.total_recovered,
             "recovery_rate": self.recovery_rate,
             "by_attack": self.by_attack(),
+            "by_codec": self.by_codec(),
             "resumed_cells": self.resumed_cells,
             "wall_seconds": self.wall_seconds,
             "workloads": [w.to_dict() for w in self.workloads],
@@ -328,6 +350,7 @@ class CampaignReport:
             seed=doc["seed"],
             attacks=list(doc.get("attacks", [])),
             bits=list(doc.get("bits", [])),
+            codecs=list(doc.get("codecs", ["gcrt"])),
             copies_per_cell=doc.get("copies_per_cell", 0),
             workloads=[
                 WorkloadRecord.from_dict(w) for w in doc.get("workloads", [])
@@ -362,12 +385,17 @@ class CampaignReport:
         lines = [
             f"campaign seed {self.seed}: {len(self.workloads)} workload(s) "
             f"x {len(self.attacks)} attack(s) x bits={self.bits} "
+            f"x codecs={self.codecs} "
             f"-> {len(self.cells)} cells, {self.wall_seconds:.2f}s",
             f"recovery: {self.total_recovered}/{self.total_copies_attacked} "
             f"copies ({self.recovery_rate:.1%}) across the matrix",
         ]
         for attack, rate in self.by_attack().items():
             lines.append(f"  {attack:<28} {rate:7.1%}")
+        if len(self.codecs) > 1:
+            lines.append("recovery by codec:")
+            for codec, rate in self.by_codec().items():
+                lines.append(f"  {codec:<28} {rate:7.1%}")
         broken = [c for c in self.cells if c.errored]
         if broken:
             lines.append(f"errored cells: {len(broken)} "

@@ -30,15 +30,16 @@ from __future__ import annotations
 import json
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..attacks.bytecode import branch_increase_fraction
 from ..bytecode_wm import WatermarkKey, embed, recognize
+from ..codec import resolve_codec
 from ..faults.retry import RetryPolicy
 from ..pipeline.batch import CopySpec, run_batch
-from ..pipeline.prepare import PreparedProgram, prepare
+from ..pipeline.prepare import PreparedProgram, prepare, resolve_piece_count
 from ..vm import VMError, run_module
 from ..vm.program import Module
 from .attacks import (
@@ -75,6 +76,10 @@ class CampaignConfig:
     copies: int = 4
     bits: Tuple[int, ...] = (16,)
     attacks: Tuple[str, ...] = DEFAULT_ATTACKS
+    #: Redundancy codecs to sweep — each (workload, bits) fleet is
+    #: minted and attacked once per codec, so the report can compare
+    #: GCRT, Reed-Solomon and hybrid survival on identical coordinates.
+    codecs: Tuple[str, ...] = ("gcrt",)
     pieces: Optional[int] = None
     secret: bytes = b"campaign"
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
@@ -95,8 +100,12 @@ class CampaignConfig:
         for width in self.bits:
             if not 4 <= width <= 32:
                 raise ValueError(f"bits={width} out of range [4, 32]")
-        # Fail on unknown attack names now, not mid-campaign.
+        if not self.codecs:
+            raise ValueError("need at least one codec")
+        # Fail on unknown attack/codec names now, not mid-campaign.
         campaign_attacks(self.attacks)
+        for codec in self.codecs:
+            resolve_codec(codec)
 
 
 def _copy_specs(config: CampaignConfig, workload: GeneratedProgram,
@@ -136,7 +145,27 @@ def _remint(prepared: PreparedProgram, spec: CopySpec) -> Module:
         trace=prepared.trace,
         sites=prepared.sites,
         rng_salt=f"{spec.watermark}/{spec.seed}",
+        codec=prepared.codec,
     ).module
+
+
+def _with_codec(
+    base: PreparedProgram, codec: str, pieces: Optional[int]
+) -> PreparedProgram:
+    """A codec-variant of one preparation, sharing the heavy state.
+
+    Preparation's expensive stages (trace, CFGs, site mining) are
+    codec-independent; only the planned piece count and the recorded
+    spec differ. The variant shares the trace/module/site objects with
+    ``base`` — the sweep reads, never mutates, a prepared program.
+    """
+    spec = resolve_codec(codec).spec
+    if spec == base.codec:
+        return base
+    _moduli, piece_count = resolve_piece_count(
+        base.watermark_bits, pieces, codec=spec
+    )
+    return replace(base, pieces=piece_count, codec=spec)
 
 
 def _attack_cell(
@@ -161,6 +190,7 @@ def _attack_cell(
         intensity=intensity,
         intensity_index=intensity_index,
         cell_seed=seed,
+        codec=prepared.codec,
         copies=len(specs),
         copy_watermarks=[s.watermark for s in specs],
         copy_seeds=[s.seed for s in specs],
@@ -192,7 +222,8 @@ def _attack_cell(
         try:
             found = recognize(attacked, prepared.key,
                               watermark_bits=bits,
-                              max_steps=config.max_steps)
+                              max_steps=config.max_steps,
+                              codec=prepared.codec)
             if found.complete and found.value == spec.watermark:
                 cell.recovered += 1
         except VMError as exc:
@@ -253,10 +284,12 @@ def run_campaign(
 
     start = time.perf_counter()
     schedules = campaign_attacks(config.attacks)
+    codec_list = [resolve_codec(c).spec for c in config.codecs]
     report = CampaignReport(
         seed=config.seed,
         attacks=[s.name for s in schedules],
         bits=sorted(config.bits),
+        codecs=codec_list,
         copies_per_cell=config.copies,
     )
     journal = _journal_path(config)
@@ -296,83 +329,103 @@ def run_campaign(
                 key = WatermarkKey(secret=config.secret,
                                    inputs=list(program.inputs))
                 for bits in sorted(config.bits):
-                    with obs.span("campaign.mint", workload=program.name,
-                                  bits=bits):
-                        prepared = prepare(
-                            program.module(), key,
-                            watermark_bits=bits,
-                            pieces=config.pieces,
-                            max_steps=config.max_steps,
-                        )
-                        specs = _copy_specs(config, program, bits)
-                        checkpoint = None
-                        if config.checkpoint_dir is not None:
-                            checkpoint = os.path.join(
-                                config.checkpoint_dir,
-                                f"batch-{program.name}-b{bits}.jsonl",
+                    base_prepared: Optional[PreparedProgram] = None
+                    for codec in codec_list:
+                        with obs.span("campaign.mint", workload=program.name,
+                                      bits=bits, codec=codec):
+                            if base_prepared is None:
+                                # The heavy, codec-independent stages
+                                # run once per (workload, bits); codec
+                                # variants share the trace.
+                                base_prepared = prepare(
+                                    program.module(), key,
+                                    watermark_bits=bits,
+                                    pieces=config.pieces,
+                                    max_steps=config.max_steps,
+                                    codec=codec,
+                                )
+                            prepared = _with_codec(
+                                base_prepared, codec, config.pieces
                             )
-                        batch = run_batch(
-                            prepared, specs,
-                            workers=config.workers,
-                            checkpoint=checkpoint,
-                            resume=config.resume,
-                            retry=config.retry,
-                        )
-                    if not batch.all_ok:
-                        bad = [r.copy_id for r in batch.copies
-                               if not r.verified]
-                        raise RuntimeError(
-                            f"{program.name} b{bits}: batch failed to mint "
-                            f"{len(bad)} copies ({bad[:3]}...)"
-                        )
-                    report.embeds.append({
-                        "workload": program.name,
-                        "bits": bits,
-                        "copies": len(batch.copies),
-                        "resumed": batch.resumed,
-                        "mean_size_increase": (
-                            sum(r.byte_size_increase for r in batch.copies)
-                            / len(batch.copies)
-                        ),
-                        "wall_seconds": batch.wall_seconds,
-                    })
-                    marked = [_remint(prepared, s) for s in specs]
-                    say(f"{program.name} b{bits}: minted "
-                        f"{len(marked)} copies")
+                            specs = _copy_specs(config, program, bits)
+                            checkpoint = None
+                            if config.checkpoint_dir is not None:
+                                # GCRT keeps the pre-codec file name so
+                                # old checkpoints stay resumable.
+                                suffix = "" if codec == "gcrt" else f"-{codec}"
+                                checkpoint = os.path.join(
+                                    config.checkpoint_dir,
+                                    f"batch-{program.name}-b{bits}"
+                                    f"{suffix}.jsonl",
+                                )
+                            batch = run_batch(
+                                prepared, specs,
+                                workers=config.workers,
+                                checkpoint=checkpoint,
+                                resume=config.resume,
+                                retry=config.retry,
+                            )
+                        if not batch.all_ok:
+                            bad = [r.copy_id for r in batch.copies
+                                   if not r.verified]
+                            raise RuntimeError(
+                                f"{program.name} b{bits} {codec}: batch "
+                                f"failed to mint {len(bad)} copies "
+                                f"({bad[:3]}...)"
+                            )
+                        report.embeds.append({
+                            "workload": program.name,
+                            "bits": bits,
+                            "codec": codec,
+                            "copies": len(batch.copies),
+                            "resumed": batch.resumed,
+                            "mean_size_increase": (
+                                sum(r.byte_size_increase
+                                    for r in batch.copies)
+                                / len(batch.copies)
+                            ),
+                            "wall_seconds": batch.wall_seconds,
+                        })
+                        marked = [_remint(prepared, s) for s in specs]
+                        say(f"{program.name} b{bits} {codec}: minted "
+                            f"{len(marked)} copies")
 
-                    for schedule in schedules:
-                        for index, intensity in enumerate(schedule.levels):
-                            key_tuple = (program.name, bits, "bytecode",
-                                         schedule.name, index)
-                            if key_tuple in done:
-                                cell = done[key_tuple]
+                        for schedule in schedules:
+                            for index, intensity in enumerate(
+                                schedule.levels
+                            ):
+                                key_tuple = (program.name, bits, "bytecode",
+                                             codec, schedule.name, index)
+                                if key_tuple in done:
+                                    cell = done[key_tuple]
+                                    report.cells.append(cell)
+                                    report.resumed_cells += 1
+                                    continue
+                                with obs.span("campaign.cell",
+                                              workload=program.name,
+                                              bits=bits,
+                                              codec=codec,
+                                              attack=schedule.name,
+                                              intensity=intensity):
+                                    cell = _attack_cell(
+                                        config, program, bits, prepared,
+                                        specs, marked, schedule,
+                                        intensity, index,
+                                    )
                                 report.cells.append(cell)
-                                report.resumed_cells += 1
-                                continue
-                            with obs.span("campaign.cell",
-                                          workload=program.name,
-                                          bits=bits,
-                                          attack=schedule.name,
-                                          intensity=intensity):
-                                cell = _attack_cell(
-                                    config, program, bits, prepared,
-                                    specs, marked, schedule,
-                                    intensity, index,
-                                )
-                            report.cells.append(cell)
-                            cells_total.inc(attack=schedule.name)
-                            copies_attacked.inc(cell.copies)
-                            recovered_total.inc(cell.recovered)
-                            cell_seconds.observe(cell.wall_seconds,
-                                                 attack=schedule.name)
-                            if journal_fp is not None:
-                                journal_fp.write(
-                                    json.dumps(cell.to_dict(),
-                                               sort_keys=True) + "\n"
-                                )
-                                journal_fp.flush()
-                    say(f"{program.name} b{bits}: "
-                        f"{len(schedules)} attacks swept")
+                                cells_total.inc(attack=schedule.name)
+                                copies_attacked.inc(cell.copies)
+                                recovered_total.inc(cell.recovered)
+                                cell_seconds.observe(cell.wall_seconds,
+                                                     attack=schedule.name)
+                                if journal_fp is not None:
+                                    journal_fp.write(
+                                        json.dumps(cell.to_dict(),
+                                                   sort_keys=True) + "\n"
+                                    )
+                                    journal_fp.flush()
+                        say(f"{program.name} b{bits} {codec}: "
+                            f"{len(schedules)} attacks swept")
     finally:
         if journal_fp is not None:
             journal_fp.close()

@@ -60,6 +60,7 @@ from .bytecode_wm import (
 )
 from .campaign import CampaignConfig, DEFAULT_ATTACKS, run_campaign
 from .campaign.generator import GeneratorError
+from .codec import CodecError
 from .core.planner import plan_redundancy
 from .lang import compile_source
 from .lang.codegen_native import compile_source_native
@@ -133,17 +134,22 @@ def cmd_embed(args) -> int:
                        inputs=_parse_inputs(args.inputs))
     if args.diversify is not None:
         module = diversify(module, args.diversify)
-    result = embed(
-        module,
-        watermark=int(args.watermark, 0),
-        key=key,
-        pieces=args.pieces,
-        watermark_bits=args.bits,
-    )
+    try:
+        result = embed(
+            module,
+            watermark=int(args.watermark, 0),
+            key=key,
+            pieces=args.pieces,
+            watermark_bits=args.bits,
+            codec=args.codec,
+        )
+    except CodecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     _write_module(result.module, args.output)
     print(
         f"embedded {result.piece_count} pieces "
-        f"(+{result.byte_size_increase} bytes)",
+        f"({result.codec} codec, +{result.byte_size_increase} bytes)",
         file=sys.stderr,
     )
     return 0
@@ -154,7 +160,11 @@ def cmd_recognize(args) -> int:
     key = WatermarkKey(secret=args.secret.encode(),
                        inputs=_parse_inputs(args.inputs))
     try:
-        found = recognize(module, key, watermark_bits=args.bits)
+        found = recognize(module, key, watermark_bits=args.bits,
+                          codec=args.codec)
+    except CodecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     except VMError as exc:
         print(f"program trapped during tracing: {exc}", file=sys.stderr)
         return 2
@@ -205,6 +215,7 @@ def cmd_batch_embed(args) -> int:
                 piece_loss=manifest.piece_loss,
                 target_success=manifest.target_success,
                 profile=args.profile,
+                codec=manifest.codec,
             )
         except VMError as exc:
             print(f"program trapped during tracing: {exc}", file=sys.stderr)
@@ -216,7 +227,8 @@ def cmd_batch_embed(args) -> int:
             print(f"ignoring prepare cache: {exc}", file=sys.stderr)
         else:
             if candidate.matches(
-                module, key, manifest.watermark_bits, manifest.pieces
+                module, key, manifest.watermark_bits, manifest.pieces,
+                codec=manifest.codec,
             ):
                 prepared, cache_hit = candidate, True
             else:
@@ -234,6 +246,7 @@ def cmd_batch_embed(args) -> int:
                 piece_loss=manifest.piece_loss,
                 target_success=manifest.target_success,
                 profile=args.profile,
+                codec=manifest.codec,
             )
         except VMError as exc:
             print(f"program trapped during tracing: {exc}", file=sys.stderr)
@@ -286,12 +299,14 @@ def cmd_campaign(args) -> int:
             bits=tuple(args.bits or [16]),
             attacks=tuple(args.attacks.split(","))
             if args.attacks else DEFAULT_ATTACKS,
+            codecs=tuple(args.codecs.split(","))
+            if args.codecs else ("gcrt",),
             secret=args.secret.encode(),
             workers=args.workers,
             checkpoint_dir=args.checkpoint,
             resume=args.resume,
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, CodecError) as exc:
         print(f"bad campaign configuration: {exc}", file=sys.stderr)
         return 2
     tracer = obs.enable_tracing() if args.obs_out else None
@@ -369,6 +384,7 @@ def cmd_artifact_prepare(args) -> int:
             target_success=manifest.target_success,
             profile=args.profile,
             label=args.label,
+            codec=manifest.codec,
         )
     except VMError as exc:
         print(f"program trapped during tracing: {exc}", file=sys.stderr)
@@ -377,7 +393,8 @@ def cmd_artifact_prepare(args) -> int:
     state = "already stored" if hit else "prepared and stored"
     print(
         f"{state}: {record.size_bytes} bytes, "
-        f"{record.watermark_bits}-bit marks, {record.pieces} pieces",
+        f"{record.watermark_bits}-bit marks, {record.pieces} pieces, "
+        f"{record.codec} codec",
         file=sys.stderr,
     )
     print(record.digest)
@@ -398,7 +415,7 @@ def cmd_artifact_list(args) -> int:
         label = f"  {r.label}" if r.label else ""
         print(
             f"{r.digest[:16]}  bits={r.watermark_bits} pieces={r.pieces} "
-            f"{r.size_bytes}B{label}"
+            f"codec={r.codec} {r.size_bytes}B{label}"
         )
     print(f"{len(records)} artifact(s) in {args.store}", file=sys.stderr)
     return 0
@@ -518,8 +535,14 @@ def cmd_ndis(args) -> int:
 
 
 def cmd_plan(args) -> int:
-    plan = plan_redundancy(args.bits, args.loss, args.target)
+    try:
+        plan = plan_redundancy(args.bits, args.loss, args.target,
+                               codec=args.codec)
+    except CodecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(f"watermark bits:      {plan.watermark_bits}")
+    print(f"codec:               {plan.codec}")
     print(f"moduli:              {plan.moduli_count} "
           f"({plan.pair_count} possible pieces)")
     print(f"piece loss assumed:  {plan.piece_loss_probability:.0%}")
@@ -556,6 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inputs", default="",
                    help="secret input sequence, comma-separated")
     p.add_argument("--pieces", type=int, default=None)
+    p.add_argument("--codec", default=None, metavar="SPEC",
+                   help="redundancy codec: gcrt (default), rs[-N], "
+                        "hybrid[-N]")
     p.add_argument("--diversify", type=int, default=None, metavar="SEED",
                    help="pre-watermark diversification seed "
                         "(collusion defense)")
@@ -566,6 +592,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, required=True)
     p.add_argument("--secret", required=True)
     p.add_argument("--inputs", default="")
+    p.add_argument("--codec", default=None, metavar="SPEC",
+                   help="codec the mark was embedded with "
+                        "(must match --codec at embed time)")
     p.add_argument("--diagnose", action="store_true",
                    help="print the window/voting/CRT funnel to stderr")
     p.set_defaults(fn=cmd_recognize)
@@ -621,6 +650,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, action="append", default=None,
                    help="watermark width; repeat for a multi-width sweep "
                         "(default 16)")
+    p.add_argument("--codecs", default=None, metavar="C1,C2,...",
+                   help="comma-separated codec specs to sweep "
+                        "(default: gcrt)")
     p.add_argument("--attacks", default=None, metavar="A,B,...",
                    help="comma-separated attack names (default: "
                         f"{','.join(DEFAULT_ATTACKS)})")
@@ -682,6 +714,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("plan", help="plan piece redundancy via Eq. (1)")
     p.add_argument("--bits", type=int, required=True)
+    p.add_argument("--codec", default="gcrt", metavar="SPEC",
+                   help="codec whose survival model sizes the plan")
     p.add_argument("--loss", type=float, required=True,
                    help="probability an individual piece is destroyed")
     p.add_argument("--target", type=float, default=0.99)

@@ -1,0 +1,101 @@
+"""Watermark codecs: pluggable encodings between the mark and the trace.
+
+The codec layer decouples *what redundancy scheme encodes the
+watermark* from *how pieces are embedded into programs*. Every codec
+turns a watermark integer into opaque 64-bit ciphertext blocks (which
+the bytecode/native embedders plant unchanged) and decodes a candidate
+trace bit-string back into a :class:`~repro.core.recovery.RecoveryResult`.
+
+Codecs are addressed by spec strings::
+
+    "gcrt"        the paper's GCRT residues + voting (the default)
+    "rs"          Reed-Solomon, default parity budget (ec_bytes=8)
+    "rs-16"       Reed-Solomon with ec_bytes=16
+    "hybrid"      GCRT + RS parity, default budget (ec_bytes=4)
+    "hybrid-8"    GCRT + RS parity with ec_bytes=8
+
+``resolve_codec`` parses a spec (or passes through a ready instance,
+or defaults ``None`` to GCRT) and caches instances — codecs are
+stateless, so sharing is safe. ``DEFAULT_CODEC`` names the scheme all
+pre-codec artifacts, pickles and service requests decode with.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple, Union
+
+from ..core.errors import WatermarkError
+from .base import EncodedPiece, WatermarkCodec, validate_recovery
+from .gcrt import GcrtCodec
+from .hybrid import HybridCodec
+from .rs import ReedSolomonCodec
+
+DEFAULT_CODEC = "gcrt"
+
+
+class CodecError(WatermarkError):
+    """Unknown or malformed codec spec."""
+
+
+def available_codecs() -> Tuple[str, ...]:
+    """Base codec family names, for CLI choices and docs."""
+    return ("gcrt", "rs", "hybrid")
+
+
+@lru_cache(maxsize=64)
+def _build(spec: str) -> WatermarkCodec:
+    name, _, arg = spec.partition("-")
+    ec_bytes: Optional[int] = None
+    if arg:
+        try:
+            ec_bytes = int(arg)
+        except ValueError:
+            raise CodecError(f"bad codec parameter in {spec!r}") from None
+    try:
+        if name == "gcrt":
+            if ec_bytes is not None:
+                raise CodecError("the gcrt codec takes no parameter")
+            return GcrtCodec()
+        if name == "rs":
+            return (
+                ReedSolomonCodec() if ec_bytes is None
+                else ReedSolomonCodec(ec_bytes=ec_bytes)
+            )
+        if name == "hybrid":
+            return (
+                HybridCodec() if ec_bytes is None
+                else HybridCodec(ec_bytes=ec_bytes)
+            )
+    except ValueError as exc:
+        raise CodecError(f"bad codec spec {spec!r}: {exc}") from None
+    raise CodecError(
+        f"unknown codec {spec!r}; available: {', '.join(available_codecs())}"
+    )
+
+
+def resolve_codec(
+    spec: Union[str, WatermarkCodec, None] = None,
+) -> WatermarkCodec:
+    """Spec string / instance / ``None`` (default) to a codec instance."""
+    if spec is None:
+        spec = DEFAULT_CODEC
+    if isinstance(spec, WatermarkCodec):
+        return spec
+    if not isinstance(spec, str):
+        raise CodecError(f"codec spec must be a string, got {type(spec).__name__}")
+    return _build(spec.strip().lower())
+
+
+__all__ = [
+    "CodecError",
+    "DEFAULT_CODEC",
+    "EncodedPiece",
+    "GcrtCodec",
+    "HybridCodec",
+    "ReedSolomonCodec",
+    "WatermarkCodec",
+    "available_codecs",
+    "resolve_codec",
+    "validate_recovery",
+]

@@ -1,0 +1,255 @@
+"""Pure-python GF(256) arithmetic and Reed-Solomon primitives.
+
+The zero-dependency rule of this repo (no numpy, no ``reedsolo``) means
+the classic RS machinery is implemented here from scratch: log/antilog
+tables over the AES field polynomial ``x^8 + x^4 + x^3 + x + 1``
+(0x11d), systematic encoding by polynomial division, and
+errors-and-erasures decoding via Forney syndromes, Berlekamp-Massey,
+Chien search and the Forney algorithm. The shapes follow the standard
+textbook presentation (polynomials as coefficient lists, index 0 =
+highest degree); everything is exercised by the hypothesis round-trip
+and corruption suites in ``tests/test_codec_properties.py``.
+
+A codeword of ``n = data + nsym`` symbols corrects any pattern of
+``e`` errors and ``f`` erasures with ``2e + f <= nsym``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+_PRIMITIVE_POLY = 0x11D
+_GF_EXP: List[int] = [0] * 512
+_GF_LOG: List[int] = [0] * 256
+
+
+def _init_tables() -> None:
+    x = 1
+    for i in range(255):
+        _GF_EXP[i] = x
+        _GF_LOG[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _PRIMITIVE_POLY
+    for i in range(255, 512):
+        _GF_EXP[i] = _GF_EXP[i - 255]
+
+
+_init_tables()
+
+
+class RSDecodeError(Exception):
+    """The received word is beyond the code's correction capability."""
+
+
+def gf_mul(x: int, y: int) -> int:
+    if x == 0 or y == 0:
+        return 0
+    return _GF_EXP[_GF_LOG[x] + _GF_LOG[y]]
+
+
+def gf_div(x: int, y: int) -> int:
+    if y == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if x == 0:
+        return 0
+    return _GF_EXP[(_GF_LOG[x] - _GF_LOG[y]) % 255]
+
+
+def gf_pow(x: int, power: int) -> int:
+    return _GF_EXP[(_GF_LOG[x] * power) % 255]
+
+
+def gf_inverse(x: int) -> int:
+    return _GF_EXP[255 - _GF_LOG[x]]
+
+
+def gf_poly_scale(p: Sequence[int], x: int) -> List[int]:
+    return [gf_mul(c, x) for c in p]
+
+
+def gf_poly_add(p: Sequence[int], q: Sequence[int]) -> List[int]:
+    out = [0] * max(len(p), len(q))
+    for i, c in enumerate(p):
+        out[i + len(out) - len(p)] = c
+    for i, c in enumerate(q):
+        out[i + len(out) - len(q)] ^= c
+    return out
+
+
+def gf_poly_mul(p: Sequence[int], q: Sequence[int]) -> List[int]:
+    out = [0] * (len(p) + len(q) - 1)
+    for j, qj in enumerate(q):
+        if qj == 0:
+            continue
+        for i, pi in enumerate(p):
+            if pi:
+                out[i + j] ^= gf_mul(pi, qj)
+    return out
+
+
+def gf_poly_eval(poly: Sequence[int], x: int) -> int:
+    """Horner evaluation; ``poly[0]`` is the highest-degree coefficient."""
+    y = poly[0]
+    for coef in poly[1:]:
+        y = gf_mul(y, x) ^ coef
+    return y
+
+
+def rs_generator_poly(nsym: int) -> List[int]:
+    g = [1]
+    for i in range(nsym):
+        g = gf_poly_mul(g, [1, gf_pow(2, i)])
+    return g
+
+
+def rs_encode(data: Sequence[int], nsym: int) -> List[int]:
+    """Systematic encode: returns ``list(data) + nsym`` parity symbols."""
+    if len(data) + nsym > 255:
+        raise ValueError(
+            f"codeword of {len(data)}+{nsym} symbols exceeds GF(256) limit"
+        )
+    gen = rs_generator_poly(nsym)
+    buf = list(data) + [0] * nsym
+    for i in range(len(data)):
+        coef = buf[i]
+        if coef != 0:
+            for j in range(1, len(gen)):
+                buf[i + j] ^= gf_mul(gen[j], coef)
+    return list(data) + buf[len(data):]
+
+
+def rs_calc_syndromes(msg: Sequence[int], nsym: int) -> List[int]:
+    return [0] + [gf_poly_eval(msg, gf_pow(2, i)) for i in range(nsym)]
+
+
+def _errata_locator(coef_pos: Sequence[int]) -> List[int]:
+    e_loc = [1]
+    for i in coef_pos:
+        e_loc = gf_poly_mul(e_loc, gf_poly_add([1], [gf_pow(2, i), 0]))
+    return e_loc
+
+
+def _error_evaluator(
+    synd: Sequence[int], err_loc: Sequence[int], nsym: int
+) -> List[int]:
+    product = gf_poly_mul(synd, err_loc)
+    # Remainder of product / x^(nsym+1).
+    divisor = [1] + [0] * (nsym + 1)
+    buf = list(product)
+    for i in range(len(buf) - (len(divisor) - 1)):
+        coef = buf[i]
+        if coef != 0:
+            for j in range(1, len(divisor)):
+                if divisor[j] != 0:
+                    buf[i + j] ^= gf_mul(divisor[j], coef)
+    separator = -(len(divisor) - 1)
+    return buf[separator:]
+
+
+def _correct_errata(
+    msg_in: List[int], synd: Sequence[int], err_pos: Sequence[int]
+) -> List[int]:
+    """Forney algorithm: compute and subtract error magnitudes."""
+    coef_pos = [len(msg_in) - 1 - p for p in err_pos]
+    err_loc = _errata_locator(coef_pos)
+    err_eval = _error_evaluator(
+        list(synd)[::-1], err_loc, len(err_loc) - 1
+    )[::-1]
+    x_terms = [gf_pow(2, -(255 - c)) for c in coef_pos]
+    magnitudes = [0] * len(msg_in)
+    for i, xi in enumerate(x_terms):
+        xi_inv = gf_inverse(xi)
+        loc_prime = 1
+        for j, xj in enumerate(x_terms):
+            if j != i:
+                loc_prime = gf_mul(loc_prime, 1 ^ gf_mul(xi_inv, xj))
+        if loc_prime == 0:
+            raise RSDecodeError("could not find error magnitude")
+        y = gf_mul(xi, gf_poly_eval(err_eval[::-1], xi_inv))
+        magnitudes[err_pos[i]] = gf_div(y, loc_prime)
+    return [c ^ e for c, e in zip(msg_in, magnitudes)]
+
+
+def _error_locator(
+    synd: Sequence[int], nsym: int, erase_count: int = 0
+) -> List[int]:
+    """Berlekamp-Massey over the (Forney) syndromes."""
+    err_loc = [1]
+    old_loc = [1]
+    synd_shift = len(synd) - nsym
+    for i in range(nsym - erase_count):
+        k = i + synd_shift
+        delta = synd[k]
+        for j in range(1, len(err_loc)):
+            delta ^= gf_mul(err_loc[-(j + 1)], synd[k - j])
+        old_loc = old_loc + [0]
+        if delta != 0:
+            if len(old_loc) > len(err_loc):
+                new_loc = gf_poly_scale(old_loc, delta)
+                old_loc = gf_poly_scale(err_loc, gf_inverse(delta))
+                err_loc = new_loc
+            err_loc = gf_poly_add(err_loc, gf_poly_scale(old_loc, delta))
+    while len(err_loc) and err_loc[0] == 0:
+        del err_loc[0]
+    errs = len(err_loc) - 1
+    if errs * 2 + erase_count > nsym:
+        raise RSDecodeError("too many errors to correct")
+    return err_loc
+
+
+def _find_errors(err_loc: Sequence[int], nmess: int) -> List[int]:
+    """Chien search (brute force over positions)."""
+    errs = len(err_loc) - 1
+    err_pos = [
+        nmess - 1 - i
+        for i in range(nmess)
+        if gf_poly_eval(list(err_loc), gf_pow(2, i)) == 0
+    ]
+    if len(err_pos) != errs:
+        raise RSDecodeError("error locator degree does not match its roots")
+    return err_pos
+
+
+def _forney_syndromes(
+    synd: Sequence[int], erase_pos: Sequence[int], nmess: int
+) -> List[int]:
+    fsynd = list(synd[1:])
+    for pos in erase_pos:
+        x = gf_pow(2, nmess - 1 - pos)
+        for j in range(len(fsynd) - 1):
+            fsynd[j] = gf_mul(fsynd[j], x) ^ fsynd[j + 1]
+    return fsynd
+
+
+def rs_correct(
+    codeword: Sequence[int],
+    nsym: int,
+    erase_pos: Optional[Sequence[int]] = None,
+) -> Tuple[List[int], List[int]]:
+    """Errors-and-erasures decode of a full ``n``-symbol codeword.
+
+    Returns ``(corrected_codeword, errata_positions)``; raises
+    :class:`RSDecodeError` when ``2*errors + erasures > nsym`` or the
+    corrected word still fails the syndrome check.
+    """
+    if len(codeword) > 255:
+        raise ValueError("codeword longer than 255 symbols")
+    erasures = sorted(erase_pos) if erase_pos else []
+    if len(erasures) > nsym:
+        raise RSDecodeError(
+            f"{len(erasures)} erasures exceed the {nsym}-symbol budget"
+        )
+    msg = list(codeword)
+    for pos in erasures:
+        msg[pos] = 0
+    synd = rs_calc_syndromes(msg, nsym)
+    if max(synd) == 0:
+        return msg, list(erasures)
+    fsynd = _forney_syndromes(synd, erasures, len(msg))
+    err_loc = _error_locator(fsynd, nsym, erase_count=len(erasures))
+    err_pos = _find_errors(err_loc[::-1], len(msg))
+    corrected = _correct_errata(msg, synd, erasures + err_pos)
+    if max(rs_calc_syndromes(corrected, nsym)) > 0:
+        raise RSDecodeError("could not correct message")
+    return corrected, erasures + err_pos

@@ -29,7 +29,13 @@ from .probability import success_probability_deletion
 
 @dataclass(frozen=True)
 class RedundancyPlan:
-    """The planner's answer."""
+    """The planner's answer.
+
+    ``codec`` names the redundancy scheme the plan was sized for; the
+    moduli/pair fields describe the GCRT channel and are kept for all
+    codecs (they still parameterize the hybrid's GCRT share, and are
+    informational for pure RS).
+    """
 
     watermark_bits: int
     moduli_count: int
@@ -37,6 +43,7 @@ class RedundancyPlan:
     pieces: int
     piece_loss_probability: float
     expected_success: float
+    codec: str = "gcrt"
 
     @property
     def copies_per_statement(self) -> float:
@@ -72,37 +79,52 @@ def plan_redundancy(
     piece_loss_probability: float,
     target_success: float = 0.99,
     max_pieces: int = 4096,
+    codec: str = "gcrt",
 ) -> RedundancyPlan:
     """Smallest piece count meeting ``target_success`` under the model.
 
     Raises :class:`ValueError` when the target is unreachable within
     ``max_pieces`` (e.g. piece loss of 1.0).
 
+    ``codec`` selects whose survival model sizes the plan — each codec
+    provides a ``success_probability`` monotone in the piece count (the
+    hybrid's is a conservative bound, see its docstring), and the
+    search also respects the codec's ``min_piece_count``.
+
     Memoized: the plan is a pure function of its arguments and the
-    batch pipeline resolves it once per (width, threat model) no
+    batch pipeline resolves it once per (width, threat model, codec) no
     matter how many copies are minted; the returned plan is frozen, so
-    sharing the instance is safe.
+    sharing the instance is safe. ``codec`` must be a spec *string* so
+    the cache key stays hashable.
     """
+    # Late import: repro.codec depends on core modules; the planner is
+    # the one core module that consults codecs, so it binds lazily.
+    from ..codec import resolve_codec
+
     if not 0.0 <= piece_loss_probability < 1.0:
         raise ValueError("piece loss probability must be in [0, 1)")
     if not 0.0 < target_success < 1.0:
         raise ValueError("target success must be in (0, 1)")
+    codec_impl = resolve_codec(codec)
     moduli = choose_moduli(watermark_bits)
     n = len(moduli)
     pairs = comb(n, 2)
-    lo, hi = max(1, n - 1), max_pieces
-    if success_probability_for_pieces(
-        n, hi, piece_loss_probability
-    ) < target_success:
+
+    def success(pieces: int) -> float:
+        return codec_impl.success_probability(
+            watermark_bits, pieces, piece_loss_probability
+        )
+
+    lo = max(1, codec_impl.min_piece_count(watermark_bits))
+    hi = max_pieces
+    if success(hi) < target_success:
         raise ValueError(
             f"target {target_success} unreachable with {max_pieces} pieces "
             f"at piece loss {piece_loss_probability}"
         )
     while lo < hi:
         mid = (lo + hi) // 2
-        if success_probability_for_pieces(
-            n, mid, piece_loss_probability
-        ) >= target_success:
+        if success(mid) >= target_success:
             hi = mid
         else:
             lo = mid + 1
@@ -112,14 +134,19 @@ def plan_redundancy(
         pair_count=pairs,
         pieces=lo,
         piece_loss_probability=piece_loss_probability,
-        expected_success=success_probability_for_pieces(
-            n, lo, piece_loss_probability
-        ),
+        expected_success=success(lo),
+        codec=codec_impl.spec,
     )
 
 
 def plan_table(
-    watermark_bits: int, losses: List[float], target: float = 0.99
+    watermark_bits: int,
+    losses: List[float],
+    target: float = 0.99,
+    codec: str = "gcrt",
 ) -> List[RedundancyPlan]:
     """Plans across a sweep of threat levels (for reports/tools)."""
-    return [plan_redundancy(watermark_bits, q, target) for q in losses]
+    return [
+        plan_redundancy(watermark_bits, q, target, codec=codec)
+        for q in losses
+    ]

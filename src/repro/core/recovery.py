@@ -50,6 +50,14 @@ class RecoveryResult:
     otherwise ``congruence`` (if any) carries the partial information
     recovered. Diagnostic counters describe how much work was done and
     how the candidate set was whittled down.
+
+    ``confidence`` grades a recovery in ``[0, 1]``: how much of the
+    redundancy agreed with the reported value (codec-specific — for
+    GCRT it is the covered-moduli fraction, for RS the fraction of
+    codeword symbols recovered clean). ``codec`` names the decoding
+    scheme that produced the result; both default to the pre-codec
+    behaviour so pickled results and positional constructors keep
+    working.
     """
 
     complete: bool
@@ -61,6 +69,8 @@ class RecoveryResult:
     candidates_after_voting: int = 0
     votes: Dict[int, Counter] = field(default_factory=dict)
     clear_winners: Dict[int, int] = field(default_factory=dict)
+    confidence: float = 0.0
+    codec: str = "gcrt"
 
     def __bool__(self) -> bool:
         return self.complete
@@ -242,9 +252,13 @@ def recover(
     for s in accepted:
         covered.add(s.i)
         covered.add(s.j)
+    covered_fraction = len(covered) / len(moduli)
     if covered == set(range(len(moduli))):
         result.complete = True
         result.value = congruence.value
+        result.confidence = 1.0
+    else:
+        result.confidence = covered_fraction
     return result
 
 

@@ -88,6 +88,7 @@ def embed_copy(
     spec: CopySpec,
     self_check: bool = True,
     profile: bool = False,
+    codec: Optional[str] = None,
 ) -> CopyResult:
     """Embed, emit and (by default) self-check one copy. Never raises.
 
@@ -98,8 +99,15 @@ def embed_copy(
     knob for deployments that verify by sampling instead.
     ``profile=True`` counts VM dispatches during the self-check run
     and attaches the raw per-opcode array to the result.
+
+    ``codec`` overrides the artifact's planned redundancy scheme for
+    this copy (the per-request payload-vs-resilience knob the service
+    exposes); ``None`` uses ``prepared.codec``. Preparation is codec-
+    independent apart from the planned piece count, so overriding is
+    always safe — recognition must then use the same codec.
     """
     start = time.perf_counter()
+    active_codec = codec or prepared.codec
     try:
         with obs.span("copy", copy_id=spec.copy_id,
                       watermark=spec.watermark):
@@ -113,6 +121,7 @@ def embed_copy(
                     trace=prepared.trace,
                     sites=prepared.sites,
                     rng_salt=f"{spec.watermark}/{spec.seed}",
+                    codec=active_codec,
                 )
             recognized = None
             check_ok = output_ok = False
@@ -131,6 +140,7 @@ def embed_copy(
                         prepared.key,
                         watermark_bits=prepared.watermark_bits,
                         trace=check_run.trace,
+                        codec=active_codec,
                     )
                     recognized = found.value
                     check_ok = (
@@ -277,6 +287,7 @@ def service_embed_copy(
     self_check: bool = True,
     parent: Optional[SpanContext] = None,
     drain_spans: bool = False,
+    codec: Optional[str] = None,
 ) -> CopyResult:
     """One serving-daemon embed job: artifact by digest, copy by spec.
 
@@ -285,21 +296,23 @@ def service_embed_copy(
     spans on a worker-local tracer and hands them back on the result
     for the parent to adopt. Thread-pool mode records straight into
     the server's own tracer and leaves ``result.spans`` empty.
+    ``codec`` is the request's per-copy override; ``None`` embeds with
+    the artifact's own codec.
     """
     prepared = load_prepared_artifact(store_root, digest)
     if parent is None:
-        return embed_copy(prepared, spec, self_check)
+        return embed_copy(prepared, spec, self_check, codec=codec)
     if drain_spans:
         tracer = obs.get_tracer()
         if not tracer.enabled:
             tracer = obs.enable_tracing()
         tracer.drain()  # a prior job's leavings must not leak in
         with attach(parent):
-            result = embed_copy(prepared, spec, self_check)
+            result = embed_copy(prepared, spec, self_check, codec=codec)
         result.spans = tracer.drain()
         return result
     with attach(parent):
-        return embed_copy(prepared, spec, self_check)
+        return embed_copy(prepared, spec, self_check, codec=codec)
 
 
 def service_recognize(
@@ -308,12 +321,15 @@ def service_recognize(
     module_text: str,
     parent: Optional[SpanContext] = None,
     drain_spans: bool = False,
+    codec: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One serving-daemon recognize job, against an artifact's key.
 
     The artifact supplies the key and fingerprint width — a recognize
     request names a release and ships only the (possibly attacked)
-    module text. Returns plain data so it travels home from a process
+    module text. ``codec`` overrides the artifact's codec for this
+    attempt (needed when the copy was embedded with a per-request
+    override). Returns plain data so it travels home from a process
     pool: the recovered value, the diagnostic funnel, and (in
     process-pool mode) the job's spans as dicts.
     """
@@ -322,7 +338,8 @@ def service_recognize(
         prepared = load_prepared_artifact(store_root, digest)
         module = assemble(module_text)
         found, report = recognize_with_report(
-            module, prepared.key, watermark_bits=prepared.watermark_bits
+            module, prepared.key, watermark_bits=prepared.watermark_bits,
+            codec=codec or prepared.codec,
         )
         value = found.value if found.complete else None
         return {

@@ -21,7 +21,9 @@ fingerprint width and the copies to mint::
 
 Optional fields: ``pieces`` (explicit redundancy), or ``piece_loss``
 plus ``target_success`` to delegate the piece count to the Eq. (1)
-planner; ``seed`` per copy (defaults to the copy's position) salts the
+planner; ``codec`` (``"gcrt"``/``"rs"``/``"rs-N"``/``"hybrid"``/
+``"hybrid-N"``) selects the error-correcting scheme for every copy in
+the job; ``seed`` per copy (defaults to the copy's position) salts the
 embedder's RNG streams. ``module`` paths resolve relative to the
 manifest file.
 """
@@ -34,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..bytecode_wm.keys import WatermarkKey
+from ..codec import CodecError, resolve_codec
 from .batch import CopySpec
 
 
@@ -53,6 +56,7 @@ class BatchManifest:
     pieces: Optional[int] = None
     piece_loss: Optional[float] = None
     target_success: float = 0.99
+    codec: str = "gcrt"
 
     def key(self) -> WatermarkKey:
         return WatermarkKey(secret=self.secret, inputs=list(self.inputs))
@@ -157,6 +161,13 @@ def parse_manifest(doc: Dict[str, Any], base_dir: str = ".") -> BatchManifest:
     target = doc.get("target_success", 0.99)
     if not isinstance(target, (int, float)) or not 0.0 < target < 1.0:
         raise ManifestError("target_success must be in (0, 1)")
+    codec = doc.get("codec", "gcrt")
+    if not isinstance(codec, str):
+        raise ManifestError("codec must be a string")
+    try:
+        codec = resolve_codec(codec).spec
+    except CodecError as exc:
+        raise ManifestError(str(exc)) from None
 
     return BatchManifest(
         module_path=os.path.normpath(os.path.join(base_dir, doc["module"])),
@@ -167,6 +178,7 @@ def parse_manifest(doc: Dict[str, Any], base_dir: str = ".") -> BatchManifest:
         pieces=pieces,
         piece_loss=float(piece_loss) if piece_loss is not None else None,
         target_success=float(target),
+        codec=codec,
     )
 
 

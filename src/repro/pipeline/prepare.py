@@ -35,8 +35,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
     from ..serve.store import ArtifactStore
 
 from .. import obs
-from ..bytecode_wm.embedder import default_piece_count
 from ..bytecode_wm.keys import WatermarkKey
+from ..codec import resolve_codec
 from ..bytecode_wm.placement import eligible_sites
 from ..core.errors import EmbeddingError
 from ..core.planner import plan_redundancy
@@ -87,15 +87,20 @@ class PreparedProgram:
     #: only when preparation ran with ``profile=True``. Additive field:
     #: artifacts pickled before it existed load with ``None``.
     dispatch_counts: Optional[List[int]] = None
+    #: Redundancy codec spec the release is planned for. Additive
+    #: field: artifacts pickled before the codec layer existed load as
+    #: GCRT (the only scheme they could have been embedded with).
+    codec: str = "gcrt"
 
     def fingerprint(self) -> str:
-        """Content hash identifying (program, key, width, pieces).
+        """Content hash identifying (program, key, width, pieces, codec).
 
         Used to decide whether a persisted artifact still matches the
         inputs of a new run.
         """
         return prepare_fingerprint(
-            self.module, self.key, self.watermark_bits, self.pieces
+            self.module, self.key, self.watermark_bits, self.pieces,
+            self.codec,
         )
 
     def matches(
@@ -104,6 +109,7 @@ class PreparedProgram:
         key: WatermarkKey,
         watermark_bits: int,
         pieces: Optional[int] = None,
+        codec: str = "gcrt",
     ) -> bool:
         """Is this artifact valid for the given embedding inputs?
 
@@ -117,6 +123,7 @@ class PreparedProgram:
         return (
             key == self.key
             and watermark_bits == self.watermark_bits
+            and codec == self.codec
             and disassemble(module) == disassemble(self.module)
         )
 
@@ -140,6 +147,8 @@ class PreparedProgram:
     def __setstate__(self, state: Dict[str, Any]) -> None:
         blob = state["trace"]
         state.setdefault("dispatch_counts", None)
+        # Pre-codec artifacts can only have been GCRT-embedded.
+        state.setdefault("codec", "gcrt")
         self.__dict__.update(state)
         if isinstance(blob, bytes):
             try:
@@ -183,13 +192,21 @@ def prepare_fingerprint(
     key: WatermarkKey,
     watermark_bits: int,
     pieces: Optional[int],
+    codec: str = "gcrt",
 ) -> str:
-    """Stable digest of everything preparation depends on."""
+    """Stable digest of everything preparation depends on.
+
+    The codec only enters the digest when it is not the default, so
+    every digest minted before the codec layer existed — including
+    store paths of persisted releases — stays valid.
+    """
     h = hashlib.sha256()
     h.update(disassemble(module).encode())
     h.update(key.secret)
     h.update(repr(tuple(key.inputs)).encode())
     h.update(f"bits={watermark_bits};pieces={pieces}".encode())
+    if codec != "gcrt":
+        h.update(f";codec={codec}".encode())
     return h.hexdigest()
 
 
@@ -198,14 +215,16 @@ def resolve_piece_count(
     pieces: Optional[int] = None,
     piece_loss: Optional[float] = None,
     target_success: float = 0.99,
+    codec: str = "gcrt",
 ) -> Tuple[List[int], int]:
-    """(moduli, piece count) for one fingerprint width.
+    """(moduli, piece count) for one fingerprint width and codec.
 
     Precedence: an explicit ``pieces`` wins; otherwise a threat model
-    (``piece_loss``) invokes the Eq. (1) planner; otherwise the
-    embedder's default of twice the modulus count applies. The planner
-    call is memoized (``core.planner``), so a batch pays for at most
-    one plan regardless of copy count.
+    (``piece_loss``) invokes the Eq. (1)-style planner under the
+    codec's survival model; otherwise the codec's own default applies
+    (twice the modulus count for GCRT). The planner call is memoized
+    (``core.planner``), so a batch pays for at most one plan
+    regardless of copy count.
     """
     moduli = choose_moduli(watermark_bits)
     if pieces is not None:
@@ -213,9 +232,11 @@ def resolve_piece_count(
             raise PrepareError("piece count must be positive")
         return moduli, pieces
     if piece_loss is not None:
-        plan = plan_redundancy(watermark_bits, piece_loss, target_success)
+        plan = plan_redundancy(
+            watermark_bits, piece_loss, target_success, codec=codec
+        )
         return moduli, plan.pieces
-    return moduli, default_piece_count(moduli)
+    return moduli, resolve_codec(codec).default_piece_count(watermark_bits)
 
 
 def prepare(
@@ -227,6 +248,7 @@ def prepare(
     target_success: float = 0.99,
     max_steps: int = DEFAULT_MAX_STEPS,
     profile: bool = False,
+    codec: str = "gcrt",
 ) -> PreparedProgram:
     """Run every watermark-independent stage once and snapshot it.
 
@@ -286,8 +308,10 @@ def prepare(
                         f"trace and module disagree"
                     )
         with timings.measure("plan"), obs.span("prepare.plan"):
+            codec_spec = resolve_codec(codec).spec
             moduli, piece_count = resolve_piece_count(
-                watermark_bits, pieces, piece_loss, target_success
+                watermark_bits, pieces, piece_loss, target_success,
+                codec=codec_spec,
             )
     return PreparedProgram(
         module=snapshot,
@@ -301,6 +325,7 @@ def prepare(
         baseline_output=list(run.output),
         timings=timings,
         dispatch_counts=run.dispatch_counts,
+        codec=codec_spec,
     )
 
 
@@ -348,6 +373,7 @@ class PrepareCache:
         target_success: float = 0.99,
         max_steps: int = DEFAULT_MAX_STEPS,
         profile: bool = False,
+        codec: str = "gcrt",
     ) -> Tuple[PreparedProgram, bool]:
         """(artifact, was_hit) — preparing and caching on a miss.
 
@@ -356,7 +382,10 @@ class PrepareCache:
         failed preparation (e.g. a key-input trace that exhausts
         ``max_steps``) propagates and caches nothing.
         """
-        digest = prepare_fingerprint(module, key, watermark_bits, pieces)
+        codec = resolve_codec(codec).spec
+        digest = prepare_fingerprint(
+            module, key, watermark_bits, pieces, codec
+        )
         cached = self._entries.get(digest)
         if cached is not None:
             self.hits += 1
@@ -381,6 +410,7 @@ class PrepareCache:
             target_success,
             max_steps=max_steps,
             profile=profile,
+            codec=codec,
         )
         if self._store is not None:
             try:

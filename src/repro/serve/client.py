@@ -169,8 +169,14 @@ class ServiceClient:
         watermark: int,
         seed: int = 0,
         self_check: Optional[bool] = None,
+        codec: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Mint one fingerprinted copy; returns the response document."""
+        """Mint one fingerprinted copy; returns the response document.
+
+        ``codec`` overrides the artifact's redundancy scheme for this
+        copy (e.g. ``"rs-8"``); recognition must then name the same
+        codec.
+        """
         doc: Dict[str, Any] = {
             "artifact": artifact,
             "copy_id": copy_id,
@@ -179,18 +185,26 @@ class ServiceClient:
         }
         if self_check is not None:
             doc["self_check"] = self_check
+        if codec is not None:
+            doc["codec"] = codec
         status, out = self.request("POST", "/v1/embed", doc)
         if status != 200:
             raise ServiceError(status, str(out.get("error", "")), out)
         return out
 
-    def recognize(self, artifact: str, module_text: str) -> Dict[str, Any]:
+    def recognize(
+        self,
+        artifact: str,
+        module_text: str,
+        codec: Optional[str] = None,
+    ) -> Dict[str, Any]:
         """Recover a mark; 422 (incomplete recovery) is a result, not
-        an error — check ``doc["complete"]``."""
-        status, out = self.request(
-            "POST", "/v1/recognize",
-            {"artifact": artifact, "module": module_text},
-        )
+        an error — check ``doc["complete"]``. ``codec`` must match the
+        embedding codec when it overrode the artifact's default."""
+        doc: Dict[str, Any] = {"artifact": artifact, "module": module_text}
+        if codec is not None:
+            doc["codec"] = codec
+        status, out = self.request("POST", "/v1/recognize", doc)
         if status not in (200, 422):
             raise ServiceError(status, str(out.get("error", "")), out)
         return out

@@ -70,6 +70,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import faults, obs
+from ..codec import CodecError, resolve_codec
 from ..faults.injector import FaultPlan
 from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, Counter, Histogram
 from ..pipeline.batch import CopySpec, service_embed_copy, service_recognize
@@ -241,6 +242,23 @@ def _parse_watermark_field(value: Any) -> int:
                 400, f"cannot parse watermark {value!r}"
             ) from None
     return value
+
+
+def _parse_codec_field(doc: Dict[str, Any]) -> Optional[str]:
+    """Validate an optional per-request ``codec`` override.
+
+    Returns the normalized spec string, or ``None`` when the request
+    leaves the choice to the artifact.
+    """
+    value = doc.get("codec")
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise BadRequest(400, "'codec' must be a string")
+    try:
+        return resolve_codec(value).spec
+    except CodecError as exc:
+        raise BadRequest(400, str(exc)) from None
 
 
 @dataclass
@@ -521,6 +539,7 @@ class WatermarkService:
                 f"watermark {watermark:#x} does not fit the artifact's "
                 f"{record.watermark_bits}-bit fingerprint width",
             )
+        codec = _parse_codec_field(doc)
 
         job = functools.partial(
             service_embed_copy,
@@ -530,6 +549,7 @@ class WatermarkService:
             self_check,
             self._parent_context(),
             self._drain_spans(),
+            codec,
         )
         result = await self._run_job("/v1/embed", job)
         tracer = obs.get_tracer()
@@ -541,6 +561,7 @@ class WatermarkService:
             "watermark": result.watermark,
             "seed": result.seed,
             "artifact": digest,
+            "codec": codec or record.codec,
             "ok": result.ok,
             "checked": result.checked,
             "verified": result.verified,
@@ -568,6 +589,7 @@ class WatermarkService:
             raise BadRequest(
                 400, "'module' (WVM assembly text) is required"
             )
+        codec = _parse_codec_field(doc)
         job = functools.partial(
             service_recognize,
             self.config.store_root,
@@ -575,6 +597,7 @@ class WatermarkService:
             module_text,
             self._parent_context(),
             self._drain_spans(),
+            codec,
         )
         outcome = await self._run_job("/v1/recognize", job)
         tracer = obs.get_tracer()

@@ -72,6 +72,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .. import faults
 from ..bytecode_wm.keys import WatermarkKey
+from ..codec import resolve_codec
 from ..obs.metrics import get_registry
 from ..pipeline.prepare import (
     PrepareError,
@@ -110,6 +111,7 @@ class ArtifactRecord:
     watermark_bits: int
     pieces: int
     label: str = ""
+    codec: str = "gcrt"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -120,6 +122,7 @@ class ArtifactRecord:
             "watermark_bits": self.watermark_bits,
             "pieces": self.pieces,
             "label": self.label,
+            "codec": self.codec,
         }
 
     @staticmethod
@@ -133,6 +136,9 @@ class ArtifactRecord:
                 watermark_bits=int(doc["watermark_bits"]),
                 pieces=int(doc["pieces"]),
                 label=str(doc.get("label", "")),
+                # Manifests written before the codec layer carry no
+                # codec field; those artifacts are GCRT by definition.
+                codec=str(doc.get("codec", "gcrt")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StoreError(f"malformed manifest record: {exc}") from exc
@@ -312,6 +318,7 @@ class ArtifactStore:
                     created_unix=os.path.getmtime(blob),
                     watermark_bits=obj.watermark_bits,
                     pieces=obj.pieces,
+                    codec=obj.codec,
                 )
         get_registry().counter(
             "repro_store_manifest_rebuilds_total",
@@ -397,6 +404,7 @@ class ArtifactStore:
             watermark_bits=prepared.watermark_bits,
             pieces=prepared.pieces,
             label=label,
+            codec=prepared.codec,
         )
         _atomic_write(self._blob_path(digest), data, site="store.write.blob")
         self._records[digest] = record
@@ -566,6 +574,7 @@ class ArtifactStore:
         max_steps: int = DEFAULT_MAX_STEPS,
         profile: bool = False,
         label: str = "",
+        codec: str = "gcrt",
     ) -> Tuple[PreparedProgram, bool]:
         """(artifact, was_hit): load when stored, else prepare and store.
 
@@ -575,7 +584,13 @@ class ArtifactStore:
         artifact that fails its integrity check is evicted and
         re-prepared rather than trusted.
         """
-        digest = prepare_fingerprint(module, key, watermark_bits, pieces)
+        # Normalize first ("hybrid" -> "hybrid-4"): the artifact's own
+        # fingerprint uses the normalized spec, and the lookup digest
+        # must agree with the address ``put`` stored it under.
+        codec = resolve_codec(codec).spec
+        digest = prepare_fingerprint(
+            module, key, watermark_bits, pieces, codec=codec
+        )
         requests = get_registry().counter(
             "repro_store_requests_total", "Artifact store lookups"
         )
@@ -598,6 +613,7 @@ class ArtifactStore:
                 target_success,
                 max_steps=max_steps,
                 profile=profile,
+                codec=codec,
             )
         except PrepareError:
             raise  # nothing is stored for a failed preparation

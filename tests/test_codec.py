@@ -1,0 +1,383 @@
+"""Unit and compatibility tests for the watermark codec layer.
+
+Covers spec resolution, the GF(256)/Reed-Solomon primitives, the
+sealed-symbol channel, the protocol's junk-window guard, per-codec
+embed/recognize round trips, the redundancy planner's codec axis, and
+— most load-bearing — the differential pins: sha256 hashes of default
+embeds captured *before* the codec refactor, which the GcrtCodec path
+must reproduce byte for byte.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.bytecode_wm import WatermarkKey, embed, recognize
+from repro.codec import (
+    CodecError,
+    DEFAULT_CODEC,
+    GcrtCodec,
+    HybridCodec,
+    ReedSolomonCodec,
+    available_codecs,
+    resolve_codec,
+    validate_recovery,
+)
+from repro.codec.base import keyed_mac, open_symbol, seal_symbol
+from repro.codec.gf256 import (
+    RSDecodeError,
+    rs_calc_syndromes,
+    rs_correct,
+    rs_encode,
+)
+from repro.core.bitstring import int_to_bits_lsb_first
+from repro.core.planner import plan_redundancy
+from repro.core.recovery import RecoveryResult
+from repro.vm import disassemble
+from repro.workloads import collatz_module, gcd_module
+
+ALL_SPECS = ["gcrt", "rs-8", "hybrid-4"]
+
+
+# ---------------------------------------------------------------------------
+# Spec resolution
+# ---------------------------------------------------------------------------
+
+class TestResolveCodec:
+    def test_none_is_default(self):
+        assert resolve_codec(None).spec == DEFAULT_CODEC == "gcrt"
+
+    def test_family_defaults_normalize(self):
+        assert resolve_codec("rs").spec == "rs-8"
+        assert resolve_codec("hybrid").spec == "hybrid-4"
+        assert resolve_codec("gcrt").spec == "gcrt"
+
+    def test_parameterized_specs(self):
+        assert resolve_codec("rs-16").ec_bytes == 16
+        assert resolve_codec("hybrid-8").ec_bytes == 8
+
+    def test_case_and_whitespace_insensitive(self):
+        assert resolve_codec(" RS-8 ").spec == "rs-8"
+
+    def test_instance_passthrough(self):
+        codec = ReedSolomonCodec(ec_bytes=6)
+        assert resolve_codec(codec) is codec
+
+    def test_instances_are_cached(self):
+        assert resolve_codec("rs-8") is resolve_codec("rs-8")
+        assert resolve_codec("rs") is resolve_codec("rs")
+
+    def test_spec_round_trips(self):
+        for spec in ("gcrt", "rs-8", "rs-16", "hybrid-4", "hybrid-8"):
+            assert resolve_codec(spec).spec == spec
+
+    def test_available_codecs(self):
+        assert available_codecs() == ("gcrt", "rs", "hybrid")
+
+    def test_trailing_dash_falls_back_to_default(self):
+        assert resolve_codec("rs-").spec == "rs-8"
+
+    @pytest.mark.parametrize("bad", [
+        "base64", "rs-x", "gcrt-4", "rs-1", "hybrid-1", ""
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(CodecError):
+            resolve_codec(bad)
+
+    def test_non_string_spec_raises(self):
+        with pytest.raises(CodecError):
+            resolve_codec(42)
+
+
+# ---------------------------------------------------------------------------
+# GF(256) Reed-Solomon primitives
+# ---------------------------------------------------------------------------
+
+class TestReedSolomonPrimitives:
+    DATA = list(b"watermark")
+    NSYM = 8
+
+    def test_systematic_encode(self):
+        word = rs_encode(self.DATA, self.NSYM)
+        assert word[:len(self.DATA)] == self.DATA
+        assert len(word) == len(self.DATA) + self.NSYM
+        assert max(rs_calc_syndromes(word, self.NSYM)) == 0
+
+    def test_clean_word_passes_through(self):
+        word = rs_encode(self.DATA, self.NSYM)
+        corrected, errata = rs_correct(word, self.NSYM)
+        assert corrected == word
+        assert errata == []
+
+    def test_corrects_errors_up_to_half_budget(self):
+        word = rs_encode(self.DATA, self.NSYM)
+        rng = random.Random(1)
+        for count in range(1, self.NSYM // 2 + 1):
+            damaged = list(word)
+            for pos in rng.sample(range(len(word)), count):
+                damaged[pos] ^= rng.randint(1, 255)
+            corrected, errata = rs_correct(damaged, self.NSYM)
+            assert corrected == word
+            assert len(errata) == count
+
+    def test_corrects_erasures_up_to_full_budget(self):
+        word = rs_encode(self.DATA, self.NSYM)
+        rng = random.Random(2)
+        erased = rng.sample(range(len(word)), self.NSYM)
+        damaged = list(word)
+        for pos in erased:
+            damaged[pos] = 0
+        corrected, _ = rs_correct(damaged, self.NSYM, erase_pos=erased)
+        assert corrected == word
+
+    def test_corrects_mixed_errata_at_the_bound(self):
+        # 2e + f <= nsym: 2 errors + 4 erasures against an 8-symbol budget.
+        word = rs_encode(self.DATA, self.NSYM)
+        rng = random.Random(3)
+        positions = rng.sample(range(len(word)), 6)
+        erased, errored = positions[:4], positions[4:]
+        damaged = list(word)
+        for pos in erased:
+            damaged[pos] = 0
+        for pos in errored:
+            damaged[pos] ^= rng.randint(1, 255)
+        corrected, _ = rs_correct(damaged, self.NSYM, erase_pos=erased)
+        assert corrected == word
+
+    def test_too_many_erasures_raise(self):
+        word = rs_encode(self.DATA, self.NSYM)
+        erased = list(range(self.NSYM + 1))
+        damaged = list(word)
+        for pos in erased:
+            damaged[pos] = 0
+        with pytest.raises(RSDecodeError):
+            rs_correct(damaged, self.NSYM, erase_pos=erased)
+
+    def test_too_many_errors_raise_or_fail_loudly(self):
+        word = rs_encode(self.DATA, self.NSYM)
+        rng = random.Random(4)
+        damaged = list(word)
+        for pos in rng.sample(range(len(word)), self.NSYM):
+            damaged[pos] ^= rng.randint(1, 255)
+        with pytest.raises(RSDecodeError):
+            rs_correct(damaged, self.NSYM)
+
+    def test_oversized_codeword_rejected(self):
+        with pytest.raises(ValueError):
+            rs_encode([0] * 250, 8)
+
+
+# ---------------------------------------------------------------------------
+# Sealed-symbol channel and keyed MAC
+# ---------------------------------------------------------------------------
+
+class TestSealedSymbols:
+    CIPHER = WatermarkKey(secret=b"symbols", inputs=[]).cipher()
+    TAG = 0x5253
+
+    def test_round_trip(self):
+        for pos, sym in [(0, 0), (7, 201), (19, 255)]:
+            block = seal_symbol(self.CIPHER, self.TAG, pos, sym)
+            assert open_symbol(self.CIPHER, self.TAG, block, 20) == (pos, sym)
+
+    def test_wrong_tag_rejected(self):
+        block = seal_symbol(self.CIPHER, self.TAG, 3, 99)
+        assert open_symbol(self.CIPHER, 0x4859, block, 20) is None
+
+    def test_out_of_range_position_rejected(self):
+        block = seal_symbol(self.CIPHER, self.TAG, 19, 99)
+        assert open_symbol(self.CIPHER, self.TAG, block, 19) is None
+
+    def test_junk_blocks_rejected(self):
+        rng = random.Random(5)
+        hits = sum(
+            open_symbol(self.CIPHER, self.TAG, rng.getrandbits(64), 255)
+            is not None
+            for _ in range(2000)
+        )
+        assert hits == 0
+
+    def test_layout_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            seal_symbol(self.CIPHER, self.TAG, 256, 0)
+        with pytest.raises(ValueError):
+            seal_symbol(self.CIPHER, self.TAG, 0, 256)
+
+    def test_keyed_mac_binds_key_and_data(self):
+        other = WatermarkKey(secret=b"other", inputs=[]).cipher()
+        mac = keyed_mac(self.CIPHER, b"payload", 4)
+        assert len(mac) == 4
+        assert mac == keyed_mac(self.CIPHER, b"payload", 4)
+        assert mac != keyed_mac(self.CIPHER, b"payloae", 4)
+        assert mac != keyed_mac(other, b"payload", 4)
+
+
+# ---------------------------------------------------------------------------
+# Junk-window guard (regression: phantom marks above the bit width)
+# ---------------------------------------------------------------------------
+
+class TestValidateRecovery:
+    def _result(self, value):
+        return RecoveryResult(
+            complete=True, value=value, congruence=None, confidence=1.0
+        )
+
+    def test_in_range_value_untouched(self):
+        result = validate_recovery(self._result(0xBEEF), 16)
+        assert result.complete and result.value == 0xBEEF
+
+    def test_out_of_range_value_demoted(self):
+        result = validate_recovery(self._result(1 << 16), 16)
+        assert not result.complete
+        assert result.value is None
+        assert result.confidence == 0.0
+
+    def test_demotion_is_idempotent(self):
+        result = validate_recovery(self._result(-1), 16)
+        assert validate_recovery(result, 16) is result
+
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_codecs_never_report_out_of_range_marks(self, spec):
+        # Regression for the pre-codec bug: the junk-window rejection
+        # (value must fit the mark width) lived only in recognize_bits,
+        # so direct decode callers could see phantom out-of-range marks.
+        # A trace carrying a 17-bit "mark" decoded at width 16 must come
+        # back incomplete from every codec, not as a junk value.
+        codec = resolve_codec(spec)
+        cipher = WatermarkKey(secret=b"junk-guard", inputs=[]).cipher()
+        rng = random.Random(6)
+        pieces = codec.encode((1 << 16) | 21, 17, 12, cipher, rng)
+        bits = []
+        for piece in pieces:
+            bits.extend(int_to_bits_lsb_first(piece.block, 64))
+        result = codec.decode(bits, 16, cipher)
+        assert result.value is None or result.value < (1 << 16)
+
+
+# ---------------------------------------------------------------------------
+# Differential pins: default embeds are byte-identical to pre-codec ones
+# ---------------------------------------------------------------------------
+
+# sha256 of the disassembled marked module, captured on the commit
+# immediately before the codec layer landed. If one of these moves, the
+# default path is no longer producing the same programs it used to —
+# old artifacts would stop recognizing.
+PINNED_EMBEDS = {
+    ("collatz", ""): (
+        "7b22d44a2c665496a6641a8629d2698f695096f7aff3b2abaa0a8ad94e75c40f"
+    ),
+    ("collatz", "0xBEEF/3"): (
+        "7b7754448b8473ac197f11eeee017537a30ab4797b0747a9f455eafb9799db68"
+    ),
+    ("gcd", ""): (
+        "144456317b7c7a303fe62c72f6e251008b99ea0d9456e60fc573ba5e6f18919c"
+    ),
+    ("gcd", "0xBEEF/3"): (
+        "503151925b3177f34ab6ae104e54570489fae7dc383f39afcf3f7c60b4a802a9"
+    ),
+}
+
+_PIN_WORKLOADS = {
+    "collatz": (collatz_module, [27]),
+    "gcd": (gcd_module, [252, 105]),
+}
+
+
+@pytest.mark.parametrize("workload,salt", sorted(PINNED_EMBEDS))
+@pytest.mark.parametrize("codec", [None, "gcrt"])
+def test_default_embed_matches_pre_codec_pin(workload, salt, codec):
+    factory, inputs = _PIN_WORKLOADS[workload]
+    key = WatermarkKey(secret=b"codec-pin", inputs=inputs)
+    result = embed(
+        factory(), 0xBEEF, key,
+        pieces=14, watermark_bits=16, rng_salt=salt, codec=codec,
+    )
+    digest = hashlib.sha256(disassemble(result.module).encode()).hexdigest()
+    assert digest == PINNED_EMBEDS[(workload, salt)]
+    assert result.codec == "gcrt"
+
+
+# ---------------------------------------------------------------------------
+# Per-codec embed/recognize round trips
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec", ["gcrt", "rs-4", "rs-8", "hybrid-4"])
+def test_embed_recognize_round_trip(spec):
+    key = WatermarkKey(secret=b"codec-rt", inputs=[252, 105])
+    result = embed(
+        gcd_module(), 0x51ED, key, watermark_bits=16, codec=spec
+    )
+    assert result.codec == resolve_codec(spec).spec
+    found = recognize(
+        result.module, key, watermark_bits=16, codec=spec
+    )
+    assert found.complete
+    assert found.value == 0x51ED
+    assert found.codec == resolve_codec(spec).spec
+
+
+def test_recognize_with_wrong_codec_fails_closed():
+    key = WatermarkKey(secret=b"codec-rt", inputs=[252, 105])
+    result = embed(
+        gcd_module(), 0x51ED, key, watermark_bits=16, codec="rs-8"
+    )
+    found = recognize(result.module, key, watermark_bits=16, codec="gcrt")
+    assert not found.complete
+
+
+def test_embed_rejects_unknown_codec():
+    key = WatermarkKey(secret=b"codec-rt", inputs=[252, 105])
+    with pytest.raises(CodecError):
+        embed(gcd_module(), 1, key, watermark_bits=16, codec="base64")
+
+
+# ---------------------------------------------------------------------------
+# Codec piece-count and planner models
+# ---------------------------------------------------------------------------
+
+class TestCodecModels:
+    def test_gcrt_defaults_match_pre_codec_behaviour(self):
+        codec = GcrtCodec()
+        assert codec.default_piece_count(16) == 4
+        assert codec.default_piece_count(64) == 6
+        assert codec.min_piece_count(16) == 1
+
+    def test_rs_minimum_is_the_erasure_bound(self):
+        codec = ReedSolomonCodec(ec_bytes=8)
+        # 16-bit: 2 data + 4 mac + 8 parity = 14 symbols, 8 erasable.
+        assert codec.min_piece_count(16) == 6
+        assert codec.default_piece_count(16) == 28
+
+    def test_hybrid_budget_split_restores_gcrt_coverage(self):
+        codec = HybridCodec(ec_bytes=4)
+        gcrt_share, parity_share = codec.split_budget(64, 4)
+        assert gcrt_share >= 2  # r - 1 for the 3-moduli 64-bit layout
+        assert gcrt_share + parity_share == 4
+
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_success_probability_monotone_in_pieces(self, spec):
+        codec = resolve_codec(spec)
+        start = codec.min_piece_count(16)
+        probs = [
+            codec.success_probability(16, pieces, 0.3)
+            for pieces in range(start, start + 12)
+        ]
+        assert all(0.0 <= p <= 1.0 for p in probs)
+        assert all(b >= a - 1e-12 for a, b in zip(probs, probs[1:]))
+
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_plan_redundancy_carries_codec(self, spec):
+        plan = plan_redundancy(16, 0.2, codec=spec)
+        codec = resolve_codec(spec)
+        assert plan.codec == codec.spec
+        assert plan.pieces >= codec.min_piece_count(16)
+        assert plan.expected_success >= 0.99  # the default target
+        assert codec.success_probability(16, plan.pieces, 0.2) == (
+            plan.expected_success
+        )
+
+    def test_plan_default_codec_unchanged(self):
+        assert plan_redundancy(16, 0.2) == plan_redundancy(
+            16, 0.2, codec="gcrt"
+        )

@@ -1,0 +1,151 @@
+"""Hypothesis property tests for the codec layer.
+
+Two families of invariants:
+
+* **Round trip** — for every registered codec, ``decode(encode(v))``
+  recovers ``v`` exactly, for arbitrary marks and widths, with the
+  pieces planted in a junk-padded synthetic trace (the bit-level
+  contract the embedders rely on).
+* **Corruption envelope** — the Reed-Solomon codec corrects up to
+  ``ec_bytes // 2`` corrupted symbols (valid-but-wrong sealed blocks,
+  the worst case: junk corruption is merely an erasure), and *flags*
+  anything beyond its capability as incomplete rather than reporting a
+  wrong mark. "Fails closed" is the property; completing anyway with
+  the right mark is allowed, lying is not.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bytecode_wm import WatermarkKey
+from repro.codec import resolve_codec
+from repro.codec.rs import RS_SYMBOL_TAG
+from repro.codec.base import seal_symbol
+from repro.core.bitstring import int_to_bits_lsb_first
+
+CIPHER = WatermarkKey(secret=b"codec-props", inputs=[]).cipher()
+
+_WIDTHS = st.sampled_from([16, 32, 64])
+_SPECS = st.sampled_from(["gcrt", "rs-4", "rs-8", "hybrid-4"])
+
+
+def _plant(blocks, rng):
+    """Blocks laid into a trace with junk prefix/gaps, as embeds do."""
+    bits = [rng.randint(0, 1) for _ in range(24)]
+    for block in blocks:
+        bits.extend(int_to_bits_lsb_first(block, 64))
+        bits.extend(rng.randint(0, 1) for _ in range(rng.randint(0, 9)))
+    return bits
+
+
+@st.composite
+def _marks(draw):
+    width = draw(_WIDTHS)
+    value = draw(st.integers(0, (1 << width) - 1))
+    return width, value
+
+
+@given(spec=_SPECS, mark=_marks(), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_decode_inverts_encode(spec, mark, seed):
+    width, value = mark
+    codec = resolve_codec(spec)
+    rng = random.Random(seed)
+    pieces = codec.encode(
+        value, width, codec.default_piece_count(width), CIPHER, rng
+    )
+    trace = _plant([p.block for p in pieces], rng)
+    result = codec.decode(trace, width, CIPHER)
+    assert result.complete
+    assert result.value == value
+    assert result.codec == codec.spec
+
+
+@given(spec=_SPECS, mark=_marks(), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_decode_order_invariant(spec, mark, seed):
+    """Recovery cannot depend on the order pieces appear in the trace."""
+    width, value = mark
+    codec = resolve_codec(spec)
+    rng = random.Random(seed)
+    pieces = codec.encode(
+        value, width, codec.default_piece_count(width), CIPHER, rng
+    )
+    blocks = [p.block for p in pieces]
+    rng.shuffle(blocks)
+    result = codec.decode(_plant(blocks, rng), width, CIPHER)
+    assert result.complete
+    assert result.value == value
+
+
+@given(
+    ec_bytes=st.sampled_from([4, 8, 16]),
+    mark=_marks(),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_rs_survives_half_budget_corruption(ec_bytes, mark, seed):
+    width, value = mark
+    codec = resolve_codec(f"rs-{ec_bytes}")
+    _, n = codec.layout(width)
+    rng = random.Random(seed)
+    # One copy per position: every corrupted block is an undisputed
+    # wrong symbol, the hardest case (no second copy outvotes it).
+    pieces = codec.encode(value, width, n, CIPHER, rng)
+    blocks = [p.block for p in pieces]
+    corrupt = rng.sample(range(n), rng.randint(1, ec_bytes // 2))
+    for pos in corrupt:
+        word = codec.codeword(value, width, CIPHER)
+        wrong = (word[pos] + rng.randint(1, 255)) % 256
+        blocks[pos] = seal_symbol(CIPHER, RS_SYMBOL_TAG, pos, wrong)
+    result = codec.decode(_plant(blocks, rng), width, CIPHER)
+    assert result.complete
+    assert result.value == value
+    # Corrected symbols cost confidence: a damaged decode never claims
+    # the full-agreement score.
+    assert result.confidence < 1.0
+
+
+@given(
+    ec_bytes=st.sampled_from([4, 8]),
+    mark=_marks(),
+    seed=st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_rs_flags_corruption_beyond_capability(ec_bytes, mark, seed):
+    width, value = mark
+    codec = resolve_codec(f"rs-{ec_bytes}")
+    _, n = codec.layout(width)
+    rng = random.Random(seed)
+    pieces = codec.encode(value, width, n, CIPHER, rng)
+    blocks = [p.block for p in pieces]
+    word = codec.codeword(value, width, CIPHER)
+    corrupt = rng.sample(range(n), rng.randint(ec_bytes // 2 + 1, n))
+    for pos in corrupt:
+        wrong = (word[pos] + rng.randint(1, 255)) % 256
+        blocks[pos] = seal_symbol(CIPHER, RS_SYMBOL_TAG, pos, wrong)
+    result = codec.decode(_plant(blocks, rng), width, CIPHER)
+    # Beyond the guarantee the decode may still pull through (e.g. the
+    # errata happen to be correctable) — but it must never lie.
+    if result.complete:
+        assert result.value == value
+
+
+@given(
+    spec=_SPECS, mark=_marks(), seed=st.integers(0, 2**32 - 1),
+    keep=st.floats(0.0, 1.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_lossy_decode_never_misreports(spec, mark, seed, keep):
+    """Under arbitrary piece loss every codec answers right or not at all."""
+    width, value = mark
+    codec = resolve_codec(spec)
+    rng = random.Random(seed)
+    pieces = codec.encode(
+        value, width, codec.default_piece_count(width), CIPHER, rng
+    )
+    blocks = [p.block for p in pieces if rng.random() < keep]
+    result = codec.decode(_plant(blocks, rng), width, CIPHER)
+    if result.complete:
+        assert result.value == value

@@ -206,9 +206,13 @@ class TestInjectedBackpressure:
             FaultRule(site="daemon.job", action="delay",
                       delay_seconds=0.5, times=1),
         ])
+        # The reset window must comfortably outlast the gap between the
+        # tripping call and the fail-fast check below — on a loaded
+        # machine a too-tight window is already half-open by the time
+        # the second request lands.
         config = thread_config(
             store_root, request_timeout=0.2,
-            circuit_threshold=1, circuit_reset=0.3,
+            circuit_threshold=1, circuit_reset=1.0,
         )
         with faults.injected(plan), ServerThread(config) as server:
             client = ServiceClient(server.base_url, retry=NO_RETRY)
@@ -219,7 +223,7 @@ class TestInjectedBackpressure:
             assert info.value.status == 503
             # Long enough for the reset window *and* for the orphaned
             # delayed job to free the single worker slot.
-            time.sleep(0.7)
+            time.sleep(1.3)
             doc = client.embed(digest, "probe", 3)
             assert doc["verified"]
             assert client.healthz()["circuits"]["/v1/embed"] == "closed"
