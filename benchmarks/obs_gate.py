@@ -1,0 +1,145 @@
+"""CI observability gate: boot the daemon, drive load, judge the SLOs.
+
+One self-contained proof that the telemetry hub works end to end:
+
+1. prepare a pinned-seed artifact into a fresh store;
+2. boot a real `ServerThread` with a journal directory;
+3. drive embed/recognize load through `ServiceClient`;
+4. scrape `/metrics` and fail on any exposition-conformance problem;
+5. read `/v1/obs/events` and `/v1/obs/spans` and fail if the journal
+   or the trace trees are empty;
+6. exit with the SLO verdict from `/v1/obs/slo` — 0 when every
+   objective is met, 1 on any breach.
+
+`--inject-faults` arms a fault plan that makes embeds fail, which must
+flip the exit code to 1 — CI runs the script both ways to prove the
+gate actually gates.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/obs_gate.py [--inject-faults]
+"""
+
+import argparse
+import shutil
+import sys
+import tempfile
+
+from repro import faults, obs
+from repro.bytecode_wm.keys import WatermarkKey
+from repro.faults import FaultPlan, FaultRule
+from repro.faults.retry import RetryPolicy
+from repro.obs.journal import read_events, read_spans
+from repro.obs.promcheck import check_exposition
+from repro.pipeline import prepare
+from repro.serve import ArtifactStore, ServerConfig, ServerThread
+from repro.serve.client import ServiceClient, ServiceError
+from repro.workloads import gcd_module
+
+SEED = 2004
+COPIES = 4
+KEY = WatermarkKey(secret=b"obs-gate", inputs=[25, 10])
+
+
+def drive_load(client, digest):
+    """Pinned-seed embed + recognize traffic; failures are expected
+    under an armed fault plan and must not abort the gate."""
+    failures = 0
+    for index in range(COPIES):
+        try:
+            out = client.embed(
+                digest, f"copy-{index:04d}", SEED + index, seed=index
+            )
+            client.recognize(digest, out["module"])
+        except ServiceError as exc:
+            failures += 1
+            print(f"  embed copy-{index:04d}: HTTP {exc.status}")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--inject-faults", action="store_true",
+        help="arm a daemon.job fault plan; the gate must then FAIL",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="obs-gate-")
+    problems = []
+    try:
+        store_root = f"{workdir}/store"
+        journal_dir = f"{workdir}/journal"
+        store = ArtifactStore(store_root)
+        store.put(prepare(gcd_module(), KEY, 16, 8), label="obs-gate")
+        digest = store.records()[0].digest
+
+        if args.inject_faults:
+            faults.install(FaultPlan([
+                FaultRule(site="daemon.job", action="raise", times=None),
+            ], seed=SEED))
+
+        obs.enable_tracing()
+        config = ServerConfig(
+            store_root=store_root, port=0, executor="thread",
+            workers=2, journal_dir=journal_dir,
+        )
+        with ServerThread(config) as server:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.service.port}",
+                retry=RetryPolicy(max_attempts=1),
+            )
+            failures = drive_load(client, digest)
+            print(f"load driven: {COPIES} embeds, {failures} failed")
+
+            exposition = client.metrics()
+            for problem in check_exposition(exposition):
+                problems.append(f"/metrics: {problem}")
+
+            events = client.obs_events(limit=500)
+            print(f"events in ring: {events['count']} "
+                  f"(emitted {events['emitted_total']})")
+            if events["count"] == 0:
+                problems.append("/v1/obs/events returned no events")
+
+            traces = client.obs_spans()["traces"]
+            print(f"trace trees: {len(traces)}")
+            if not args.inject_faults and not traces:
+                problems.append("/v1/obs/spans returned no traces")
+
+            slo = client.obs_slo()
+            health = client.healthz()
+    finally:
+        faults.clear()
+        obs.disable_tracing()
+        obs.set_hub(None)
+
+    journaled = read_events(journal_dir)
+    spans = read_spans(journal_dir)
+    print(f"journal: {len(journaled)} event(s), {len(spans)} span(s)")
+    if not journaled:
+        problems.append("journal file holds no events")
+    if health["slo"]["met"] != slo["met"]:
+        problems.append("/healthz and /v1/obs/slo disagree on the verdict")
+
+    print()
+    for status in slo["objectives"]:
+        flag = "ok " if status["met"] else "FAIL"
+        print(f"{flag} {status['objective']['name']}: {status['detail']}")
+    for problem in problems:
+        print(f"PROBLEM: {problem}")
+
+    shutil.rmtree(workdir, ignore_errors=True)
+
+    if problems:
+        return 1
+    if not slo["met"]:
+        print(f"\nSLO gate: BREACHED {slo['breached']} "
+              f"(max burn {slo['max_burn_rate']:.2f})")
+        return 1
+    print("\nSLO gate: all objectives met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

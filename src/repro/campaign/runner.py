@@ -418,6 +418,18 @@ def run_campaign(
                                 recovered_total.inc(cell.recovered)
                                 cell_seconds.observe(cell.wall_seconds,
                                                      attack=schedule.name)
+                                obs.emit(
+                                    "campaign.cell",
+                                    f"{program.name}/{schedule.name}",
+                                    workload=program.name,
+                                    bits=bits,
+                                    codec=codec,
+                                    attack=schedule.name,
+                                    intensity=intensity,
+                                    copies=cell.copies,
+                                    recovered=cell.recovered,
+                                    wall_seconds=cell.wall_seconds,
+                                )
                                 if journal_fp is not None:
                                     journal_fp.write(
                                         json.dumps(cell.to_dict(),

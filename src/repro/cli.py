@@ -36,6 +36,7 @@ Modules travel as WVM assembly text (the `.wasm` extension here means
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import random
@@ -43,6 +44,8 @@ import sys
 from typing import List, Optional, Sequence
 
 from . import obs
+from .obs.journal import read_events, read_journal, read_spans
+from .obs.slo import SLOEngine, default_objectives, load_objectives
 from .attacks.bytecode import (
     insert_branches,
     insert_noops,
@@ -195,9 +198,18 @@ def cmd_batch_embed(args) -> int:
     module = _read_module(manifest.module_path)
     key = manifest.key()
 
+    # --journal arms the tracer too: the hub's span sink only sees
+    # spans when one is recording, and an empty span stream would
+    # leave 'repro obs trace' nothing to render.
     tracer = None
-    if args.obs_out:
+    if args.obs_out or args.journal:
         tracer = obs.enable_tracing()
+    hub = None
+    if args.journal:
+        hub = obs.TelemetryHub(obs.HubConfig(
+            journal_path=os.path.join(args.journal, "journal.jsonl")
+        ))
+        obs.set_hub(hub)
 
     # Shared preparation, optionally persisted across invocations —
     # either in the multi-release artifact store (--store) or a
@@ -277,14 +289,99 @@ def cmd_batch_embed(args) -> int:
         prom_path = os.path.splitext(args.obs_out)[0] + ".prom"
         with open(prom_path, "w") as fp:
             fp.write(obs.get_registry().to_prometheus())
-        obs.disable_tracing()
     if args.profile and report.dispatch_profile is not None:
         with open(os.path.join(args.output, "profile.json"), "w") as fp:
             report.dispatch_profile.write_json(fp)
         print(report.dispatch_profile.summary(), file=sys.stderr)
+    if hub is not None:
+        hub.snapshot_metrics(obs.get_registry())
+        obs.set_hub(None)
+        hub.close()
+    if tracer is not None:
+        obs.disable_tracing()
 
     print(report.summary(), file=sys.stderr)
     return 0 if report.all_ok else 1
+
+
+def cmd_obs_tail(args) -> int:
+    events = read_events(args.journal)
+    matched = [
+        e for e in events if e.matches(args.kind, args.name, args.route)
+    ]
+    for event in matched[-max(0, args.limit):]:
+        print(json.dumps(event.to_dict(), sort_keys=True))
+    return 0
+
+
+def cmd_obs_summary(args) -> int:
+    events = 0
+    spans = 0
+    snapshots = 0
+    kinds: dict = {}
+    traces: set = set()
+    first = None
+    last = None
+    for doc in read_journal(args.journal):
+        rec = doc.get("rec")
+        if rec == "event":
+            events += 1
+            kinds[doc.get("kind", "?")] = kinds.get(doc.get("kind", "?"), 0) + 1
+            unix = doc.get("unix")
+            if isinstance(unix, (int, float)):
+                first = unix if first is None else min(first, unix)
+                last = unix if last is None else max(last, unix)
+        elif rec == "span":
+            spans += 1
+            if doc.get("trace_id"):
+                traces.add(doc["trace_id"])
+        elif rec == "metrics":
+            snapshots += 1
+    print(f"events    {events}")
+    for kind in sorted(kinds):
+        print(f"  {kind:<18} {kinds[kind]}")
+    print(f"spans     {spans}  ({len(traces)} trace(s))")
+    print(f"snapshots {snapshots}")
+    if first is not None and last is not None:
+        print(f"window    {last - first:.1f}s of activity")
+    return 0
+
+
+def cmd_obs_slo(args) -> int:
+    try:
+        objectives = (
+            load_objectives(args.spec) if args.spec else default_objectives()
+        )
+    except (OSError, ValueError) as exc:
+        print(f"bad SLO spec: {exc}", file=sys.stderr)
+        return 2
+    if args.window is not None:
+        objectives = [
+            dataclasses.replace(o, window_seconds=args.window)
+            for o in objectives
+        ]
+    engine = SLOEngine(objectives)
+    statuses = engine.evaluate(read_events(args.journal))
+    print(SLOEngine.summary(statuses))
+    return 0 if all(s.met for s in statuses) else 1
+
+
+def cmd_obs_trace(args) -> int:
+    spans = read_spans(args.journal)
+    grouped: dict = {}
+    for span in spans:
+        grouped.setdefault(span.trace_id, []).append(span)
+    hits = [t for t in grouped if t and t.startswith(args.trace_id)]
+    if not hits:
+        print(f"no trace matches {args.trace_id!r} "
+              f"({len(grouped)} trace(s) in the journal)", file=sys.stderr)
+        return 2
+    if len(hits) > 1:
+        print(f"{args.trace_id!r} is ambiguous: " + ", ".join(sorted(hits)),
+              file=sys.stderr)
+        return 2
+    print(obs.render_span_tree(grouped[hits[0]]), end="")
+    return 0
 
 
 def cmd_campaign(args) -> int:
@@ -348,14 +445,20 @@ def cmd_serve(args) -> int:
             request_timeout=args.timeout,
             executor=args.executor,
             self_check=not args.no_self_check,
+            journal_dir=args.journal,
+            slo_spec=args.slo,
         )
     except ValueError as exc:
         print(f"bad serve configuration: {exc}", file=sys.stderr)
         return 2
-    tracer = obs.enable_tracing() if args.obs_out else None
+    # The journal records spans, so --journal arms the tracer too —
+    # otherwise 'repro obs trace' would find an empty span stream.
+    tracer = None
+    if args.obs_out or args.journal:
+        tracer = obs.enable_tracing()
     try:
         serve(config)
-    except StoreError as exc:
+    except (StoreError, OSError, ValueError) as exc:
         print(f"cannot serve: {exc}", file=sys.stderr)
         return 2
     finally:
@@ -366,6 +469,7 @@ def cmd_serve(args) -> int:
             prom_path = os.path.splitext(args.obs_out)[0] + ".prom"
             with open(prom_path, "w") as fp:
                 fp.write(obs.get_registry().to_prometheus())
+        if tracer is not None:
             obs.disable_tracing()
     return 0
 
@@ -630,6 +734,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="skip copies the --checkpoint journal already "
                         "shows as verified (crash recovery)")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="append telemetry events (copy outcomes, retries, "
+                        "faults) to DIR/journal.jsonl for 'repro obs'")
     p.set_defaults(fn=cmd_batch_embed)
 
     p = sub.add_parser(
@@ -745,6 +852,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--obs-out", default=None, metavar="FILE",
                    help="on shutdown, write spans + metrics as JSON "
                         "lines to FILE (plus FILE's .prom sibling)")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="append the telemetry journal to DIR/journal.jsonl "
+                        "(events, spans; read back with 'repro obs')")
+    p.add_argument("--slo", default=None, metavar="FILE",
+                   help="JSON SLO spec evaluated at /v1/obs/slo and "
+                        "/healthz (default: built-in objectives)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -791,6 +904,49 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--json", action="store_true",
                    help="emit the records as a JSON array")
     a.set_defaults(fn=cmd_artifact_quarantine_list)
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect a telemetry journal (events, SLOs, trace trees)",
+    )
+    osub = p.add_subparsers(dest="obs_command", required=True)
+
+    o = osub.add_parser("tail", help="print the newest journal events")
+    o.add_argument("--journal", required=True, metavar="PATH",
+                   help="journal file or the directory holding "
+                        "journal.jsonl")
+    o.add_argument("--limit", type=int, default=20,
+                   help="events to print (default 20)")
+    o.add_argument("--kind", default=None,
+                   help="only this event kind (e.g. http.request, fault)")
+    o.add_argument("--name", default=None, metavar="GLOB",
+                   help="only events whose name matches this glob")
+    o.add_argument("--route", default=None,
+                   help="only events for this HTTP route")
+    o.set_defaults(fn=cmd_obs_tail)
+
+    o = osub.add_parser("summary",
+                        help="count journal records by kind")
+    o.add_argument("--journal", required=True, metavar="PATH")
+    o.set_defaults(fn=cmd_obs_summary)
+
+    o = osub.add_parser(
+        "slo",
+        help="judge SLO objectives over the journal (exit 1 on breach)",
+    )
+    o.add_argument("--journal", required=True, metavar="PATH")
+    o.add_argument("--spec", default=None, metavar="FILE",
+                   help="JSON SLO spec (default: built-in objectives)")
+    o.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                   help="override every objective's evaluation window")
+    o.set_defaults(fn=cmd_obs_slo)
+
+    o = osub.add_parser("trace",
+                        help="render one trace's span tree from the journal")
+    o.add_argument("trace_id",
+                   help="trace id (a unique prefix is enough)")
+    o.add_argument("--journal", required=True, metavar="PATH")
+    o.set_defaults(fn=cmd_obs_trace)
 
     return parser
 

@@ -47,6 +47,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
+from ..obs.journal import emit as emit_event
 from ..obs.metrics import get_registry
 
 #: Exit status used by ``action="kill"``; distinctive enough that a
@@ -187,6 +188,8 @@ class FaultPlan:
             get_registry().counter(
                 "repro_faults_injected_total", "Faults fired by the injector"
             ).inc(site=site, action=rule.action)
+            emit_event("fault", site, site=site, action=rule.action,
+                       rule=index)
             yield index, rule
 
     def hit(self, site: str) -> None:

@@ -4,7 +4,7 @@ Zero-dependency spans, metrics and profiling threaded through every
 layer of the system — the instrumentation that turns "the batch took
 41s" into "the prepare trace took 28s, copy 0413's self-check run
 dominated its worker, and 61% of executed instructions went through
-superinstructions". Four pieces:
+superinstructions". Seven pieces:
 
 * :mod:`~repro.obs.spans` — a span/trace API with ambient context
   propagation (:func:`span`, :func:`current_context`, :func:`attach`)
@@ -13,6 +13,18 @@ superinstructions". Four pieces:
 * :mod:`~repro.obs.metrics` — a Prometheus-shaped metrics registry
   (counters, gauges, histograms) with JSON-lines and Prometheus-text
   exporters;
+* :mod:`~repro.obs.journal` — the operational telemetry hub: every
+  layer emits structured events (:func:`emit`) and finished spans
+  into bounded in-memory rings plus an append-only, size-rotated
+  JSONL journal that the daemon's ``/v1/obs/*`` routes and the
+  ``repro obs`` CLI read;
+* :mod:`~repro.obs.slo` — declarative service-level objectives
+  (latency p95, error rate, recovery rate, retry budget) evaluated
+  with burn rates over journal windows; the daemon's ``/healthz``
+  verdict and the CI gate;
+* :mod:`~repro.obs.promcheck` — a Prometheus text-exposition
+  conformance auditor (:func:`check_exposition`) used by tests and
+  the CI obs gate against a live ``/metrics``;
 * :mod:`~repro.obs.vmprofile` — per-opcode dispatch profiles of the
   WVM fast-path engine (superinstruction hit rates, trace byte
   throughput) built from the interpreter's opt-in profiled loops;
@@ -42,6 +54,17 @@ from __future__ import annotations
 from contextlib import AbstractContextManager
 from typing import Any, Optional, Union
 
+from .journal import (
+    Event,
+    HubConfig,
+    TelemetryHub,
+    emit,
+    get_hub,
+    read_events,
+    read_journal,
+    read_spans,
+    set_hub,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
@@ -52,7 +75,9 @@ from .metrics import (
     get_registry,
     set_registry,
 )
+from .promcheck import check_exposition
 from .recognition import RecognitionReport
+from .slo import Objective, SLOEngine, SLOStatus, default_objectives
 from .spans import (
     NullTracer,
     Span,
@@ -70,24 +95,38 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
     "DispatchProfile",
+    "Event",
     "Gauge",
     "Histogram",
+    "HubConfig",
     "MetricsRegistry",
     "NullTracer",
+    "Objective",
     "RecognitionReport",
+    "SLOEngine",
+    "SLOStatus",
     "Span",
     "SpanContext",
     "StageAccumulator",
     "Stopwatch",
+    "TelemetryHub",
     "Tracer",
     "attach",
+    "check_exposition",
     "current_context",
+    "default_objectives",
     "disable_tracing",
+    "emit",
     "enable_tracing",
+    "get_hub",
     "get_registry",
     "get_tracer",
     "profile_run",
+    "read_events",
+    "read_journal",
+    "read_spans",
     "render_span_tree",
+    "set_hub",
     "set_registry",
     "span",
 ]

@@ -1,0 +1,387 @@
+"""Service-level objectives evaluated over the telemetry journal.
+
+The paper measures the watermark with explicit, numeric criteria —
+recovery probability per attack cell, slowdown per benchmark — and
+this module applies the same discipline to the service around it. An
+:class:`Objective` is a declarative statement of acceptable behavior
+("p95 embed latency under 30 s", "recognition recovery at least
+99%"), an :class:`SLOStatus` is that statement judged against a
+window of journal events, and :class:`SLOEngine` runs a whole set of
+objectives — in the daemon (``/v1/obs/slo`` and ``/healthz``), in the
+``repro obs slo`` CLI gate, and in CI, where an injected fault plan
+must flip the gate to failing.
+
+Objective kinds
+---------------
+
+``latency_p95``
+    p95 of ``http.request`` event durations (optionally filtered to
+    one route) must be **at most** ``target`` seconds. The burn rate
+    is the fraction of requests over target divided by a 5% allowance
+    — burn 1.0 means the tail budget is exactly spent.
+``error_rate``
+    The fraction of ``http.request`` events with status >= 500 must
+    be **at most** ``target``. Burn is observed rate over target.
+``recovery_rate``
+    The fraction of ``recognize`` events with ``complete=true`` must
+    be **at least** ``target``. Burn is observed miss rate over the
+    allowed miss rate.
+``retry_budget``
+    The summed ``count`` of ``batch.retry`` events in the window must
+    be **at most** ``target``. Burn is spend over budget.
+
+An objective with no events in its window reports ``no data`` and
+counts as met — absence of traffic is not an outage — but carries
+``samples == 0`` so dashboards can tell the two apart.
+
+Specs are JSON documents (``{"objectives": [{...}, ...]}``) so a
+deployment can pin its own targets; :func:`default_objectives` is the
+set the daemon and CI gate use out of the box.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from .journal import Event
+
+__all__ = [
+    "Objective",
+    "SLOStatus",
+    "SLOEngine",
+    "default_objectives",
+    "evaluate_objectives",
+    "load_objectives",
+    "percentile",
+]
+
+#: Valid objective kinds; anything else is a spec error.
+OBJECTIVE_KINDS = ("latency_p95", "error_rate", "recovery_rate",
+                   "retry_budget")
+
+#: Tail allowance for latency objectives: up to this fraction of
+#: requests may exceed the p95 target before the burn rate passes 1.
+_LATENCY_ALLOWANCE = 0.05
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative service-level objective."""
+
+    name: str
+    kind: str
+    target: float
+    route: Optional[str] = None
+    window_seconds: float = 3600.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("objective needs a name")
+        if self.kind not in OBJECTIVE_KINDS:
+            raise ValueError(
+                f"unknown objective kind {self.kind!r} "
+                f"(have: {', '.join(OBJECTIVE_KINDS)})"
+            )
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.kind in ("error_rate", "recovery_rate"):
+            if not 0.0 <= self.target <= 1.0:
+                raise ValueError(f"{self.kind} target must be in [0, 1]")
+        elif self.target <= 0:
+            raise ValueError(f"{self.kind} target must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "window_seconds": self.window_seconds,
+        }
+        if self.route is not None:
+            doc["route"] = self.route
+        if self.description:
+            doc["description"] = self.description
+        return doc
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "Objective":
+        return Objective(
+            name=doc["name"],
+            kind=doc["kind"],
+            target=float(doc["target"]),
+            route=doc.get("route"),
+            window_seconds=float(doc.get("window_seconds", 3600.0)),
+            description=doc.get("description", ""),
+        )
+
+
+@dataclass
+class SLOStatus:
+    """One objective judged against a window of events."""
+
+    objective: Objective
+    met: bool
+    value: Optional[float]
+    samples: int
+    burn_rate: float
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "objective": self.objective.to_dict(),
+            "met": self.met,
+            "value": self.value,
+            "samples": self.samples,
+            "burn_rate": self.burn_rate,
+            "detail": self.detail,
+        }
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of no values")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _http_events(
+    events: Sequence[Event], route: Optional[str]
+) -> List[Event]:
+    return [
+        e for e in events
+        if e.kind == "http.request"
+        and (route is None or str(e.attrs.get("route", e.name)) == route)
+    ]
+
+
+def _no_data(objective: Objective) -> SLOStatus:
+    return SLOStatus(
+        objective=objective, met=True, value=None, samples=0,
+        burn_rate=0.0, detail="no data in window",
+    )
+
+
+def _evaluate_one(
+    objective: Objective, events: Sequence[Event]
+) -> SLOStatus:
+    if objective.kind == "latency_p95":
+        hits = _http_events(events, objective.route)
+        values = [
+            float(e.attrs["seconds"]) for e in hits
+            if isinstance(e.attrs.get("seconds"), (int, float))
+        ]
+        if not values:
+            return _no_data(objective)
+        p95 = percentile(values, 0.95)
+        over = sum(1 for v in values if v > objective.target)
+        burn = (over / len(values)) / _LATENCY_ALLOWANCE
+        return SLOStatus(
+            objective=objective,
+            met=p95 <= objective.target,
+            value=p95,
+            samples=len(values),
+            burn_rate=burn,
+            detail=(
+                f"p95 {p95:.3f}s vs {objective.target:g}s over "
+                f"{len(values)} request(s)"
+            ),
+        )
+
+    if objective.kind == "error_rate":
+        hits = _http_events(events, objective.route)
+        if not hits:
+            return _no_data(objective)
+        bad = sum(
+            1 for e in hits if int(e.attrs.get("status", 0)) >= 500
+        )
+        rate = bad / len(hits)
+        burn = rate / objective.target if objective.target > 0 else (
+            0.0 if bad == 0 else math.inf
+        )
+        return SLOStatus(
+            objective=objective,
+            met=rate <= objective.target,
+            value=rate,
+            samples=len(hits),
+            burn_rate=burn,
+            detail=(
+                f"{bad}/{len(hits)} request(s) failed "
+                f"({rate:.1%} vs {objective.target:.1%} budget)"
+            ),
+        )
+
+    if objective.kind == "recovery_rate":
+        hits = [e for e in events if e.kind == "recognize"]
+        if not hits:
+            return _no_data(objective)
+        recovered = sum(1 for e in hits if bool(e.attrs.get("complete")))
+        rate = recovered / len(hits)
+        allowed_miss = 1.0 - objective.target
+        miss = 1.0 - rate
+        burn = miss / allowed_miss if allowed_miss > 0 else (
+            0.0 if miss == 0 else math.inf
+        )
+        return SLOStatus(
+            objective=objective,
+            met=rate >= objective.target,
+            value=rate,
+            samples=len(hits),
+            burn_rate=burn,
+            detail=(
+                f"{recovered}/{len(hits)} recognition(s) complete "
+                f"({rate:.1%} vs {objective.target:.1%} floor)"
+            ),
+        )
+
+    # retry_budget
+    hits = [e for e in events if e.kind == "batch.retry"]
+    spent = float(sum(float(e.attrs.get("count", 1)) for e in hits))
+    if not hits:
+        return _no_data(objective)
+    return SLOStatus(
+        objective=objective,
+        met=spent <= objective.target,
+        value=spent,
+        samples=len(hits),
+        burn_rate=spent / objective.target,
+        detail=(
+            f"{spent:g} retried cop(ies) vs budget "
+            f"{objective.target:g}"
+        ),
+    )
+
+
+def evaluate_objectives(
+    objectives: Sequence[Objective],
+    events: Sequence[Event],
+    now: Optional[float] = None,
+) -> List[SLOStatus]:
+    """Judge every objective over its own window ending at ``now``.
+
+    ``now`` defaults to the newest event's timestamp, so evaluating a
+    historical journal does not see every window empty.
+    """
+    if now is None:
+        now = max((e.unix for e in events), default=0.0)
+    statuses: List[SLOStatus] = []
+    for objective in objectives:
+        cutoff = now - objective.window_seconds
+        window = [e for e in events if e.unix >= cutoff]
+        statuses.append(_evaluate_one(objective, window))
+    return statuses
+
+
+def default_objectives() -> List[Objective]:
+    """The out-of-the-box objective set for the serving daemon."""
+    return [
+        Objective(
+            name="embed-latency-p95",
+            kind="latency_p95",
+            target=30.0,
+            route="/v1/embed",
+            description="p95 embed request latency stays under 30s",
+        ),
+        Objective(
+            name="embed-error-rate",
+            kind="error_rate",
+            target=0.02,
+            route="/v1/embed",
+            description="at most 2% of embed requests may fail (5xx)",
+        ),
+        Objective(
+            name="recognize-error-rate",
+            kind="error_rate",
+            target=0.02,
+            route="/v1/recognize",
+            description="at most 2% of recognize requests may fail (5xx)",
+        ),
+        Objective(
+            name="recognition-recovery",
+            kind="recovery_rate",
+            target=0.99,
+            description="at least 99% of recognitions recover a mark",
+        ),
+        Objective(
+            name="batch-retry-budget",
+            kind="retry_budget",
+            target=25.0,
+            description="at most 25 copies resubmitted per window",
+        ),
+    ]
+
+
+def load_objectives(path: str) -> List[Objective]:
+    """Parse a declarative SLO spec file.
+
+    The format is ``{"objectives": [{...}, ...]}``; each entry feeds
+    :meth:`Objective.from_dict`. Raises ``ValueError`` on a malformed
+    document so a bad spec fails loudly at startup, not at scrape
+    time.
+    """
+    with open(path) as fp:
+        doc = json.load(fp)
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("objectives"), list
+    ):
+        raise ValueError(
+            f"{path}: SLO spec must be {{'objectives': [...]}}"
+        )
+    objectives: List[Objective] = []
+    for entry in doc["objectives"]:
+        try:
+            objectives.append(Objective.from_dict(entry))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: bad objective {entry!r}: {exc}")
+    if not objectives:
+        raise ValueError(f"{path}: spec declares no objectives")
+    return objectives
+
+
+class SLOEngine:
+    """A set of objectives plus the machinery to report on them."""
+
+    def __init__(self, objectives: Optional[Sequence[Objective]] = None):
+        self.objectives = list(
+            objectives if objectives is not None else default_objectives()
+        )
+        if not self.objectives:
+            raise ValueError("SLOEngine needs at least one objective")
+
+    def evaluate(
+        self, events: Sequence[Event], now: Optional[float] = None
+    ) -> List[SLOStatus]:
+        return evaluate_objectives(self.objectives, events, now=now)
+
+    def report(
+        self, events: Sequence[Event], now: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The JSON document ``/v1/obs/slo`` serves: every status plus
+        the overall verdict and the worst burn rate."""
+        statuses = self.evaluate(events, now=now)
+        return {
+            "met": all(s.met for s in statuses),
+            "breached": [s.objective.name for s in statuses if not s.met],
+            "max_burn_rate": max(
+                (s.burn_rate for s in statuses), default=0.0
+            ),
+            "objectives": [s.to_dict() for s in statuses],
+        }
+
+    @staticmethod
+    def summary(statuses: Sequence[SLOStatus]) -> str:
+        """Aligned human-readable table for the CLI."""
+        lines: List[str] = []
+        width = max((len(s.objective.name) for s in statuses), default=4)
+        for status in statuses:
+            flag = "ok " if status.met else "FAIL"
+            lines.append(
+                f"{flag} {status.objective.name:<{width}}  "
+                f"burn={status.burn_rate:5.2f}  {status.detail}"
+            )
+        return "\n".join(lines)

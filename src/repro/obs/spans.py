@@ -33,11 +33,39 @@ import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    TextIO,
+    Union,
+)
 
 
 def _new_id(nbytes: int = 8) -> str:
     return os.urandom(nbytes).hex()
+
+
+#: Module-level fan-out for finished spans. The telemetry hub
+#: (:mod:`repro.obs.journal`) installs its journal writer here so
+#: every span any tracer finishes — or adopts from a worker — also
+#: lands in the event journal. ``None`` (the default) costs one load
+#: and one test per finished span.
+_SPAN_SINK: Optional[Callable[["Span"], None]] = None
+
+
+def set_span_sink(
+    sink: Optional[Callable[["Span"], None]],
+) -> Optional[Callable[["Span"], None]]:
+    """Install (or clear) the finished-span sink; returns the old one."""
+    global _SPAN_SINK
+    previous = _SPAN_SINK
+    _SPAN_SINK = sink
+    return previous
 
 
 @dataclass(frozen=True)
@@ -194,6 +222,8 @@ class Tracer:
             sp.duration = time.perf_counter() - start
             _CURRENT.reset(token)
             self.finished.append(sp)
+            if _SPAN_SINK is not None:
+                _SPAN_SINK(sp)
 
     # -- collection plumbing ------------------------------------------------
 
@@ -201,9 +231,10 @@ class Tracer:
         """Graft spans recorded elsewhere (e.g. a pool worker) into
         this tracer's record. Dicts are accepted as they travel."""
         for sp in spans:
-            self.finished.append(
-                sp if isinstance(sp, Span) else Span.from_dict(sp)
-            )
+            span = sp if isinstance(sp, Span) else Span.from_dict(sp)
+            self.finished.append(span)
+            if _SPAN_SINK is not None:
+                _SPAN_SINK(span)
 
     def drain(self) -> List[Span]:
         """Remove and return every finished span (worker hand-off)."""

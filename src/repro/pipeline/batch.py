@@ -199,6 +199,7 @@ def _init_worker(
     profile: bool = False,
     parent: Optional[SpanContext] = None,
     fault_plan: Optional[FaultPlan] = None,
+    hub_config: Optional[obs.HubConfig] = None,
 ) -> None:
     global _WORKER_PREPARED, _WORKER_SELF_CHECK
     global _WORKER_PROFILE, _WORKER_PARENT
@@ -210,6 +211,11 @@ def _init_worker(
         # A parent with an armed fault plan arms every worker too —
         # that is how injected kills land inside real pool processes.
         faults.install(fault_plan)
+    if hub_config is not None:
+        # Worker-side events (fault firings, per-copy telemetry)
+        # append to the parent's journal; the worker never rotates it
+        # and never journals spans (the parent does, on adopt).
+        obs.set_hub(obs.TelemetryHub(hub_config))
     if parent is not None:
         # The parent batch span's context travels in; record worker
         # spans locally and hand them back on each CopyResult.
@@ -448,10 +454,12 @@ def _run_round(
     chunk = chunksize or default_chunksize(len(pending), workers)
     chunks = [pending[i:i + chunk] for i in range(0, len(pending), chunk)]
     parent = obs.current_context() if tracer.enabled else None
+    hub = obs.get_hub()
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(prepared, self_check, profile, parent, faults.get_plan()),
+        initargs=(prepared, self_check, profile, parent, faults.get_plan(),
+                  hub.worker_config() if hub is not None else None),
     ) as pool:
         futures: Dict[Future, List[CopySpec]] = {
             pool.submit(_embed_chunk, group): group for group in chunks
@@ -575,6 +583,15 @@ def run_batch(
                 with open(path, "w") as fp:
                     fp.write(result.text)
         _journal_result(journal, result)
+        obs.emit(
+            "copy",
+            result.copy_id,
+            ok=result.ok,
+            verified=result.verified,
+            attempts=result.attempts,
+            wall_seconds=result.wall_seconds,
+            error_kind=result.error_kind,
+        )
 
     try:
         with watch, obs.span("batch", copies=len(specs), workers=workers):
@@ -605,6 +622,12 @@ def run_batch(
                         "repro_batch_retries_total",
                         "Copies resubmitted after a worker loss",
                     ).inc(len(pending))
+                    obs.emit(
+                        "batch.retry",
+                        f"round-{retry_rounds}",
+                        count=len(pending),
+                        attempt=attempt,
+                    )
                     time.sleep(policy.delay(attempt))
                     attempt += 1
     finally:

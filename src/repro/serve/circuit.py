@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from ..obs.journal import emit as emit_event
 from ..obs.metrics import get_registry
 
 __all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
@@ -79,6 +80,8 @@ class CircuitBreaker:
             "repro_http_circuit_transitions_total",
             "Circuit breaker state transitions",
         ).inc(route=self.name or "-", state=state)
+        emit_event("circuit", self.name or "-",
+                   route=self.name or "-", state=state)
 
     def allow(self) -> bool:
         """May a request dispatch right now?

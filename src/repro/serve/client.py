@@ -162,6 +162,45 @@ class ServiceClient:
             raise ServiceError(status, str(doc.get("error", "")), doc)
         return doc
 
+    def obs_events(
+        self,
+        limit: Optional[int] = None,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        route: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Tail the daemon's telemetry ring (``GET /v1/obs/events``)."""
+        params: Dict[str, str] = {}
+        if limit is not None:
+            params["limit"] = str(limit)
+        if kind is not None:
+            params["kind"] = kind
+        if name is not None:
+            params["name"] = name
+        if route is not None:
+            params["route"] = route
+        path = "/v1/obs/events"
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        status, doc = self.request("GET", path)
+        if status != 200:
+            raise ServiceError(status, str(doc.get("error", "")), doc)
+        return doc
+
+    def obs_spans(self) -> Dict[str, Any]:
+        """Recent trace trees (``GET /v1/obs/spans``)."""
+        status, doc = self.request("GET", "/v1/obs/spans")
+        if status != 200:
+            raise ServiceError(status, str(doc.get("error", "")), doc)
+        return doc
+
+    def obs_slo(self) -> Dict[str, Any]:
+        """The SLO engine's verdict (``GET /v1/obs/slo``)."""
+        status, doc = self.request("GET", "/v1/obs/slo")
+        if status != 200:
+            raise ServiceError(status, str(doc.get("error", "")), doc)
+        return doc
+
     def embed(
         self,
         artifact: str,

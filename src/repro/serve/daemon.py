@@ -57,9 +57,12 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import os
 import signal
 import sys
 import threading
+import time
+import urllib.parse
 from concurrent.futures import (
     BrokenExecutor,
     Executor,
@@ -72,7 +75,10 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from .. import faults, obs
 from ..codec import CodecError, resolve_codec
 from ..faults.injector import FaultPlan
-from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, Counter, Histogram
+from ..obs.journal import HubConfig, TelemetryHub
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram
+from ..obs.slo import SLOEngine, load_objectives
+from ..obs.spans import render_span_tree
 from ..pipeline.batch import CopySpec, service_embed_copy, service_recognize
 from .circuit import CircuitBreaker
 from .store import ArtifactStore, StoreError
@@ -81,9 +87,12 @@ from .store import ArtifactStore, StoreError
 #: snippet checker validates walkthrough ``curl`` commands against
 #: this table, so docs and daemon cannot drift apart silently.
 ROUTES: Dict[Tuple[str, str], str] = {
-    ("GET", "/healthz"): "liveness, store size, queue occupancy",
+    ("GET", "/healthz"): "liveness, store size, queue occupancy, SLO verdict",
     ("GET", "/metrics"): "Prometheus text exposition of the registry",
     ("GET", "/v1/artifacts"): "list stored prepared-program artifacts",
+    ("GET", "/v1/obs/events"): "telemetry ring tail (kind/route filters)",
+    ("GET", "/v1/obs/slo"): "current service-level objective status",
+    ("GET", "/v1/obs/spans"): "recent trace trees from the span ring",
     ("POST", "/v1/embed"): "mint one fingerprinted copy from an artifact",
     ("POST", "/v1/recognize"): "recover a mark against an artifact's key",
 }
@@ -126,12 +135,28 @@ class BadRequest(Exception):
 
 @dataclass
 class Request:
-    """One parsed HTTP request."""
+    """One parsed HTTP request.
+
+    ``query`` holds the decoded query string (first value per key) —
+    the ``/v1/obs/*`` routes take their filters there.
+    """
 
     method: str
     path: str
     headers: Dict[str, str]
     body: bytes
+    query: Dict[str, str] = field(default_factory=dict)
+
+    def int_param(self, name: str, default: int) -> int:
+        value = self.query.get(name)
+        if value is None:
+            return default
+        try:
+            return int(value)
+        except ValueError:
+            raise BadRequest(
+                400, f"query parameter {name!r} must be an integer"
+            ) from None
 
     def json(self) -> Dict[str, Any]:
         try:
@@ -201,7 +226,12 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise BadRequest(400, f"malformed request line {lines[0]!r}")
     method, target = parts[0].upper(), parts[1]
-    path = target.split("?", 1)[0] or "/"
+    path, _, query_text = target.partition("?")
+    path = path or "/"
+    query = {
+        key: values[0]
+        for key, values in urllib.parse.parse_qs(query_text).items()
+    }
 
     headers: Dict[str, str] = {}
     for line in lines[1:]:
@@ -227,7 +257,8 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
             body = await reader.readexactly(length)
         except asyncio.IncompleteReadError as exc:
             raise BadRequest(400, "truncated request body") from exc
-    return Request(method=method, path=path, headers=headers, body=body)
+    return Request(method=method, path=path, headers=headers, body=body,
+                   query=query)
 
 
 def _parse_watermark_field(value: Any) -> int:
@@ -279,6 +310,12 @@ class ServerConfig:
     circuit_reset: float = 30.0
     #: Seconds a graceful shutdown waits for in-flight jobs.
     drain_timeout: float = 10.0
+    #: Directory for the telemetry journal (``journal.jsonl`` plus
+    #: rotated segments). ``None`` keeps telemetry in-memory only.
+    journal_dir: Optional[str] = None
+    #: Path to a declarative SLO spec (JSON); ``None`` uses the
+    #: default objective set.
+    slo_spec: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -332,6 +369,40 @@ class WatermarkService:
             "repro_http_worker_retries_total",
             "Jobs retried after a worker death",
         )
+        self._inflight_gauge: Gauge = registry.gauge(
+            "repro_http_inflight",
+            "Requests currently admitted (sampled at scrape time)",
+        )
+        self._capacity_gauge: Gauge = registry.gauge(
+            "repro_http_inflight_capacity",
+            "Admission ceiling: workers + queue depth",
+        )
+        self._queue_gauge: Gauge = registry.gauge(
+            "repro_http_queue_depth",
+            "Admitted requests waiting beyond the worker pool",
+        )
+        self._journal_gauge: Gauge = registry.gauge(
+            "repro_obs_journal_bytes",
+            "Active telemetry journal segment size",
+        )
+        # The telemetry hub: reuse an ambient one (a test or an
+        # embedding app may have installed its own journal), else
+        # install one — journal-backed when the config names a
+        # directory, ring-only otherwise — so the /v1/obs/* routes
+        # always have something to serve.
+        hub = obs.get_hub()
+        if hub is None:
+            journal_path = (
+                os.path.join(config.journal_dir, "journal.jsonl")
+                if config.journal_dir else None
+            )
+            hub = TelemetryHub(HubConfig(journal_path=journal_path))
+            obs.set_hub(hub)
+        self.hub: TelemetryHub = hub
+        self.slo = SLOEngine(
+            load_objectives(config.slo_spec)
+            if config.slo_spec else None
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -342,11 +413,14 @@ class WatermarkService:
                 thread_name_prefix="repro-serve",
             )
         # An armed fault plan in the daemon process rides into pool
-        # workers, same as the batch pipeline's initializer does.
+        # workers, same as the batch pipeline's initializer does —
+        # and so does the telemetry hub's config, so worker-side
+        # events (fault firings, store quarantines) land in the same
+        # journal as the daemon's own.
         return ProcessPoolExecutor(
             max_workers=self.config.workers,
             initializer=_init_service_worker,
-            initargs=(faults.get_plan(),),
+            initargs=(faults.get_plan(), self.hub.worker_config()),
         )
 
     async def start(self) -> None:
@@ -416,12 +490,22 @@ class WatermarkService:
                     return
                 known = {path for _, path in ROUTES}
                 route = request.path if request.path in known else "unmatched"
-                with self._latency.time(route=route):
-                    response = await self._dispatch(request)
+                start = time.perf_counter()
+                response = await self._dispatch(request)
+                elapsed = time.perf_counter() - start
+                self._latency.observe(elapsed, route=route)
                 self._requests.inc(
                     route=route,
                     method=request.method,
                     status=str(response.status),
+                )
+                self.hub.emit(
+                    "http.request",
+                    route,
+                    route=route,
+                    method=request.method,
+                    status=response.status,
+                    seconds=elapsed,
                 )
             writer.write(response.encode())
             await writer.drain()
@@ -452,6 +536,12 @@ class WatermarkService:
                     response = self._handle_metrics()
                 elif request.path == "/v1/artifacts":
                     response = self._handle_artifacts()
+                elif request.path == "/v1/obs/events":
+                    response = self._handle_obs_events(request)
+                elif request.path == "/v1/obs/spans":
+                    response = self._handle_obs_spans(request)
+                elif request.path == "/v1/obs/slo":
+                    response = self._handle_obs_slo()
                 elif request.path == "/v1/embed":
                     response = await self._handle_embed(request)
                 else:
@@ -475,6 +565,7 @@ class WatermarkService:
     # -- cheap, loop-local endpoints ---------------------------------------
 
     def _handle_healthz(self) -> Response:
+        slo = self.slo.report(self.hub.tail(limit=self.hub.config.ring_events))
         return json_response(
             200,
             {
@@ -488,14 +579,64 @@ class WatermarkService:
                     route: breaker.state
                     for route, breaker in self._breakers.items()
                 },
+                "slo": {
+                    "met": slo["met"],
+                    "breached": slo["breached"],
+                    "max_burn_rate": slo["max_burn_rate"],
+                },
             },
         )
 
+    def _sample_gauges(self) -> None:
+        """Refresh live-state gauges so a scrape sees *now*, not the
+        last time a request happened to update them."""
+        self._inflight_gauge.set(self._inflight)
+        self._capacity_gauge.set(self._max_inflight)
+        self._queue_gauge.set(
+            max(0, self._inflight - self.config.workers)
+        )
+        self._journal_gauge.set(self.hub.journal_bytes())
+
     def _handle_metrics(self) -> Response:
+        self._sample_gauges()
         text = obs.get_registry().to_prometheus()
         return Response(
             200, text.encode(), content_type=_PROMETHEUS_CONTENT_TYPE
         )
+
+    def _handle_obs_events(self, request: Request) -> Response:
+        limit = request.int_param("limit", 100)
+        events = self.hub.tail(
+            limit=limit,
+            kind=request.query.get("kind"),
+            name=request.query.get("name"),
+            route=request.query.get("route"),
+        )
+        return json_response(
+            200,
+            {
+                "count": len(events),
+                "emitted_total": self.hub.emitted,
+                "events": [e.to_dict() for e in events],
+            },
+        )
+
+    def _handle_obs_spans(self, request: Request) -> Response:
+        limit = request.int_param("limit", 10)
+        traces = []
+        for trace_id, spans in self.hub.recent_traces(limit=limit):
+            traces.append({
+                "trace_id": trace_id,
+                "spans": [sp.to_dict() for sp in spans],
+                "tree": render_span_tree(spans),
+            })
+        return json_response(200, {"traces": traces})
+
+    def _handle_obs_slo(self) -> Response:
+        report = self.slo.report(
+            self.hub.tail(limit=self.hub.config.ring_events)
+        )
+        return json_response(200, report)
 
     def _handle_artifacts(self) -> Response:
         self.store.refresh()
@@ -573,6 +714,14 @@ class WatermarkService:
             "wall_seconds": result.wall_seconds,
             "module": result.text,
         }
+        self.hub.emit(
+            "embed",
+            result.copy_id,
+            artifact=digest,
+            ok=result.ok,
+            verified=result.verified,
+            wall_seconds=result.wall_seconds,
+        )
         if not result.ok:
             body["error"] = result.error
             return json_response(500, body)
@@ -606,6 +755,13 @@ class WatermarkService:
             tracer.adopt(spans)
         status = 200 if outcome.get("complete") else 422
         outcome["artifact"] = digest
+        self.hub.emit(
+            "recognize",
+            digest,
+            artifact=digest,
+            complete=bool(outcome.get("complete")),
+            watermark=outcome.get("watermark"),
+        )
         return json_response(status, outcome)
 
     # -- dispatch plumbing -------------------------------------------------
@@ -693,10 +849,16 @@ class WatermarkService:
                 ) from exc
 
 
-def _init_service_worker(fault_plan: Optional[FaultPlan]) -> None:
-    """Process-pool initializer: arm the parent's fault plan, if any."""
+def _init_service_worker(
+    fault_plan: Optional[FaultPlan],
+    hub_config: Optional[HubConfig] = None,
+) -> None:
+    """Process-pool initializer: arm the parent's fault plan and point
+    the worker's telemetry hub at the parent's journal."""
     if fault_plan is not None:
         faults.install(fault_plan)
+    if hub_config is not None:
+        obs.set_hub(TelemetryHub(hub_config))
 
 
 def _faultable_job(job: Callable[[], Any]) -> Any:

@@ -73,6 +73,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from .. import faults
 from ..bytecode_wm.keys import WatermarkKey
 from ..codec import resolve_codec
+from ..obs.journal import emit as emit_event
 from ..obs.metrics import get_registry
 from ..pipeline.prepare import (
     PrepareError,
@@ -510,6 +511,8 @@ class ArtifactStore:
             "repro_store_quarantined_total",
             "Blobs quarantined after failing integrity checks",
         ).inc(reason=reason.split(":")[0])
+        emit_event("store.quarantine", digest, digest=digest,
+                   reason=reason, moved=moved)
         return moved
 
     def quarantined(self) -> List[QuarantineRecord]:

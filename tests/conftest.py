@@ -1,0 +1,19 @@
+"""Shared test plumbing.
+
+The serving daemon installs an ambient telemetry hub when none exists
+(so its workers and the store/circuit layers can emit without extra
+wiring). Left in place it would leak journal state between tests, so
+every test starts and ends with the hub cleared — the few tests that
+want one install it themselves.
+"""
+
+import pytest
+
+from repro.obs import journal
+
+
+@pytest.fixture(autouse=True)
+def _isolated_hub():
+    journal.set_hub(None)
+    yield
+    journal.set_hub(None)

@@ -213,6 +213,7 @@ class TestCLICommands:
         assert "repro serve" in joined
         assert "repro artifact prepare" in joined
         assert "repro batch-embed" in joined
+        assert "repro obs" in joined
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,167 @@
+"""Prometheus text-exposition conformance (`repro.obs.promcheck`).
+
+Two directions: the real registry's exposition must pass the checker
+under awkward label values and every instrument kind (the audit the
+Gauge-subclasses-Counter design makes necessary), and the checker must
+actually reject each class of malformation it claims to detect — a
+checker that accepts everything proves nothing.
+"""
+
+import pytest
+
+from repro.obs.metrics import (
+    Gauge,
+    MetricsRegistry,
+)
+from repro.obs.promcheck import assert_conformant, check_exposition
+
+
+def build_registry():
+    registry = MetricsRegistry()
+    registry.counter("demo_requests_total", "Requests").inc(
+        route="/v1/embed", method="POST", status="200"
+    )
+    registry.gauge("demo_inflight", "In flight").set(3)
+    registry.histogram(
+        "demo_seconds", "Latency", buckets=(0.1, 1.0, 10.0)
+    ).observe(0.5, route="/v1/embed")
+    return registry
+
+
+class TestRealExposition:
+    def test_registry_is_conformant(self):
+        assert check_exposition(build_registry().to_prometheus()) == []
+
+    def test_gauge_exposes_gauge_type_not_counter(self):
+        """The classic subclassing bug this audit exists to catch:
+        ``Gauge(Counter)`` must still declare ``# TYPE ... gauge``."""
+        registry = MetricsRegistry()
+        gauge = registry.gauge("demo_pool_size", "Pool")
+        assert isinstance(gauge, Gauge)
+        gauge.set(-2)  # and negative values must be legal for it
+        text = registry.to_prometheus()
+        assert "# TYPE demo_pool_size gauge" in text
+        assert check_exposition(text) == []
+
+    def test_awkward_label_values_escape_cleanly(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "Weird").inc(
+            path='C:\\temp\\"x"\nnext'
+        )
+        text = registry.to_prometheus()
+        assert check_exposition(text) == []
+        assert "\\n" in text  # the newline never splits a sample line
+
+    def test_histogram_series_complete(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("demo_seconds", "L", buckets=(1.0, 5.0))
+        for value in (0.5, 3.0, 99.0):
+            hist.observe(value, route="/r")
+        text = registry.to_prometheus()
+        assert check_exposition(text) == []
+        assert 'demo_seconds_bucket{route="/r",le="+Inf"} 3' in text
+        assert 'demo_seconds_count{route="/r"} 3' in text
+        assert 'demo_seconds_sum{route="/r"}' in text
+
+    def test_empty_registry_is_conformant(self):
+        assert check_exposition(MetricsRegistry().to_prometheus()) == []
+
+    def test_assert_conformant_raises_with_detail(self):
+        with pytest.raises(AssertionError, match="no preceding # TYPE"):
+            assert_conformant("orphan_sample 1\n")
+
+
+class TestCheckerRejects:
+    def find(self, text, needle):
+        problems = check_exposition(text)
+        assert any(needle in p for p in problems), (
+            f"expected a problem containing {needle!r}, got {problems}"
+        )
+
+    def test_sample_without_type(self):
+        self.find("lonely_total 1\n", "no preceding # TYPE")
+
+    def test_type_after_samples(self):
+        text = ("b 2\n" "# TYPE b counter\n" "b 3\n")
+        self.find(text, "after its samples")
+
+    def test_duplicate_type(self):
+        text = ("# TYPE a counter\n" "# TYPE a counter\n" "a 1\n")
+        self.find(text, "duplicate # TYPE")
+
+    def test_unknown_type(self):
+        self.find("# TYPE a sparkline\na 1\n", "unknown type")
+
+    def test_malformed_help(self):
+        self.find("# HELP broken\n", "malformed HELP")
+
+    def test_bad_escape_in_label_value(self):
+        text = '# TYPE a counter\na{k="bad\\q"} 1\n'
+        self.find(text, "bad escape")
+
+    def test_duplicate_label(self):
+        text = '# TYPE a counter\na{k="1",k="2"} 1\n'
+        self.find(text, "duplicate label")
+
+    def test_non_numeric_value(self):
+        self.find("# TYPE a counter\na banana\n", "non-numeric")
+
+    def test_negative_counter(self):
+        self.find("# TYPE a counter\na -1\n", "negative")
+
+    def test_reserved_le_on_counter(self):
+        text = '# TYPE a counter\na{le="1"} 1\n'
+        self.find(text, "reserved 'le'")
+
+    def test_histogram_bare_sample(self):
+        text = "# TYPE h histogram\nh 1\n"
+        self.find(text, "bare sample")
+
+    def test_histogram_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 4\n"
+            "h_count 5\n"
+        )
+        self.find(text, "not cumulative")
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            "h_sum 4\n"
+            "h_count 5\n"
+        )
+        self.find(text, '+Inf')
+
+    def test_histogram_inf_disagrees_with_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_sum 4\n"
+            "h_count 5\n"
+        )
+        self.find(text, "disagrees")
+
+    def test_histogram_missing_sum_and_count(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="+Inf"} 1\n'
+        self.find(text, "missing h_count")
+        self.find(text, "missing h_sum")
+
+    def test_histogram_count_without_buckets(self):
+        text = "# TYPE h histogram\nh_count 1\nh_sum 1\n"
+        self.find(text, "without any _bucket")
+
+    def test_bucket_without_le(self):
+        text = "# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n"
+        self.find(text, "without an 'le'")
+
+    def test_unparsable_line(self):
+        self.find("# TYPE a counter\n{}} 1\n", "unparsable")
+
+    def test_free_comments_and_blanks_ok(self):
+        text = "\n# a free comment\n# TYPE a counter\n\na 1\n"
+        assert check_exposition(text) == []

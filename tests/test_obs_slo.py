@@ -1,0 +1,263 @@
+"""Tests for the SLO engine (`repro.obs.slo`).
+
+Per-kind met/breach logic, burn-rate arithmetic, evaluation windows,
+the no-data convention, spec loading, and the engine's report shape —
+all against hand-built event lists, no daemon required.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.journal import Event
+from repro.obs.slo import (
+    Objective,
+    SLOEngine,
+    default_objectives,
+    evaluate_objectives,
+    load_objectives,
+    percentile,
+)
+
+
+def http(route, status=200, seconds=0.1, unix=1000.0):
+    return Event(kind="http.request", name=route, unix=unix,
+                 attrs={"route": route, "status": status,
+                        "seconds": seconds})
+
+
+def recognize(complete, unix=1000.0):
+    return Event(kind="recognize", name="d", unix=unix,
+                 attrs={"complete": complete})
+
+
+def retry(count, unix=1000.0):
+    return Event(kind="batch.retry", name="round", unix=unix,
+                 attrs={"count": count})
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown objective kind"):
+            Objective(name="x", kind="uptime", target=1.0)
+
+    def test_rate_targets_bounded(self):
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="error_rate", target=1.5)
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="recovery_rate", target=-0.1)
+
+    def test_positive_targets(self):
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="latency_p95", target=0.0)
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="retry_budget", target=-1.0)
+
+    def test_window_positive_and_name_required(self):
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="latency_p95", target=1.0,
+                      window_seconds=0)
+        with pytest.raises(ValueError):
+            Objective(name="", kind="latency_p95", target=1.0)
+
+    def test_round_trip(self):
+        objective = Objective(name="x", kind="error_rate", target=0.05,
+                              route="/v1/embed", window_seconds=60.0,
+                              description="d")
+        assert Objective.from_dict(objective.to_dict()) == objective
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.95) == 95
+        assert percentile(values, 1.0) == 100
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestLatencyP95:
+    OBJ = Objective(name="lat", kind="latency_p95", target=1.0,
+                    route="/v1/embed")
+
+    def test_met(self):
+        events = [http("/v1/embed", seconds=0.2) for _ in range(20)]
+        [status] = evaluate_objectives([self.OBJ], events)
+        assert status.met and status.value == 0.2
+        assert status.samples == 20 and status.burn_rate == 0.0
+
+    def test_breached_with_burn(self):
+        events = (
+            [http("/v1/embed", seconds=0.1) for _ in range(10)]
+            + [http("/v1/embed", seconds=5.0) for _ in range(10)]
+        )
+        [status] = evaluate_objectives([self.OBJ], events)
+        assert not status.met and status.value == 5.0
+        # half the requests over target / 5% allowance = burn 10
+        assert status.burn_rate == pytest.approx(10.0)
+
+    def test_route_filter(self):
+        events = [http("/v1/recognize", seconds=9.0)]
+        [status] = evaluate_objectives([self.OBJ], events)
+        assert status.met and status.samples == 0
+
+
+class TestErrorRate:
+    OBJ = Objective(name="err", kind="error_rate", target=0.1)
+
+    def test_met_counts_only_5xx(self):
+        events = [http("/r", status=200), http("/r", status=404),
+                  http("/r", status=429)]
+        [status] = evaluate_objectives([self.OBJ], events)
+        assert status.met and status.value == 0.0
+
+    def test_breached(self):
+        events = [http("/r", status=500)] + [http("/r")] * 3
+        [status] = evaluate_objectives([self.OBJ], events)
+        assert not status.met
+        assert status.value == 0.25
+        assert status.burn_rate == pytest.approx(2.5)
+
+    def test_zero_target_with_failures_burns_infinite(self):
+        objective = Objective(name="err0", kind="error_rate", target=0.0)
+        [status] = evaluate_objectives([objective],
+                                       [http("/r", status=503)])
+        assert not status.met
+        assert status.burn_rate == float("inf")
+
+
+class TestRecoveryRate:
+    OBJ = Objective(name="rec", kind="recovery_rate", target=0.75)
+
+    def test_met(self):
+        events = [recognize(True)] * 3 + [recognize(False)]
+        [status] = evaluate_objectives([self.OBJ], events)
+        assert status.met and status.value == 0.75
+
+    def test_breached_with_burn(self):
+        events = [recognize(True)] + [recognize(False)]
+        [status] = evaluate_objectives([self.OBJ], events)
+        assert not status.met
+        # 50% miss vs 25% allowed = burn 2
+        assert status.burn_rate == pytest.approx(2.0)
+
+
+class TestRetryBudget:
+    OBJ = Objective(name="rb", kind="retry_budget", target=5.0)
+
+    def test_met_sums_counts(self):
+        [status] = evaluate_objectives([self.OBJ], [retry(2), retry(3)])
+        assert status.met and status.value == 5.0
+        assert status.burn_rate == pytest.approx(1.0)
+
+    def test_breached(self):
+        [status] = evaluate_objectives([self.OBJ], [retry(11)])
+        assert not status.met and status.burn_rate == pytest.approx(2.2)
+
+
+class TestWindowing:
+    def test_old_events_age_out(self):
+        objective = Objective(name="err", kind="error_rate", target=0.1,
+                              window_seconds=60.0)
+        old_failure = http("/r", status=500, unix=100.0)
+        recent_ok = [http("/r", unix=1000.0 + i) for i in range(3)]
+        [status] = evaluate_objectives([objective],
+                                       [old_failure] + recent_ok)
+        assert status.met and status.samples == 3
+
+    def test_now_defaults_to_newest_event(self):
+        objective = Objective(name="err", kind="error_rate", target=0.1,
+                              window_seconds=60.0)
+        # A historical journal: evaluating long after the fact must
+        # not see an empty window.
+        events = [http("/r", status=500, unix=50.0),
+                  http("/r", unix=80.0)]
+        [status] = evaluate_objectives([objective], events)
+        assert status.samples == 2 and not status.met
+
+    def test_explicit_now(self):
+        objective = Objective(name="err", kind="error_rate", target=0.1,
+                              window_seconds=60.0)
+        events = [http("/r", status=500, unix=50.0)]
+        [status] = evaluate_objectives([objective], events, now=500.0)
+        assert status.met and status.samples == 0
+
+
+class TestNoData:
+    @pytest.mark.parametrize("kind,target", [
+        ("latency_p95", 1.0), ("error_rate", 0.1),
+        ("recovery_rate", 0.9), ("retry_budget", 5.0),
+    ])
+    def test_empty_window_is_met_with_zero_samples(self, kind, target):
+        objective = Objective(name="x", kind=kind, target=target)
+        [status] = evaluate_objectives([objective], [])
+        assert status.met and status.samples == 0
+        assert status.value is None and status.burn_rate == 0.0
+        assert "no data" in status.detail
+
+
+class TestSpecLoading:
+    def test_round_trip(self, tmp_path):
+        spec = tmp_path / "slo.json"
+        originals = default_objectives()
+        spec.write_text(json.dumps(
+            {"objectives": [o.to_dict() for o in originals]}
+        ))
+        assert load_objectives(str(spec)) == originals
+
+    def test_malformed_document(self, tmp_path):
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps({"slos": []}))
+        with pytest.raises(ValueError, match="objectives"):
+            load_objectives(str(spec))
+
+    def test_bad_objective_is_loud(self, tmp_path):
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps(
+            {"objectives": [{"name": "x", "kind": "nope", "target": 1}]}
+        ))
+        with pytest.raises(ValueError, match="bad objective"):
+            load_objectives(str(spec))
+
+    def test_empty_spec_is_an_error(self, tmp_path):
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps({"objectives": []}))
+        with pytest.raises(ValueError, match="no objectives"):
+            load_objectives(str(spec))
+
+
+class TestEngine:
+    def test_report_shape(self):
+        engine = SLOEngine([
+            Objective(name="err", kind="error_rate", target=0.1),
+            Objective(name="rec", kind="recovery_rate", target=0.9),
+        ])
+        report = engine.report([http("/r", status=500),
+                                recognize(True)])
+        assert report["met"] is False
+        assert report["breached"] == ["err"]
+        assert report["max_burn_rate"] == pytest.approx(10.0)
+        assert len(report["objectives"]) == 2
+
+    def test_default_engine_needs_no_arguments(self):
+        engine = SLOEngine()
+        names = [o.name for o in engine.objectives]
+        assert "embed-latency-p95" in names
+        assert engine.report([])["met"] is True
+
+    def test_empty_objective_list_rejected(self):
+        with pytest.raises(ValueError):
+            SLOEngine([])
+
+    def test_summary_flags_breaches(self):
+        engine = SLOEngine([
+            Objective(name="err", kind="error_rate", target=0.1),
+        ])
+        statuses = engine.evaluate([http("/r", status=500)])
+        text = SLOEngine.summary(statuses)
+        assert "FAIL" in text and "err" in text
+        statuses = engine.evaluate([http("/r")])
+        assert "ok " in SLOEngine.summary(statuses)
