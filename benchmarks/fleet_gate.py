@@ -1,0 +1,362 @@
+"""CI fleet gate: prove two workers beat one by a real margin.
+
+The scale-out claim behind ``repro serve --fleet`` is that embed
+throughput grows near-linearly with worker daemons. This gate proves
+it with wall clocks, not prose:
+
+1. prepare a pinned-seed artifact into a fresh **2-shard fabric**
+   store (the scale-out layout from ``docs/scaling.md``);
+2. boot two real worker daemons as **separate processes** (``python
+   -m repro serve``) — separate interpreters, like a real fleet, so
+   neither the GIL nor the gate's own bookkeeping caps the scaling;
+3. **calibrate** the box: run the same embed job on a bare
+   ``ProcessPoolExecutor`` with 1 then 2 processes — the measured
+   ratio is the hardware's own ceiling, with zero fleet machinery;
+4. time ``COPIES`` embeds through a :class:`FleetDispatcher` pointed
+   at **one** worker, then again pointed at **both**;
+5. write the measurements to a ``fleet-scaling.json`` report (CI
+   uploads it as an artifact);
+6. exit 0 only if every job completed cleanly and the 2-worker run
+   is at least ``MIN_SPEEDUP`` times faster — or, on hardware whose
+   calibrated ceiling is itself below that floor (oversubscribed VMs:
+   two saturated cores can run >40% slower per job than one), only
+   if the fleet still delivers ``MIN_EFFICIENCY`` of whatever the
+   hardware can do. The dispatcher can't beat physics; it must not
+   *waste* it either.
+
+``--inject-faults`` arms a plan that kills every ``fleet.send``, which
+must flip the exit code to 1 — CI runs the script both ways to prove
+the gate actually gates.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fleet_gate.py [--inject-faults]
+        [--report FILE] [--copies N]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro import faults, obs
+from repro.bytecode_wm.keys import WatermarkKey
+from repro.faults import FaultPlan, FaultRule
+from repro.faults.retry import RetryPolicy
+from repro.pipeline import prepare
+from repro.serve import (
+    FleetDispatcher,
+    Job,
+    ServiceClient,
+    WorkerSpec,
+    open_store,
+)
+from repro.workloads import CAFFEINEMARK_INPUT, caffeinemark_module
+
+SEED = 2004
+# CaffeineMark, not gcd: each embed + self-check must cost real CPU,
+# or per-job HTTP/dispatch overhead drowns the scaling signal.
+KEY = WatermarkKey(secret=b"fleet-gate", inputs=list(CAFFEINEMARK_INPUT))
+MIN_SPEEDUP = 1.6
+#: When the calibrated hardware ceiling is below MIN_SPEEDUP, the
+#: fleet must still capture this fraction of it.
+MIN_EFFICIENCY = 0.85
+SHARDS = 2
+BOOT_TIMEOUT = 30.0
+
+_CALIBRATION = {"root": "", "digest": ""}
+
+
+def _calibration_job(index):
+    """One embed + self-check, exactly what a fleet worker runs."""
+    from repro.pipeline.batch import CopySpec, service_embed_copy
+
+    return service_embed_copy(
+        _CALIBRATION["root"], _CALIBRATION["digest"],
+        CopySpec(f"cal-{index}", 7000 + index, index), self_check=True,
+    ).ok
+
+
+def calibrate(store_root, digest, copies):
+    """The box's own 1-vs-2-process ratio for this exact job.
+
+    Forked workers inherit ``_CALIBRATION`` (Linux CI and dev boxes),
+    so the pool needs no store re-plumbing.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    _CALIBRATION.update(root=store_root, digest=digest)
+    walls = {}
+    for nproc in (1, 2):
+        with ProcessPoolExecutor(max_workers=nproc) as pool:
+            list(pool.map(_calibration_job, range(50, 50 + nproc)))  # warm
+            start = time.perf_counter()
+            list(pool.map(_calibration_job, range(100, 100 + copies)))
+            walls[nproc] = time.perf_counter() - start
+    return walls[1], walls[2]
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn_worker(store_root, port):
+    """One worker daemon in its own interpreter — like a real fleet.
+
+    Thread executor with one worker: embeds run on the daemon's own
+    core and nothing is pickled across a process pool, so per-job cost
+    is almost pure watermarking CPU.
+    """
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", store_root,
+         "--port", str(port), "--workers", "1", "--executor", "thread"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_healthy(url, deadline):
+    client = ServiceClient(url, retry=RetryPolicy(max_attempts=1))
+    while time.monotonic() < deadline:
+        try:
+            if client.healthz().get("status") == "ok":
+                return True
+        except Exception:
+            pass
+        time.sleep(0.2)
+    return False
+
+
+def run_fleet(specs, digest, copies, label):
+    """Time ``copies`` embeds through a fleet of ``specs`` workers.
+
+    One warmup embed per worker runs untimed first, so cold caches
+    (the worker loads the artifact on first touch) don't pollute the
+    measurement.
+    """
+    dispatcher = FleetDispatcher(
+        specs, retry=RetryPolicy(max_attempts=2, base_delay=0.05, seed=SEED)
+    )
+    try:
+        warmups = len(specs)
+        for index in range(warmups):
+            job = Job(route="/v1/embed", payload={
+                "artifact": digest, "copy_id": f"warm-{label}-{index}",
+                "watermark": 9000 + index, "seed": index,
+            })
+            dispatcher.submit(job).result(timeout=120)
+
+        failures = []
+
+        def on_error(job, exc):
+            failures.append(f"{job.job_id}: {exc}")
+
+        start = time.perf_counter()
+        futures = []
+        for index in range(copies):
+            job = Job(
+                route="/v1/embed",
+                payload={
+                    "artifact": digest,
+                    "copy_id": f"{label}-copy-{index:04d}",
+                    "watermark": SEED + index,
+                    "seed": index,
+                },
+                on_error=on_error,
+            )
+            futures.append(dispatcher.submit(job))
+        for future in futures:
+            try:
+                future.result(timeout=300)
+            except Exception:
+                pass  # recorded via on_error
+        wall = time.perf_counter() - start
+        stats = dispatcher.stats()
+        stats["completed"] -= warmups  # timed jobs only
+    finally:
+        dispatcher.close()
+    return wall, stats, failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--inject-faults", action="store_true",
+        help="arm a fleet.send fault plan; the gate must then FAIL",
+    )
+    parser.add_argument(
+        "--report", default="fleet-scaling.json",
+        help="where to write the scaling report (default %(default)s)",
+    )
+    parser.add_argument(
+        "--copies", type=int, default=10,
+        help="embeds per timed run (default %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed runs per configuration, best-of (default "
+             "%(default)s); interleaved so host-load drift hits both "
+             "configurations alike",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="fleet-gate-")
+    problems = []
+    report = {
+        "copies": args.copies,
+        "shards": SHARDS,
+        "min_speedup": MIN_SPEEDUP,
+        "faults_injected": args.inject_faults,
+    }
+    procs = []
+    solo_wall = duo_wall = 0.0
+    solo_stats = duo_stats = {}
+    solo_failures = duo_failures = []
+    try:
+        store_root = f"{workdir}/store"
+        store = open_store(store_root, create=True, shards=SHARDS)
+        store.put(prepare(caffeinemark_module(), KEY, 16, 8),
+                  label="fleet-gate")
+        digest = store.records()[0].digest
+        report["artifact"] = digest
+
+        if args.inject_faults:
+            faults.install(FaultPlan([
+                FaultRule(site="fleet.send", action="raise", times=None),
+            ], seed=SEED))
+            raw_speedup = None  # the run dies at warmup; don't calibrate
+        else:
+            cal_solo, cal_duo = calibrate(store_root, digest, args.copies)
+            raw_speedup = cal_solo / cal_duo if cal_duo > 0 else 0.0
+            report["calibration"] = {
+                "solo_wall_seconds": cal_solo,
+                "duo_wall_seconds": cal_duo,
+                "raw_speedup": raw_speedup,
+            }
+            print(f"calibration: bare 2-process ceiling "
+                  f"{raw_speedup:.2f}x ({cal_solo:.2f}s -> {cal_duo:.2f}s)")
+
+        specs = []
+        deadline = time.monotonic() + BOOT_TIMEOUT
+        for name in ("alpha", "beta"):
+            port = free_port()
+            procs.append(spawn_worker(store_root, port))
+            # capacity == the worker's --workers count (1), per the
+            # WorkerSpec contract: over-queueing a saturated worker
+            # just hides jobs where the dispatcher can't re-plan them.
+            specs.append(WorkerSpec(
+                name, f"http://127.0.0.1:{port}", capacity=1
+            ))
+        for spec in specs:
+            if not wait_healthy(spec.url, deadline):
+                raise RuntimeError(f"worker {spec.name} never became "
+                                   f"healthy at {spec.url}")
+
+        solo_walls, duo_walls = [], []
+        for round_index in range(max(1, args.repeats)):
+            wall, solo_stats, solo_failures = run_fleet(
+                specs[:1], digest, args.copies, f"solo{round_index}"
+            )
+            solo_walls.append(wall)
+            print(f"1 worker : {args.copies} embeds in {wall:.2f}s "
+                  f"({solo_stats['completed']} ok, "
+                  f"{solo_stats['errors']} errors)")
+            wall, duo_stats, duo_failures = run_fleet(
+                specs, digest, args.copies, f"duo{round_index}"
+            )
+            duo_walls.append(wall)
+            print(f"2 workers: {args.copies} embeds in {wall:.2f}s "
+                  f"({duo_stats['completed']} ok, "
+                  f"{duo_stats['errors']} errors)")
+        solo_wall = min(solo_walls)
+        duo_wall = min(duo_walls)
+        report["solo_walls"] = solo_walls
+        report["duo_walls"] = duo_walls
+    except Exception as exc:
+        # Under an armed fault plan the warmup embed itself dies; that
+        # is the gate working, not the harness crashing.
+        problems.append(f"run aborted: {exc}")
+    finally:
+        faults.clear()
+        obs.set_hub(None)
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    speedup = solo_wall / duo_wall if duo_wall > 0 else 0.0
+    report.update({
+        "solo_wall_seconds": solo_wall,
+        "duo_wall_seconds": duo_wall,
+        "speedup": speedup,
+        "solo_stats": solo_stats,
+        "duo_stats": duo_stats,
+    })
+
+    for name, stats, failures in (("solo", solo_stats, solo_failures),
+                                  ("duo", duo_stats, duo_failures)):
+        if stats.get("completed") != args.copies:
+            problems.append(
+                f"{name}: {stats.get('completed', 0)}/{args.copies} "
+                f"embeds completed"
+            )
+        for failure in failures[:4]:
+            problems.append(f"{name}: {failure}")
+    raw = report.get("calibration", {}).get("raw_speedup", 0.0)
+    if speedup >= MIN_SPEEDUP:
+        pass  # the headline claim holds outright
+    elif raw and raw < MIN_SPEEDUP:
+        # The hardware itself can't reach the floor; hold the fleet
+        # to MIN_EFFICIENCY of the calibrated ceiling instead.
+        efficiency = speedup / raw
+        report["efficiency"] = efficiency
+        print(f"NOTE: hardware ceiling {raw:.2f}x is below the "
+              f"{MIN_SPEEDUP}x floor; gating on dispatch efficiency "
+              f"({efficiency:.0%} of ceiling, need {MIN_EFFICIENCY:.0%})")
+        if efficiency < MIN_EFFICIENCY:
+            problems.append(
+                f"fleet captured only {efficiency:.0%} of the "
+                f"{raw:.2f}x hardware ceiling "
+                f"(need {MIN_EFFICIENCY:.0%})"
+            )
+    else:
+        problems.append(
+            f"2-worker speedup {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP}x floor (hardware ceiling "
+            f"{raw:.2f}x)" if raw else
+            f"2-worker speedup {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP}x floor"
+        )
+
+    report["problems"] = problems
+    with open(args.report, "w") as fp:
+        json.dump(report, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"report: {args.report}")
+    shutil.rmtree(workdir, ignore_errors=True)
+
+    print()
+    for problem in problems:
+        print(f"PROBLEM: {problem}")
+    if problems:
+        print("\nfleet gate: FAILED")
+        return 1
+    print(f"\nfleet gate: {speedup:.2f}x with 2 workers "
+          f"(floor {MIN_SPEEDUP}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

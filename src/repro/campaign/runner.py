@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -86,6 +87,10 @@ class CampaignConfig:
     max_steps: int = 2_000_000
     # Execution knobs (outcome-neutral).
     workers: int = 1
+    #: Attack cells evaluated concurrently in separate processes.
+    #: Cells are coordinate-pure, so any interleaving produces the
+    #: same (sorted) report as a serial sweep.
+    cell_workers: int = 1
     checkpoint_dir: Optional[str] = None
     resume: bool = False
     retry: Optional[RetryPolicy] = None
@@ -93,6 +98,8 @@ class CampaignConfig:
     def __post_init__(self) -> None:
         if self.workloads < 1:
             raise ValueError("need at least one workload")
+        if self.cell_workers < 1:
+            raise ValueError("need at least one cell worker")
         if self.copies < 1:
             raise ValueError("need at least one copy per cell")
         if not self.bits:
@@ -236,6 +243,28 @@ def _attack_cell(
     return cell
 
 
+def _cell_task(
+    config: CampaignConfig,
+    workload: GeneratedProgram,
+    bits: int,
+    prepared: PreparedProgram,
+    specs: Sequence[CopySpec],
+    schedule_name: str,
+    intensity: float,
+    intensity_index: int,
+) -> CampaignCell:
+    """One attack cell, self-contained for a worker process.
+
+    The marked modules are re-minted here rather than shipped across
+    the pool — embedding is deterministic in (watermark, seed), and
+    the pickled preparation is far smaller than ``copies`` modules.
+    """
+    schedule = campaign_attacks((schedule_name,))[0]
+    marked = [_remint(prepared, spec) for spec in specs]
+    return _attack_cell(config, workload, bits, prepared, specs, marked,
+                        schedule, intensity, intensity_index)
+
+
 def _journal_path(config: CampaignConfig) -> Optional[str]:
     if config.checkpoint_dir is None:
         return None
@@ -297,6 +326,35 @@ def run_campaign(
         os.makedirs(config.checkpoint_dir, exist_ok=True)
     done = _load_journal(journal) if config.resume else {}
     journal_fp = open(journal, "a") if journal is not None else None
+    cell_pool: Optional[ProcessPoolExecutor] = None
+    if config.cell_workers > 1:
+        cell_pool = ProcessPoolExecutor(max_workers=config.cell_workers)
+
+    def record(cell: CampaignCell) -> None:
+        """Bookkeeping for one finished cell (any completion order —
+        the report is sorted by coordinates at the end)."""
+        report.cells.append(cell)
+        cells_total.inc(attack=cell.attack)
+        copies_attacked.inc(cell.copies)
+        recovered_total.inc(cell.recovered)
+        cell_seconds.observe(cell.wall_seconds, attack=cell.attack)
+        obs.emit(
+            "campaign.cell",
+            f"{cell.workload}/{cell.attack}",
+            workload=cell.workload,
+            bits=cell.bits,
+            codec=cell.codec,
+            attack=cell.attack,
+            intensity=cell.intensity,
+            copies=cell.copies,
+            recovered=cell.recovered,
+            wall_seconds=cell.wall_seconds,
+        )
+        if journal_fp is not None:
+            journal_fp.write(
+                json.dumps(cell.to_dict(), sort_keys=True) + "\n"
+            )
+            journal_fp.flush()
 
     try:
         with obs.span("campaign", seed=config.seed,
@@ -390,6 +448,7 @@ def run_campaign(
                         say(f"{program.name} b{bits} {codec}: minted "
                             f"{len(marked)} copies")
 
+                        pending: List[Tuple[AttackSchedule, float, int]] = []
                         for schedule in schedules:
                             for index, intensity in enumerate(
                                 schedule.levels
@@ -397,10 +456,27 @@ def run_campaign(
                                 key_tuple = (program.name, bits, "bytecode",
                                              codec, schedule.name, index)
                                 if key_tuple in done:
-                                    cell = done[key_tuple]
-                                    report.cells.append(cell)
+                                    report.cells.append(done[key_tuple])
                                     report.resumed_cells += 1
                                     continue
+                                pending.append((schedule, intensity, index))
+                        if cell_pool is not None and len(pending) > 1:
+                            with obs.span("campaign.cells",
+                                          workload=program.name,
+                                          bits=bits, codec=codec,
+                                          cells=len(pending)):
+                                futures = [
+                                    cell_pool.submit(
+                                        _cell_task, config, program, bits,
+                                        prepared, specs, schedule.name,
+                                        intensity, index,
+                                    )
+                                    for schedule, intensity, index in pending
+                                ]
+                                for future in as_completed(futures):
+                                    record(future.result())
+                        else:
+                            for schedule, intensity, index in pending:
                                 with obs.span("campaign.cell",
                                               workload=program.name,
                                               bits=bits,
@@ -412,33 +488,12 @@ def run_campaign(
                                         specs, marked, schedule,
                                         intensity, index,
                                     )
-                                report.cells.append(cell)
-                                cells_total.inc(attack=schedule.name)
-                                copies_attacked.inc(cell.copies)
-                                recovered_total.inc(cell.recovered)
-                                cell_seconds.observe(cell.wall_seconds,
-                                                     attack=schedule.name)
-                                obs.emit(
-                                    "campaign.cell",
-                                    f"{program.name}/{schedule.name}",
-                                    workload=program.name,
-                                    bits=bits,
-                                    codec=codec,
-                                    attack=schedule.name,
-                                    intensity=intensity,
-                                    copies=cell.copies,
-                                    recovered=cell.recovered,
-                                    wall_seconds=cell.wall_seconds,
-                                )
-                                if journal_fp is not None:
-                                    journal_fp.write(
-                                        json.dumps(cell.to_dict(),
-                                                   sort_keys=True) + "\n"
-                                    )
-                                    journal_fp.flush()
+                                record(cell)
                         say(f"{program.name} b{bits} {codec}: "
                             f"{len(schedules)} attacks swept")
     finally:
+        if cell_pool is not None:
+            cell_pool.shutdown(wait=False, cancel_futures=True)
         if journal_fp is not None:
             journal_fp.close()
 

@@ -77,7 +77,7 @@ from .pipeline import (
     prepare,
     run_batch,
 )
-from .serve import ArtifactStore, ServerConfig, StoreError, serve
+from .serve import ServerConfig, StoreError, open_store, serve
 from .vm import VMError, assemble, disassemble, run_module, verify_module
 
 ATTACKS = {
@@ -212,12 +212,20 @@ def cmd_batch_embed(args) -> int:
         obs.set_hub(hub)
 
     # Shared preparation, optionally persisted across invocations —
-    # either in the multi-release artifact store (--store) or a
-    # single-artifact pickle file (--prepare-cache).
+    # either in the multi-release artifact store (--store, optionally
+    # sharded into a fabric via --store-shards) or a single-artifact
+    # pickle file (--prepare-cache).
     prepared = None
     cache_hit = False
     if args.store:
-        store = ArtifactStore(args.store)
+        try:
+            store = open_store(
+                args.store, create=True,
+                shards=getattr(args, "store_shards", None),
+            )
+        except StoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         try:
             prepared, cache_hit = store.get_or_prepare(
                 module,
@@ -400,6 +408,7 @@ def cmd_campaign(args) -> int:
             if args.codecs else ("gcrt",),
             secret=args.secret.encode(),
             workers=args.workers,
+            cell_workers=args.cell_workers,
             checkpoint_dir=args.checkpoint,
             resume=args.resume,
         )
@@ -447,6 +456,8 @@ def cmd_serve(args) -> int:
             self_check=not args.no_self_check,
             journal_dir=args.journal,
             slo_spec=args.slo,
+            fleet=args.fleet,
+            fleet_max_pending=args.fleet_max_pending,
         )
     except ValueError as exc:
         print(f"bad serve configuration: {exc}", file=sys.stderr)
@@ -477,7 +488,7 @@ def cmd_serve(args) -> int:
 def cmd_artifact_prepare(args) -> int:
     manifest = load_manifest(args.manifest)
     module = _read_module(manifest.module_path)
-    store = ArtifactStore(args.store)
+    store = open_store(args.store, create=True, shards=args.shards)
     try:
         prepared, hit = store.get_or_prepare(
             module,
@@ -507,7 +518,7 @@ def cmd_artifact_prepare(args) -> int:
 
 def cmd_artifact_list(args) -> int:
     try:
-        store = ArtifactStore(args.store, create=False)
+        store = open_store(args.store)
     except StoreError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -527,7 +538,7 @@ def cmd_artifact_list(args) -> int:
 
 def cmd_artifact_evict(args) -> int:
     try:
-        store = ArtifactStore(args.store, create=False)
+        store = open_store(args.store)
         digest = store.resolve(args.digest)
     except StoreError as exc:
         print(str(exc), file=sys.stderr)
@@ -539,7 +550,7 @@ def cmd_artifact_evict(args) -> int:
 
 def cmd_artifact_quarantine_list(args) -> int:
     try:
-        store = ArtifactStore(args.store, create=False)
+        store = open_store(args.store)
     except StoreError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -556,7 +567,7 @@ def cmd_artifact_quarantine_list(args) -> int:
 
 def cmd_artifact_verify(args) -> int:
     try:
-        store = ArtifactStore(args.store, create=False)
+        store = open_store(args.store)
     except StoreError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -722,6 +733,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="content-addressed artifact store persisting "
                             "preparations across releases (see "
                             "'repro artifact')")
+    p.add_argument("--store-shards", type=int, default=None, metavar="N",
+                   help="when creating --store, lay it out as a sharded "
+                        "fabric of N shard stores (see docs/scaling.md)")
     p.add_argument("--obs-out", default=None, metavar="FILE",
                    help="write spans + metrics as JSON lines to FILE "
                         "(plus Prometheus text to FILE's .prom sibling)")
@@ -767,6 +781,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="watermark key secret (default 'campaign')")
     p.add_argument("--workers", type=int, default=1,
                    help="parallel embed processes per batch (default 1)")
+    p.add_argument("--cell-workers", type=int, default=1,
+                   help="campaign cells evaluated concurrently in "
+                        "separate processes (default 1)")
     p.add_argument("--checkpoint", default=None, metavar="DIR",
                    help="journal batches and finished cells under DIR")
     p.add_argument("--resume", action="store_true",
@@ -858,6 +875,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo", default=None, metavar="FILE",
                    help="JSON SLO spec evaluated at /v1/obs/slo and "
                         "/healthz (default: built-in objectives)")
+    p.add_argument("--fleet", default=None, metavar="FILE",
+                   help="JSON worker-fleet spec; forward embed/recognize "
+                        "jobs to those daemons instead of the local pool "
+                        "(see docs/scaling.md)")
+    p.add_argument("--fleet-max-pending", type=int, default=256,
+                   help="queued fleet jobs before load-shed by route "
+                        "priority (default 256)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -872,6 +896,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     a.add_argument("manifest", help="JSON batch manifest (copies ignored)")
     a.add_argument("--store", required=True, metavar="DIR")
+    a.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="when creating --store, lay it out as a sharded "
+                        "fabric of N shard stores")
     a.add_argument("--label", default="",
                    help="free-form release label kept in the manifest")
     a.add_argument("--profile", action="store_true",

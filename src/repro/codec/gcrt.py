@@ -59,7 +59,8 @@ class GcrtCodec(WatermarkCodec):
         use_voting: bool = True,
     ) -> RecoveryResult:
         moduli = choose_moduli(watermark_bits)
-        result = recover(bits, cipher, StatementEnumeration(moduli), use_voting)
+        result = recover(bits, cipher, StatementEnumeration(moduli),
+                         use_voting, max_value=1 << watermark_bits)
         result.codec = self.spec
         return validate_recovery(result, watermark_bits)
 

@@ -186,7 +186,8 @@ class HybridCodec(WatermarkCodec):
         use_voting: bool = True,
     ) -> RecoveryResult:
         moduli = choose_moduli(watermark_bits)
-        result = recover(bits, cipher, StatementEnumeration(moduli), use_voting)
+        result = recover(bits, cipher, StatementEnumeration(moduli),
+                         use_voting, max_value=1 << watermark_bits)
         result.codec = self.spec
         parity, parity_hits = self._parity_symbols(bits, watermark_bits, cipher)
         result.candidates_found += parity_hits

@@ -97,15 +97,28 @@ def extract_candidates(
 
 
 def hold_votes(
-    candidates: Counter, moduli: Sequence[int]
+    candidates: Counter,
+    moduli: Sequence[int],
+    max_value: Optional[int] = None,
 ) -> Tuple[Dict[int, Counter], Dict[int, int]]:
     """Per-modulus vote on ``W mod p_i``; returns (tallies, clear winners).
 
     A winner is *clear* when its vote count strictly exceeds twice the
     runner-up's count (a lone candidate wins against a runner-up of 0).
+
+    ``max_value`` disenfranchises statements whose ``x`` cannot come
+    from a genuine mark (``x = W mod p_i*p_j <= W < 2^bits``, so any
+    larger ``x`` is a junk decode). They stay in the candidate pool —
+    partial/diagnostic recoveries still see them — but they cannot
+    seat a winner. Without this, a junk window repeated by a hot loop
+    (identical trace bits every iteration decrypt to the same junk
+    statement) outvotes the genuine pieces and the vote filter then
+    deletes the real mark.
     """
     votes: Dict[int, Counter] = {i: Counter() for i in range(len(moduli))}
     for stmt, count in candidates.items():
+        if max_value is not None and stmt.x >= max_value:
+            continue
         votes[stmt.i][stmt.x % moduli[stmt.i]] += count
         votes[stmt.j][stmt.x % moduli[stmt.j]] += count
     winners: Dict[int, int] = {}
@@ -213,11 +226,14 @@ def recover(
     cipher: BlockCipher,
     enumeration: StatementEnumeration,
     use_voting: bool = True,
+    max_value: Optional[int] = None,
 ) -> RecoveryResult:
     """Full recognition pipeline: bits -> candidate statements -> W.
 
     ``use_voting`` toggles the per-modulus vote prefilter (step 2) for
-    the ablation study; the graph elimination always runs.
+    the ablation study; the graph elimination always runs. ``max_value``
+    (``2^watermark_bits`` when the caller knows the mark width) bars
+    provably-junk statements from the vote — see :func:`hold_votes`.
     """
     moduli = enumeration.moduli
     candidates, inspected = extract_candidates(bits, cipher, enumeration)
@@ -225,7 +241,7 @@ def recover(
     votes: Dict[int, Counter] = {}
     winners: Dict[int, int] = {}
     if use_voting and candidates:
-        votes, winners = hold_votes(candidates, moduli)
+        votes, winners = hold_votes(candidates, moduli, max_value)
         candidates = apply_vote_filter(candidates, winners, moduli)
     after_voting = sum(candidates.values())
 

@@ -85,6 +85,7 @@ KNOWN_KINDS: Tuple[str, ...] = (
     "circuit",        # a circuit breaker changed state
     "store.quarantine",  # the store quarantined a corrupt blob
     "campaign.cell",  # one campaign cell finished
+    "fleet.dispatch",  # one fleet send: worker, route, outcome, seconds
 )
 
 

@@ -29,6 +29,12 @@ Objective kinds
 ``retry_budget``
     The summed ``count`` of ``batch.retry`` events in the window must
     be **at most** ``target``. Burn is spend over budget.
+``dispatch_p95``
+    p95 of ``fleet.dispatch`` send durations (optionally filtered to
+    one route) must be **at most** ``target`` seconds — the fleet
+    dispatcher's tail, measured from hand-off to a worker until its
+    response, requeues included as separate samples. Same 5% tail
+    allowance as ``latency_p95``.
 
 An objective with no events in its window reports ``no data`` and
 counts as met — absence of traffic is not an outage — but carries
@@ -60,7 +66,7 @@ __all__ = [
 
 #: Valid objective kinds; anything else is a spec error.
 OBJECTIVE_KINDS = ("latency_p95", "error_rate", "recovery_rate",
-                   "retry_budget")
+                   "retry_budget", "dispatch_p95")
 
 #: Tail allowance for latency objectives: up to this fraction of
 #: requests may exceed the p95 target before the burn rate passes 1.
@@ -239,6 +245,36 @@ def _evaluate_one(
             ),
         )
 
+    if objective.kind == "dispatch_p95":
+        hits = [
+            e for e in events
+            if e.kind == "fleet.dispatch"
+            and (
+                objective.route is None
+                or str(e.attrs.get("route")) == objective.route
+            )
+        ]
+        values = [
+            float(e.attrs["seconds"]) for e in hits
+            if isinstance(e.attrs.get("seconds"), (int, float))
+        ]
+        if not values:
+            return _no_data(objective)
+        p95 = percentile(values, 0.95)
+        over = sum(1 for v in values if v > objective.target)
+        burn = (over / len(values)) / _LATENCY_ALLOWANCE
+        return SLOStatus(
+            objective=objective,
+            met=p95 <= objective.target,
+            value=p95,
+            samples=len(values),
+            burn_rate=burn,
+            detail=(
+                f"dispatch p95 {p95:.3f}s vs {objective.target:g}s over "
+                f"{len(values)} send(s)"
+            ),
+        )
+
     # retry_budget
     hits = [e for e in events if e.kind == "batch.retry"]
     spent = float(sum(float(e.attrs.get("count", 1)) for e in hits))
@@ -312,6 +348,12 @@ def default_objectives() -> List[Objective]:
             kind="retry_budget",
             target=25.0,
             description="at most 25 copies resubmitted per window",
+        ),
+        Objective(
+            name="fleet-dispatch-p95",
+            kind="dispatch_p95",
+            target=30.0,
+            description="p95 fleet send latency stays under 30s",
         ),
     ]
 

@@ -271,15 +271,18 @@ def load_prepared_artifact(store_root: str, digest: str) -> PreparedProgram:
 
     The cache key includes the store root so one process can serve
     multiple stores (tests do; a daemon normally will not).
+    ``store_root`` may name a plain store or a sharded fabric — the
+    factory routes either way, so fleet workers pointed at a fabric
+    need no special casing.
     """
     key = (store_root, digest)
     cached = _ARTIFACT_CACHE.get(key)
     if cached is not None:
         _ARTIFACT_CACHE.move_to_end(key)
         return cached
-    from ..serve.store import ArtifactStore  # deferred: serve imports us
+    from ..serve.fabric import open_store  # deferred: serve imports us
 
-    prepared = ArtifactStore(store_root, create=False).load(digest)
+    prepared = open_store(store_root).load(digest)
     while len(_ARTIFACT_CACHE) >= _ARTIFACT_CACHE_MAX:
         _ARTIFACT_CACHE.popitem(last=False)
     _ARTIFACT_CACHE[key] = prepared

@@ -19,7 +19,16 @@ service:
   :class:`CircuitBreaker` state machine behind those routes;
 * :mod:`repro.serve.client` — a stdlib :class:`ServiceClient` that
   honors the daemon's ``Retry-After`` backpressure with the shared
-  :class:`~repro.faults.retry.RetryPolicy` backoff.
+  :class:`~repro.faults.retry.RetryPolicy` backoff;
+* :mod:`repro.serve.fabric` — the scale-out store: a
+  :class:`ShardedArtifactStore` consistent-hashing releases over N
+  hardened shard roots, with minimal-movement rebalancing and the
+  :func:`open_store` factory that makes fabrics and plain stores
+  interchangeable;
+* :mod:`repro.serve.dispatch` — pluggable job dispatch behind the
+  daemon: the in-process pool (:class:`LocalDispatcher`) or a
+  :class:`FleetDispatcher` routing to N worker daemons with bounded
+  in-flight, requeue-on-loss, and priority load-shed.
 
 Typical use::
 
@@ -44,6 +53,22 @@ from .daemon import (
     WatermarkService,
     serve,
 )
+from .dispatch import (
+    Dispatcher,
+    DispatchOverload,
+    FleetDispatcher,
+    Job,
+    LocalDispatcher,
+    WorkerSpec,
+    load_workers,
+)
+from .fabric import (
+    HashRing,
+    RebalanceReport,
+    ShardedArtifactStore,
+    is_fabric,
+    open_store,
+)
 from .store import (
     ArtifactRecord,
     ArtifactStore,
@@ -55,15 +80,27 @@ __all__ = [
     "ArtifactRecord",
     "ArtifactStore",
     "CircuitBreaker",
+    "Dispatcher",
+    "DispatchOverload",
+    "FleetDispatcher",
+    "HashRing",
+    "Job",
+    "LocalDispatcher",
     "QuarantineRecord",
     "ROUTES",
+    "RebalanceReport",
     "Request",
     "Response",
     "ServerConfig",
     "ServerThread",
     "ServiceClient",
     "ServiceError",
+    "ShardedArtifactStore",
     "StoreError",
     "WatermarkService",
+    "WorkerSpec",
+    "is_fabric",
+    "load_workers",
+    "open_store",
     "serve",
 ]

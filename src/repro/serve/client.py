@@ -42,15 +42,22 @@ class ServiceError(Exception):
     """The daemon answered with an error status (after any retries).
 
     ``status`` is the HTTP status; ``doc`` is the parsed JSON error
-    body when there was one.
+    body when there was one. ``retry_after`` carries the final
+    response's ``Retry-After`` seconds when the server sent one (a 503
+    circuit-open or 429 queue-full answer says *when* to come back) —
+    callers scheduling their own requeue, like the fleet dispatcher,
+    must honor the server's number instead of guessing with private
+    backoff.
     """
 
     def __init__(self, status: int, message: str,
-                 doc: Optional[Dict[str, Any]] = None):
+                 doc: Optional[Dict[str, Any]] = None,
+                 retry_after: Optional[float] = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
         self.doc = doc or {}
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -112,13 +119,27 @@ class ServiceClient:
         retryable status; a connection that never succeeds re-raises
         the last ``OSError``.
         """
+        status, doc_out, _ = self.request_ex(method, path, doc)
+        return status, doc_out
+
+    def request_ex(
+        self, method: str, path: str, doc: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any], Optional[float]]:
+        """:meth:`request`, plus the final response's ``Retry-After``.
+
+        The header used to vanish here: it fed the *internal* retry
+        sleeps but was dropped from the exhausted-retries return, so a
+        dispatcher requeueing the job fell back to its own backoff and
+        hammered a server that had named its price. The third element
+        is the last response's ``Retry-After`` in seconds (``None``
+        when absent or unparseable).
+        """
         body = (
             json.dumps(doc).encode() if doc is not None else None
         )
         attempt = 0
         while True:
             attempt += 1
-            retry_after: Optional[float] = None
             try:
                 status, headers, payload = self._once(method, path, body)
             except (OSError, http.client.HTTPException):
@@ -126,21 +147,22 @@ class ServiceClient:
                     raise
                 self._sleep(self.retry.delay(attempt))
                 continue
+            retry_after: Optional[float] = None
+            header = headers.get("retry-after")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
             if status in _RETRYABLE_STATUSES and self.retry.retries_left(
                 attempt
             ):
-                header = headers.get("retry-after")
-                if header is not None:
-                    try:
-                        retry_after = float(header)
-                    except ValueError:
-                        retry_after = None
                 delay = self.retry.delay(attempt)
                 if retry_after is not None:
                     delay = max(delay, retry_after)
                 self._sleep(delay)
                 continue
-            return status, _parse_json(payload)
+            return status, _parse_json(payload), retry_after
 
     # -- typed endpoints ---------------------------------------------------
 
@@ -226,9 +248,12 @@ class ServiceClient:
             doc["self_check"] = self_check
         if codec is not None:
             doc["codec"] = codec
-        status, out = self.request("POST", "/v1/embed", doc)
+        status, out, retry_after = self.request_ex("POST", "/v1/embed", doc)
         if status != 200:
-            raise ServiceError(status, str(out.get("error", "")), out)
+            raise ServiceError(
+                status, str(out.get("error", "")), out,
+                retry_after=retry_after,
+            )
         return out
 
     def recognize(
@@ -243,9 +268,14 @@ class ServiceClient:
         doc: Dict[str, Any] = {"artifact": artifact, "module": module_text}
         if codec is not None:
             doc["codec"] = codec
-        status, out = self.request("POST", "/v1/recognize", doc)
+        status, out, retry_after = self.request_ex(
+            "POST", "/v1/recognize", doc
+        )
         if status not in (200, 422):
-            raise ServiceError(status, str(out.get("error", "")), out)
+            raise ServiceError(
+                status, str(out.get("error", "")), out,
+                retry_after=retry_after,
+            )
         return out
 
 

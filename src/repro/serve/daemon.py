@@ -81,7 +81,10 @@ from ..obs.slo import SLOEngine, load_objectives
 from ..obs.spans import render_span_tree
 from ..pipeline.batch import CopySpec, service_embed_copy, service_recognize
 from .circuit import CircuitBreaker
-from .store import ArtifactStore, StoreError
+from .client import ServiceError
+from .dispatch import DispatchOverload, FleetDispatcher, Job, load_workers
+from .fabric import open_store
+from .store import StoreError
 
 #: The service surface: ``(method, path) -> description``. The docs
 #: snippet checker validates walkthrough ``curl`` commands against
@@ -107,6 +110,7 @@ _REASONS: Dict[int, str] = {
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
@@ -316,6 +320,15 @@ class ServerConfig:
     #: Path to a declarative SLO spec (JSON); ``None`` uses the
     #: default objective set.
     slo_spec: Optional[str] = None
+    #: Path to a ``workers.json`` fleet file. When set, this daemon is
+    #: a front-end router: validated embed/recognize requests forward
+    #: to the listed worker daemons through a
+    #: :class:`~repro.serve.dispatch.FleetDispatcher` instead of the
+    #: local pool. ``None`` keeps the pre-fleet local execution.
+    fleet: Optional[str] = None
+    #: Fleet front-end backlog bound: pending jobs beyond this are
+    #: load-shed by route priority (503 + Retry-After).
+    fleet_max_pending: int = 256
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -332,6 +345,8 @@ class ServerConfig:
             raise ValueError("circuit_reset must be positive")
         if self.drain_timeout < 0:
             raise ValueError("drain_timeout must be non-negative")
+        if self.fleet_max_pending < 1:
+            raise ValueError("fleet_max_pending must be positive")
 
 
 class WatermarkService:
@@ -339,8 +354,15 @@ class WatermarkService:
 
     def __init__(self, config: ServerConfig):
         self.config = config
-        self.store = ArtifactStore(config.store_root, create=False)
+        # A plain store or a sharded fabric — the factory routes either
+        # way, and both expose the record/resolve/records surface the
+        # handlers use.
+        self.store = open_store(config.store_root)
         self.port = config.port
+        self._fleet: Optional[FleetDispatcher] = None
+        self._fleet_specs = (
+            load_workers(config.fleet) if config.fleet else None
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[Executor] = None
         self._inflight = 0
@@ -424,7 +446,18 @@ class WatermarkService:
         )
 
     async def start(self) -> None:
-        """Bind the listening socket and spin up the worker pool."""
+        """Bind the listening socket and spin up the worker pool.
+
+        In fleet mode the local pool still exists (cheap when idle —
+        obs routes and health probes never touch it) but embeds and
+        recognitions forward to the fleet dispatcher instead.
+        """
+        if self._fleet_specs is not None:
+            self._fleet = FleetDispatcher(
+                self._fleet_specs,
+                request_timeout=self.config.request_timeout,
+                max_pending=self.config.fleet_max_pending,
+            )
         self._executor = self._make_executor()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -445,6 +478,9 @@ class WatermarkService:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self._fleet is not None:
+            self._fleet.close()
+            self._fleet = None
 
     async def shutdown(self) -> None:
         """Graceful drain, then stop.
@@ -566,26 +602,26 @@ class WatermarkService:
 
     def _handle_healthz(self) -> Response:
         slo = self.slo.report(self.hub.tail(limit=self.hub.config.ring_events))
-        return json_response(
-            200,
-            {
-                "status": "draining" if self._draining else "ok",
-                "artifacts": len(self.store),
-                "inflight": self._inflight,
-                "capacity": self._max_inflight,
-                "workers": self.config.workers,
-                "executor": self.config.executor,
-                "circuits": {
-                    route: breaker.state
-                    for route, breaker in self._breakers.items()
-                },
-                "slo": {
-                    "met": slo["met"],
-                    "breached": slo["breached"],
-                    "max_burn_rate": slo["max_burn_rate"],
-                },
+        body: Dict[str, Any] = {
+            "status": "draining" if self._draining else "ok",
+            "artifacts": len(self.store),
+            "inflight": self._inflight,
+            "capacity": self._max_inflight,
+            "workers": self.config.workers,
+            "executor": self.config.executor,
+            "circuits": {
+                route: breaker.state
+                for route, breaker in self._breakers.items()
             },
-        )
+            "slo": {
+                "met": slo["met"],
+                "breached": slo["breached"],
+                "max_burn_rate": slo["max_burn_rate"],
+            },
+        }
+        if self._fleet is not None:
+            body["fleet"] = self._fleet.stats()
+        return json_response(200, body)
 
     def _sample_gauges(self) -> None:
         """Refresh live-state gauges so a scrape sees *now*, not the
@@ -654,6 +690,38 @@ class WatermarkService:
         self.store.refresh()
         return self.store.resolve(ref)  # StoreError -> 404 upstream
 
+    async def _forward_to_fleet(
+        self, route: str, payload: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Proxy one *validated* request through the fleet dispatcher.
+
+        The front-end keeps request validation (bad input never costs
+        a fleet round-trip) and the drain gate; everything else —
+        worker choice, bounded in-flight, requeue on loss, priority
+        shed — is the dispatcher's. Raises :class:`BadRequest` for
+        conditions the front-end owns (draining, saturation, a fleet
+        that lost every worker); a worker's own error status
+        propagates as :class:`ServiceError` for the caller to mirror.
+        """
+        assert self._fleet is not None
+        if self._draining:
+            raise BadRequest(
+                503, "server is draining",
+                retry_after=self.config.drain_timeout,
+            )
+        job = Job(route=route, payload=payload)
+        try:
+            return await asyncio.wrap_future(self._fleet.submit(job))
+        except DispatchOverload as exc:
+            raise BadRequest(
+                503, "fleet saturated; request shed by priority",
+                retry_after=exc.retry_after,
+            ) from None
+        except (OSError, faults.FaultError) as exc:
+            raise BadRequest(
+                502, f"fleet worker unreachable: {exc}"
+            ) from None
+
     async def _handle_embed(self, request: Request) -> Response:
         doc = request.json()
         digest = self._resolve_artifact(doc)
@@ -681,6 +749,32 @@ class WatermarkService:
                 f"{record.watermark_bits}-bit fingerprint width",
             )
         codec = _parse_codec_field(doc)
+
+        if self._fleet is not None:
+            payload: Dict[str, Any] = {
+                "artifact": digest,
+                "copy_id": copy_id,
+                "watermark": watermark,
+                "seed": seed,
+                "self_check": self_check,
+            }
+            if codec is not None:
+                payload["codec"] = codec
+            try:
+                body = await self._forward_to_fleet("/v1/embed", payload)
+            except ServiceError as exc:
+                return json_response(
+                    exc.status, exc.doc or {"error": exc.message}
+                )
+            self.hub.emit(
+                "embed",
+                copy_id,
+                artifact=digest,
+                ok=bool(body.get("ok", True)),
+                verified=bool(body.get("verified", True)),
+                wall_seconds=body.get("wall_seconds"),
+            )
+            return json_response(200, body)
 
         job = functools.partial(
             service_embed_copy,
@@ -739,6 +833,34 @@ class WatermarkService:
                 400, "'module' (WVM assembly text) is required"
             )
         codec = _parse_codec_field(doc)
+
+        if self._fleet is not None:
+            payload: Dict[str, Any] = {
+                "artifact": digest,
+                "module": module_text,
+            }
+            if codec is not None:
+                payload["codec"] = codec
+            try:
+                body = await self._forward_to_fleet(
+                    "/v1/recognize", payload
+                )
+            except ServiceError as exc:
+                return json_response(
+                    exc.status, exc.doc or {"error": exc.message}
+                )
+            body["artifact"] = digest
+            self.hub.emit(
+                "recognize",
+                digest,
+                artifact=digest,
+                complete=bool(body.get("complete")),
+                watermark=body.get("watermark"),
+            )
+            return json_response(
+                200 if body.get("complete") else 422, body
+            )
+
         job = functools.partial(
             service_recognize,
             self.config.store_root,

@@ -1,0 +1,569 @@
+"""Pluggable job dispatch: one pool, or a fleet of worker daemons.
+
+The daemon and the CLI mint copies by submitting *jobs* — an HTTP-
+shaped ``(route, payload)`` pair — to a :class:`Dispatcher`. Two
+implementations share that contract:
+
+* :class:`LocalDispatcher` — the existing in-process pool, wearing
+  the protocol: jobs run on a ``ProcessPoolExecutor`` (or thread pool)
+  via the same ``service_embed_copy``/``service_recognize`` entry
+  points the daemon uses, fault plans and telemetry riding the pool
+  initializer exactly as before.
+* :class:`FleetDispatcher` — the scale-out path: jobs route to N
+  worker daemons over the existing :class:`~repro.serve.client.
+  ServiceClient` HTTP transport. A poller loop assigns queued jobs to
+  the least-loaded worker with a free slot (**bounded in-flight per
+  worker** — a worker advertises its capacity and is never handed
+  more), invokes **per-job success/error callbacks**, **requeues on
+  worker loss** under the shared seeded :class:`~repro.faults.retry.
+  RetryPolicy` (honoring a 503's ``Retry-After`` over private
+  backoff), and **load-sheds by route priority** when every worker is
+  saturated and the backlog hits its bound — recognitions (the
+  evidence path) outlive embeds (re-mintable at leisure).
+
+Determinism: the dispatcher adds no randomness of its own beyond the
+retry policy's seeded jitter. Job identity, payloads, and results are
+caller-owned; completion *order* under a fleet is inherently racy,
+which is why callers that need stable output (the campaign runner,
+``run_batch``) sort by job key after the fact.
+
+The transport declares a :mod:`repro.faults` site — ``fleet.send``,
+keyed by worker name — so worker loss is injectable: a pinned
+:class:`~repro.faults.FaultPlan` can kill the first K sends to one
+worker and a test can watch the requeue machinery recover.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import threading
+import time
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+from .. import faults, obs
+from ..faults.retry import RetryPolicy
+from ..obs.metrics import get_registry
+from ..pipeline.batch import CopySpec, service_embed_copy, service_recognize
+from .client import ServiceClient, ServiceError
+
+__all__ = [
+    "Dispatcher",
+    "DispatchOverload",
+    "FleetDispatcher",
+    "Job",
+    "LocalDispatcher",
+    "ROUTE_PRIORITY",
+    "WorkerSpec",
+    "load_workers",
+]
+
+#: Load-shed order: higher sheds later. Recognition requests carry
+#: evidence that may not be reproducible (an attacked copy in hand);
+#: an embed can always be re-minted from the artifact.
+ROUTE_PRIORITY: Dict[str, int] = {
+    "/v1/recognize": 2,
+    "/v1/embed": 1,
+}
+
+
+class DispatchOverload(Exception):
+    """Every worker is saturated and the pending queue is full.
+
+    ``retry_after`` is the dispatcher's advice, in seconds — the
+    daemon forwards it as a 503 ``Retry-After`` so well-behaved
+    clients (ours honors it) back off instead of hammering.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One unit of fleet work: an HTTP-shaped request plus callbacks.
+
+    ``priority`` defaults from :data:`ROUTE_PRIORITY`; higher values
+    survive load-shed longer. ``on_success``/``on_error`` fire on the
+    dispatcher's worker threads (keep them cheap — flip a flag, append
+    to a list); the returned future carries the same outcome for
+    callers that prefer awaiting.
+    """
+
+    route: str
+    payload: Dict[str, Any]
+    job_id: str = ""
+    priority: Optional[int] = None
+    on_success: Optional[Callable[["Job", Dict[str, Any]], None]] = None
+    on_error: Optional[Callable[["Job", BaseException], None]] = None
+    attempts: int = 0
+    worker: str = ""
+    future: "Future[Dict[str, Any]]" = field(default_factory=Future)
+
+    def __post_init__(self) -> None:
+        if self.priority is None:
+            self.priority = ROUTE_PRIORITY.get(self.route, 0)
+
+    def _succeed(self, doc: Dict[str, Any]) -> None:
+        if self.on_success is not None:
+            self.on_success(self, doc)
+        if not self.future.done():
+            self.future.set_result(doc)
+
+    def _fail(self, exc: BaseException) -> None:
+        if self.on_error is not None:
+            self.on_error(self, exc)
+        if not self.future.done():
+            self.future.set_exception(exc)
+
+
+class Dispatcher(Protocol):
+    """What the daemon and CLI require of a job dispatcher."""
+
+    def submit(self, job: Job) -> "Future[Dict[str, Any]]":
+        """Enqueue a job; the future resolves to the response body."""
+        ...
+
+    def stats(self) -> Dict[str, Any]:
+        """A snapshot for gauges/introspection (shape is impl-owned)."""
+        ...
+
+    def close(self) -> None:
+        """Stop accepting work and release resources."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Local: the pre-fleet process pool behind the protocol
+# ---------------------------------------------------------------------------
+
+
+class LocalDispatcher:
+    """Jobs run in this process's pool — the PR-4 serving path.
+
+    ``pool`` is caller-owned when provided (the daemon already builds
+    one with fault-plan/telemetry initializers); otherwise a thread
+    pool of ``workers`` is created and owned here. Payloads are the
+    same documents the HTTP API accepts, with ``artifact`` already a
+    full digest.
+    """
+
+    def __init__(
+        self,
+        store_root: str,
+        pool: Optional[Executor] = None,
+        workers: int = 2,
+    ):
+        self.store_root = store_root
+        self._own_pool = pool is None
+        self._pool: Executor = pool or ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-dispatch"
+        )
+        self._submitted = 0
+        self._lock = threading.Lock()
+
+    def _run(self, job: Job) -> Dict[str, Any]:
+        payload = job.payload
+        if job.route not in ("/v1/embed", "/v1/recognize"):
+            raise ValueError(f"no local handler for route {job.route!r}")
+        digest = str(payload["artifact"])
+        codec = payload.get("codec")
+        if job.route == "/v1/embed":
+            spec = CopySpec(
+                copy_id=str(payload["copy_id"]),
+                watermark=int(payload["watermark"]),
+                seed=int(payload.get("seed", 0)),
+            )
+            result = service_embed_copy(
+                self.store_root, digest, spec,
+                self_check=bool(payload.get("self_check", True)),
+                codec=codec,
+            )
+            return {
+                "copy_id": result.copy_id,
+                "artifact": digest,
+                "ok": result.ok,
+                "verified": result.verified,
+                "wall_seconds": result.wall_seconds,
+                "module": result.text,
+            }
+        if job.route == "/v1/recognize":
+            return service_recognize(
+                self.store_root, digest, str(payload["module"]),
+                codec=codec,
+            )
+        raise ValueError(f"no local handler for route {job.route!r}")
+
+    def submit(self, job: Job) -> "Future[Dict[str, Any]]":
+        with self._lock:
+            self._submitted += 1
+        inner = self._pool.submit(self._run, job)
+
+        def _done(f: "Future[Dict[str, Any]]") -> None:
+            exc = f.exception()
+            if exc is None:
+                job._succeed(f.result())
+            else:
+                job._fail(exc)
+
+        inner.add_done_callback(_done)
+        return job.future
+
+    def stats(self) -> Dict[str, Any]:
+        return {"mode": "local", "submitted": self._submitted}
+
+    def close(self) -> None:
+        if self._own_pool:
+            self._pool.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------------
+# Fleet: N worker daemons behind ServiceClient
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """One worker daemon: where it is and how much it can hold.
+
+    ``capacity`` is the in-flight bound — set it to the worker's
+    ``--workers`` count so the fleet never out-queues a worker's own
+    admission ceiling (jobs waiting here can still be re-planned;
+    jobs queued *on* a saturated worker cannot).
+    """
+
+    name: str
+    url: str
+    capacity: int = 2
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "WorkerSpec":
+        if not isinstance(doc.get("name"), str) or not doc["name"]:
+            raise ValueError("worker entry needs a non-empty 'name'")
+        if not isinstance(doc.get("url"), str):
+            raise ValueError(f"worker {doc['name']!r} needs a 'url'")
+        capacity = doc.get("capacity", 2)
+        if isinstance(capacity, bool) or not isinstance(capacity, int) \
+                or capacity < 1:
+            raise ValueError(
+                f"worker {doc['name']!r} capacity must be a positive int"
+            )
+        return WorkerSpec(doc["name"], doc["url"], capacity)
+
+
+def load_workers(path: str) -> List[WorkerSpec]:
+    """Parse a ``workers.json`` fleet file: ``{"workers": [...]}``."""
+    with open(path) as fp:
+        doc = json.load(fp)
+    entries = doc.get("workers") if isinstance(doc, dict) else None
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{path!r} must hold a non-empty 'workers' list")
+    specs = [WorkerSpec.from_dict(e) for e in entries]
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate worker names in {path!r}")
+    return specs
+
+
+class FleetDispatcher:
+    """Route jobs to worker daemons; survive the daemons misbehaving.
+
+    One poller thread owns the queue: it wakes on submissions,
+    completions and requeue deadlines, and hands the highest-priority
+    *ready* job to the least-loaded worker with a free slot. Sends run
+    on a thread pool sized to the fleet's total capacity (they block
+    on HTTP). The per-request ``ServiceClient`` retry is disabled
+    (``max_attempts=1``): the dispatcher owns retries, because only it
+    can requeue to a *different* worker.
+
+    Failure handling per send:
+
+    * connection loss / 429 / 503 — worker loss or saturation: the
+      job requeues with delay ``max(policy backoff, server
+      Retry-After)`` until the policy's attempts run out, then fails.
+    * any other error status — the job is wrong, not the worker:
+      fails immediately (no requeue).
+
+    When the pending queue reaches ``max_pending``, the
+    lowest-priority job (submission order breaking ties, newest
+    first) is shed with :class:`DispatchOverload`.
+    """
+
+    def __init__(
+        self,
+        workers: List[WorkerSpec],
+        retry: Optional[RetryPolicy] = None,
+        poll_interval: float = 0.05,
+        max_pending: int = 256,
+        request_timeout: float = 60.0,
+        client_factory: Optional[Callable[[WorkerSpec], ServiceClient]] = None,
+    ):
+        if not workers:
+            raise ValueError("a fleet needs at least one worker")
+        self.workers = list(workers)
+        self.retry = retry or RetryPolicy()
+        self.poll_interval = poll_interval
+        self.max_pending = max_pending
+        if client_factory is None:
+            def client_factory(spec: WorkerSpec) -> ServiceClient:
+                return ServiceClient(
+                    spec.url, timeout=request_timeout,
+                    retry=RetryPolicy(max_attempts=1),
+                )
+        self._clients = {w.name: client_factory(w) for w in self.workers}
+        self._in_flight = {w.name: 0 for w in self.workers}
+        self._capacity = {w.name: w.capacity for w in self.workers}
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        # Entries: (-priority, seq, not_before, job). Heap order is
+        # priority-first so shedding pops from the *back* conceptually;
+        # readiness (not_before) is checked at assignment time.
+        self._pending: List[Tuple[int, int, float, Job]] = []
+        self._seq = itertools.count()
+        self._completed = 0
+        self._errors = 0
+        self._shed = 0
+        self._requeues = 0
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=sum(w.capacity for w in self.workers),
+            thread_name_prefix="repro-fleet",
+        )
+        self._poller = threading.Thread(
+            target=self._poll_loop, name="repro-fleet-poller", daemon=True
+        )
+        self._poller.start()
+
+    # -- public surface ----------------------------------------------------
+
+    def submit(self, job: Job) -> "Future[Dict[str, Any]]":
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("dispatcher is closed")
+            if len(self._pending) >= self.max_pending:
+                self._shed_one(job)
+                if job.future.done():
+                    return job.future
+            if not job.job_id:
+                job.job_id = f"job-{next(self._seq)}"
+            heapq.heappush(
+                self._pending,
+                (-int(job.priority or 0), next(self._seq), 0.0, job),
+            )
+            self._wake.notify()
+        return job.future
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "mode": "fleet",
+                "pending": len(self._pending),
+                "in_flight": dict(self._in_flight),
+                "completed": self._completed,
+                "errors": self._errors,
+                "shed": self._shed,
+                "requeues": self._requeues,
+            }
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Block until the queue and every in-flight slot are empty."""
+        deadline = time.monotonic() + timeout
+        with self._wake:
+            while self._pending or any(self._in_flight.values()):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._wake.wait(min(remaining, self.poll_interval))
+        return True
+
+    def close(self) -> None:
+        with self._wake:
+            self._closed = True
+            abandoned = [entry[3] for entry in self._pending]
+            self._pending.clear()
+            self._wake.notify_all()
+        for job in abandoned:
+            job._fail(DispatchOverload("dispatcher closed", retry_after=0.0))
+        self._poller.join(timeout=5.0)
+        self._pool.shutdown(wait=True)
+
+    # -- internals ---------------------------------------------------------
+
+    def _shed_one(self, incoming: Job) -> None:
+        """Queue full: drop the least important job (maybe the new one).
+
+        The victim is the lowest-priority entry; among equals the
+        *newest* goes — older jobs have waited longest and are closest
+        to service (FIFO fairness under shed).
+        """
+        candidates = self._pending + [
+            (-int(incoming.priority or 0), next(self._seq), 0.0, incoming)
+        ]
+        victim_entry = max(candidates, key=lambda e: (e[0], e[1]))
+        if victim_entry[3] is not incoming:
+            self._pending.remove(victim_entry)
+            heapq.heapify(self._pending)
+            heapq.heappush(
+                self._pending,
+                (-int(incoming.priority or 0), next(self._seq), 0.0,
+                 incoming),
+            )
+        victim = victim_entry[3]
+        self._shed += 1
+        get_registry().counter(
+            "repro_fleet_shed_total", "Jobs load-shed by the dispatcher"
+        ).inc(route=victim.route)
+        obs.emit(
+            "fleet.dispatch", victim.job_id or "unassigned",
+            route=victim.route, outcome="shed", priority=victim.priority,
+        )
+        victim._fail(DispatchOverload(
+            f"fleet saturated ({self.max_pending} pending); "
+            f"{victim.route} shed", retry_after=self.poll_interval * 10,
+        ))
+
+    def _pick_worker(self) -> Optional[str]:
+        """Least-loaded worker with a free slot (stable tie-break)."""
+        best: Optional[str] = None
+        best_load = 10**9
+        for spec in self.workers:
+            load = self._in_flight[spec.name]
+            if load < self._capacity[spec.name] and load < best_load:
+                best, best_load = spec.name, load
+        return best
+
+    def _poll_loop(self) -> None:
+        while True:
+            with self._wake:
+                if self._closed:
+                    return
+                now = time.monotonic()
+                entry = self._next_ready(now)
+                if entry is None:
+                    self._wake.wait(self.poll_interval)
+                    continue
+                worker = self._pick_worker()
+                if worker is None:
+                    # All slots busy: put it back, wait for a completion.
+                    heapq.heappush(self._pending, entry)
+                    self._wake.wait(self.poll_interval)
+                    continue
+                job = entry[3]
+                self._in_flight[worker] += 1
+            self._pool.submit(self._send, job, worker)
+
+    def _next_ready(self, now: float) -> Optional[Tuple[int, int, float, Job]]:
+        """Pop the best pending entry whose requeue delay has elapsed."""
+        deferred: List[Tuple[int, int, float, Job]] = []
+        picked: Optional[Tuple[int, int, float, Job]] = None
+        while self._pending:
+            entry = heapq.heappop(self._pending)
+            if entry[2] <= now:
+                picked = entry
+                break
+            deferred.append(entry)
+        for entry in deferred:
+            heapq.heappush(self._pending, entry)
+        return picked
+
+    def _send(self, job: Job, worker: str) -> None:
+        job.attempts += 1
+        job.worker = worker
+        started = time.monotonic()
+        try:
+            faults.check("fleet.send", worker=worker, route=job.route)
+            status, doc, retry_after = self._clients[worker].request_ex(
+                "POST", job.route, job.payload
+            )
+        except (OSError, faults.FaultError) as exc:
+            self._after_send(job, worker, started, error=exc,
+                            retry_after=None)
+            return
+        if status in (429, 503):
+            exc = ServiceError(
+                status, str(doc.get("error", "worker saturated")), doc,
+                retry_after=retry_after,
+            )
+            self._after_send(job, worker, started, error=exc,
+                            retry_after=retry_after)
+            return
+        if status not in (200, 422):
+            self._after_send(
+                job, worker, started, fatal=ServiceError(
+                    status, str(doc.get("error", "")), doc,
+                    retry_after=retry_after,
+                ),
+            )
+            return
+        self._after_send(job, worker, started, result=doc)
+
+    def _after_send(
+        self,
+        job: Job,
+        worker: str,
+        started: float,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[BaseException] = None,
+        fatal: Optional[BaseException] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        seconds = time.monotonic() - started
+        registry = get_registry()
+        requeued = False
+        with self._wake:
+            self._in_flight[worker] -= 1
+            if error is not None and self.retry.retries_left(job.attempts):
+                delay = self.retry.delay(job.attempts)
+                if retry_after is not None:
+                    # The worker named its price (503 Retry-After from
+                    # an open circuit); honor it over private backoff.
+                    delay = max(delay, retry_after)
+                self._requeues += 1
+                requeued = True
+                heapq.heappush(
+                    self._pending,
+                    (-int(job.priority or 0), next(self._seq),
+                     time.monotonic() + delay, job),
+                )
+            elif error is None and fatal is None:
+                self._completed += 1
+            else:
+                self._errors += 1
+            self._wake.notify()
+        outcome = (
+            "ok" if result is not None
+            else "requeued" if requeued
+            else "error"
+        )
+        # Resolve the job before any telemetry: a metrics/journal
+        # hiccup must never leave a caller waiting on the future.
+        if result is not None:
+            job._succeed(result)
+        elif requeued:
+            pass  # the poller will try again after the delay
+        elif fatal is not None:
+            job._fail(fatal)
+        else:
+            assert error is not None
+            job._fail(error)
+        registry.histogram(
+            "repro_fleet_dispatch_seconds",
+            "Wall time of one fleet send (submit to response)",
+        ).observe(seconds, worker=worker, route=job.route)
+        registry.counter(
+            "repro_fleet_jobs_total", "Fleet jobs by outcome"
+        ).inc(worker=worker, route=job.route, outcome=outcome)
+        for spec in self.workers:
+            registry.gauge(
+                "repro_fleet_worker_inflight",
+                "Jobs currently executing on each fleet worker",
+            ).set(self._in_flight[spec.name], worker=spec.name)
+        obs.emit(
+            "fleet.dispatch", job.job_id,
+            route=job.route, worker=worker, outcome=outcome,
+            seconds=seconds, attempt=job.attempts,
+        )

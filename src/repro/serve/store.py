@@ -80,6 +80,7 @@ from ..pipeline.prepare import (
     PreparedProgram,
     prepare,
     prepare_fingerprint,
+    resolve_piece_count,
 )
 from ..vm.interpreter import DEFAULT_MAX_STEPS
 from ..vm.program import Module
@@ -412,6 +413,56 @@ class ArtifactStore:
         self._write_manifest()
         return record
 
+    def export_blob(self, digest: str) -> Tuple[ArtifactRecord, bytes]:
+        """The record plus its verified raw blob bytes.
+
+        The fabric's rebalancer moves artifacts between shards with
+        this + :meth:`adopt`: bytes-verbatim, never re-pickled, so a
+        move cannot change an artifact's identity. The blob is hashed
+        before export — a corrupt blob is quarantined here rather than
+        smuggled onto another shard.
+        """
+        record = self.record(digest)
+        try:
+            with open(self._blob_path(digest), "rb") as fp:
+                data = fp.read()
+        except OSError as exc:
+            raise StoreError(
+                f"artifact {digest[:12]} blob missing: {exc}"
+            ) from exc
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != record.sha256:
+            self.quarantine(digest, "sha256 mismatch", sha256_observed=actual)
+            raise StoreError(
+                f"artifact {digest[:12]} failed its integrity check on "
+                f"export (sha256 {actual[:12]}.. != manifest "
+                f"{record.sha256[:12]}..)"
+            )
+        return record, data
+
+    def adopt(self, record: ArtifactRecord, data: bytes) -> ArtifactRecord:
+        """Accept an artifact moved verbatim from another store.
+
+        The receiving side of a fabric rebalance: the bytes are
+        re-hashed against the travelling record before anything lands,
+        so a move torn in transit is rejected here, while the source
+        still holds the original (moves evict only after adoption).
+        """
+        if not _valid_digest(record.digest):
+            raise StoreError(f"bad artifact digest {record.digest!r}")
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != record.sha256:
+            raise StoreError(
+                f"artifact {record.digest[:12]} arrived corrupt "
+                f"(sha256 {actual[:12]}.. != record {record.sha256[:12]}..)"
+            )
+        _atomic_write(
+            self._blob_path(record.digest), data, site="store.write.blob"
+        )
+        self._records[record.digest] = record
+        self._write_manifest()
+        return record
+
     def load(self, digest: str) -> PreparedProgram:
         """Read, integrity-check and unpickle one artifact.
 
@@ -587,10 +638,15 @@ class ArtifactStore:
         artifact that fails its integrity check is evicted and
         re-prepared rather than trusted.
         """
-        # Normalize first ("hybrid" -> "hybrid-4"): the artifact's own
-        # fingerprint uses the normalized spec, and the lookup digest
-        # must agree with the address ``put`` stored it under.
+        # Normalize first ("hybrid" -> "hybrid-4", planner-sized
+        # pieces -> the concrete count): the artifact's own
+        # fingerprint uses the normalized forms, and the lookup digest
+        # must agree with the address ``put`` stored it under — a
+        # ``pieces=None`` lookup could otherwise never hit.
         codec = resolve_codec(codec).spec
+        _, pieces = resolve_piece_count(
+            watermark_bits, pieces, piece_loss, target_success, codec=codec
+        )
         digest = prepare_fingerprint(
             module, key, watermark_bits, pieces, codec=codec
         )

@@ -233,3 +233,15 @@ def test_roundtrip_random_watermarks(watermark, seed):
     result = embed(gcd_module(), watermark, key, watermark_bits=16)
     found = recognize(result.module, key, watermark_bits=16)
     assert found.complete and found.value == watermark
+
+
+def test_roundtrip_survives_loop_repeated_junk_window():
+    # Regression (hypothesis-found): under this key the gcd loop's
+    # trace repeats a 64-bit window that decrypts to an in-space junk
+    # statement 23 times, outvoting the 6 genuine pieces; the vote
+    # filter then deleted the real mark. Out-of-range statements
+    # (x >= 2^bits cannot be W mod p_i*p_j) are now barred from voting.
+    key = WatermarkKey(secret=(97).to_bytes(5, "big"), inputs=[25, 10])
+    result = embed(gcd_module(), 0, key, watermark_bits=16)
+    found = recognize(result.module, key, watermark_bits=16)
+    assert found.complete and found.value == 0

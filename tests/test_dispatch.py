@@ -1,0 +1,523 @@
+"""Tests for the job dispatch layer (`repro.serve.dispatch`).
+
+The fleet dispatcher's claims — bounded in-flight per worker, requeue
+on worker loss, load-shed by route priority, Retry-After honored over
+private backoff — are exercised against stub HTTP workers so the
+tests assert on dispatch behaviour, not embedding speed.
+"""
+
+import collections
+import json
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro import faults, obs
+from repro.bytecode_wm.keys import WatermarkKey
+from repro.faults import FaultPlan, FaultRule
+from repro.faults.retry import RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.pipeline import prepare
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.dispatch import (
+    DispatchOverload,
+    FleetDispatcher,
+    Job,
+    LocalDispatcher,
+    WorkerSpec,
+    load_workers,
+)
+from repro.serve.store import ArtifactStore
+from repro.workloads import gcd_module
+
+KEY = WatermarkKey(secret=b"dispatch-key", inputs=[25, 10])
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    previous = obs.set_registry(MetricsRegistry())
+    # The dispatcher must work with *no* hub installed: a regression
+    # guard for the bug where telemetry on the no-hub path crashed the
+    # send thread and starved caller futures.
+    hub = obs.set_hub(None)
+    yield
+    obs.set_hub(hub)
+    obs.set_registry(previous)
+
+
+# ---------------------------------------------------------------------------
+# Stub workers: an HTTP daemon whose behaviour the test scripts
+# ---------------------------------------------------------------------------
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    def do_POST(self):  # noqa: N802 (http.server API)
+        length = int(self.headers.get("Content-Length", "0"))
+        payload = json.loads(self.rfile.read(length) or b"{}")
+        status, doc, headers = self.server.stub.respond(self.path, payload)
+        body = json.dumps(doc).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass
+
+
+class StubWorker:
+    """A scriptable stand-in for a fleet worker daemon.
+
+    Responses come from ``scripted`` (a deque of ``(status, doc,
+    headers)``, popped per request) and fall back to a 200 echo.
+    ``gate`` (when set) blocks every request until released, and the
+    ``max_active`` high-water mark records true concurrency.
+    """
+
+    def __init__(self):
+        self.scripted = collections.deque()
+        self.requests = []
+        self.gate = None
+        self.max_active = 0
+        self._active = 0
+        self._lock = threading.Lock()
+        self._server = ThreadingHTTPServer(("127.0.0.1", 0), _StubHandler)
+        self._server.stub = self
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self._server.server_address[1]}"
+
+    def respond(self, path, payload):
+        with self._lock:
+            self.requests.append((path, payload))
+            self._active += 1
+            self.max_active = max(self.max_active, self._active)
+        try:
+            if self.gate is not None:
+                self.gate.wait(timeout=10.0)
+            with self._lock:
+                if self.scripted:
+                    return self.scripted.popleft()
+            return 200, {"echo": payload, "path": path}, {}
+        finally:
+            with self._lock:
+                self._active -= 1
+
+    def close(self):
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+@pytest.fixture()
+def stub():
+    worker = StubWorker()
+    yield worker
+    worker.close()
+
+
+def _dead_url():
+    """A URL nothing listens on (bound once to pick a free port)."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return f"http://127.0.0.1:{port}"
+
+
+def _fast_retry(attempts=3):
+    return RetryPolicy(max_attempts=attempts, base_delay=0.01,
+                       max_delay=0.05, jitter=0.0, seed=7)
+
+
+def _wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# LocalDispatcher: the in-process pool behind the protocol
+# ---------------------------------------------------------------------------
+
+
+class TestLocalDispatcher:
+    def test_embed_then_recognize_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        record = store.put(prepare(gcd_module(), KEY, 16, 8))
+        dispatcher = LocalDispatcher(store.root, workers=1)
+        try:
+            embed = dispatcher.submit(Job("/v1/embed", {
+                "artifact": record.digest, "copy_id": "c0",
+                "watermark": 5, "seed": 1,
+            })).result(timeout=60)
+            assert embed["ok"] and embed["copy_id"] == "c0"
+            recog = dispatcher.submit(Job("/v1/recognize", {
+                "artifact": record.digest, "module": embed["module"],
+            })).result(timeout=60)
+            assert recog["complete"] and recog["value"] == 5
+            assert dispatcher.stats()["submitted"] == 2
+        finally:
+            dispatcher.close()
+
+    def test_unknown_route_fails_the_future(self, tmp_path):
+        dispatcher = LocalDispatcher(str(tmp_path), workers=1)
+        failures = []
+        try:
+            job = Job("/v1/nonsense", {},
+                      on_error=lambda j, exc: failures.append(exc))
+            with pytest.raises(ValueError, match="no local handler"):
+                dispatcher.submit(job).result(timeout=10)
+            assert len(failures) == 1
+        finally:
+            dispatcher.close()
+
+
+# ---------------------------------------------------------------------------
+# FleetDispatcher
+# ---------------------------------------------------------------------------
+
+
+class TestFleetDispatcher:
+    def test_jobs_complete_and_callbacks_fire(self, stub):
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=2)],
+            retry=_fast_retry(),
+        )
+        done = []
+        try:
+            futures = [
+                dispatcher.submit(Job(
+                    "/v1/embed", {"n": n},
+                    on_success=lambda job, doc: done.append(doc["echo"]["n"]),
+                ))
+                for n in range(5)
+            ]
+            results = [f.result(timeout=10) for f in futures]
+            assert sorted(d["echo"]["n"] for d in results) == list(range(5))
+            assert sorted(done) == list(range(5))
+            stats = dispatcher.stats()
+            assert stats["completed"] == 5
+            assert stats["errors"] == stats["shed"] == 0
+            assert dispatcher.drain(timeout=5.0)
+        finally:
+            dispatcher.close()
+
+    def test_in_flight_is_bounded_by_worker_capacity(self, stub):
+        stub.gate = threading.Event()
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=2)],
+            retry=_fast_retry(), poll_interval=0.01,
+        )
+        try:
+            futures = [
+                dispatcher.submit(Job("/v1/embed", {"n": n}))
+                for n in range(5)
+            ]
+            # Two slots fill; the other three wait *here*, re-plannable.
+            assert _wait_for(
+                lambda: dispatcher.stats()["in_flight"]["alpha"] == 2
+            )
+            time.sleep(0.1)
+            stats = dispatcher.stats()
+            assert stats["in_flight"]["alpha"] == 2
+            assert stats["pending"] == 3
+            stub.gate.set()
+            for future in futures:
+                future.result(timeout=10)
+            assert stub.max_active <= 2
+        finally:
+            stub.gate.set()
+            dispatcher.close()
+
+    def test_worker_loss_requeues_until_the_plan_relents(self, stub):
+        # A pinned fault plan kills the first two sends; the requeue
+        # machinery must carry the job to the third, which lands.
+        plan = FaultPlan([
+            FaultRule(site="fleet.send", action="raise", times=2),
+        ], seed=11)
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=1)],
+            retry=_fast_retry(attempts=4),
+        )
+        try:
+            with faults.injected(plan):
+                job = Job("/v1/embed", {"n": 0})
+                doc = dispatcher.submit(job).result(timeout=10)
+            assert doc["echo"] == {"n": 0}
+            assert job.attempts == 3
+            stats = dispatcher.stats()
+            assert stats["requeues"] == 2
+            assert stats["completed"] == 1
+            assert stats["errors"] == 0
+        finally:
+            dispatcher.close()
+
+    def test_exhausted_retries_surface_the_last_error(self, stub):
+        plan = FaultPlan([
+            FaultRule(site="fleet.send", action="raise", times=None),
+        ], seed=11)
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=1)],
+            retry=_fast_retry(attempts=3),
+        )
+        errors = []
+        try:
+            with faults.injected(plan):
+                job = Job("/v1/embed", {"n": 0},
+                          on_error=lambda j, exc: errors.append(exc))
+                with pytest.raises(faults.FaultError):
+                    dispatcher.submit(job).result(timeout=10)
+            assert job.attempts == 3
+            assert len(errors) == 1
+            assert dispatcher.stats()["requeues"] == 2
+        finally:
+            dispatcher.close()
+
+    def test_dead_worker_jobs_land_on_the_live_one(self, stub):
+        # Overflow past the live worker's capacity spills onto the
+        # dead one, fails fast, and requeues back to a live slot.
+        stub.gate = threading.Event()
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("live", stub.url, capacity=1),
+             WorkerSpec("dead", _dead_url(), capacity=1)],
+            retry=_fast_retry(attempts=8), poll_interval=0.01,
+        )
+        try:
+            futures = [
+                dispatcher.submit(Job("/v1/embed", {"n": n}))
+                for n in range(3)
+            ]
+            assert _wait_for(
+                lambda: dispatcher.stats()["requeues"] >= 1
+            )
+            stub.gate.set()
+            results = [f.result(timeout=15) for f in futures]
+            assert sorted(r["echo"]["n"] for r in results) == [0, 1, 2]
+            stats = dispatcher.stats()
+            assert stats["completed"] == 3
+            # Every job that ultimately completed did so on the live
+            # worker; the dead one only ever produced requeues.
+            assert stats["requeues"] >= 1
+        finally:
+            stub.gate.set()
+            dispatcher.close()
+
+    def test_load_shed_evicts_lowest_priority_newest_first(self, stub):
+        stub.gate = threading.Event()
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=1)],
+            retry=_fast_retry(), poll_interval=0.01, max_pending=2,
+        )
+        try:
+            blocked = dispatcher.submit(Job("/v1/embed", {"n": 0}))
+            assert _wait_for(
+                lambda: dispatcher.stats()["in_flight"]["alpha"] == 1
+            )
+            embed_old = dispatcher.submit(Job("/v1/embed", {"n": 1}))
+            embed_new = dispatcher.submit(Job("/v1/embed", {"n": 2}))
+            # Queue is full. A recognition outranks embeds: the newest
+            # embed is shed to make room, the older one keeps its spot.
+            recognize = dispatcher.submit(
+                Job("/v1/recognize", {"module": "m"})
+            )
+            with pytest.raises(DispatchOverload) as excinfo:
+                embed_new.result(timeout=5)
+            assert excinfo.value.retry_after > 0
+            assert dispatcher.stats()["shed"] == 1
+            stub.gate.set()
+            assert blocked.result(timeout=10)["echo"] == {"n": 0}
+            assert embed_old.result(timeout=10)["echo"] == {"n": 1}
+            assert recognize.result(timeout=10)["path"] == "/v1/recognize"
+        finally:
+            stub.gate.set()
+            dispatcher.close()
+
+    def test_low_priority_incoming_is_shed_immediately(self, stub):
+        stub.gate = threading.Event()
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=1)],
+            retry=_fast_retry(), poll_interval=0.01, max_pending=1,
+        )
+        try:
+            dispatcher.submit(Job("/v1/embed", {"n": 0}))
+            assert _wait_for(
+                lambda: dispatcher.stats()["in_flight"]["alpha"] == 1
+            )
+            held = dispatcher.submit(Job("/v1/recognize", {"module": "m"}))
+            incoming = dispatcher.submit(Job("/v1/embed", {"n": 1}))
+            # The queued recognition outranks the incoming embed, so
+            # the newcomer itself is the victim.
+            with pytest.raises(DispatchOverload):
+                incoming.result(timeout=5)
+            stub.gate.set()
+            assert held.result(timeout=10)["path"] == "/v1/recognize"
+        finally:
+            stub.gate.set()
+            dispatcher.close()
+
+    def test_retry_after_outranks_private_backoff(self, stub):
+        # Satellite regression: the 503's Retry-After must reach the
+        # dispatcher's requeue delay. The policy's own backoff is 1ms;
+        # only the server's number explains a ~0.5s gap.
+        stub.scripted.append((503, {"error": "draining"},
+                              {"Retry-After": "0.5"}))
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=1)],
+            retry=RetryPolicy(max_attempts=3, base_delay=0.001,
+                              max_delay=0.001, jitter=0.0, seed=7),
+        )
+        try:
+            job = Job("/v1/embed", {"n": 0})
+            started = time.monotonic()
+            doc = dispatcher.submit(job).result(timeout=10)
+            elapsed = time.monotonic() - started
+            assert doc["echo"] == {"n": 0}
+            assert job.attempts == 2
+            assert dispatcher.stats()["requeues"] == 1
+            assert elapsed >= 0.5
+        finally:
+            dispatcher.close()
+
+    def test_fatal_status_fails_without_requeue(self, stub):
+        stub.scripted.append((404, {"error": "unknown artifact"}, {}))
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=1)],
+            retry=_fast_retry(attempts=5),
+        )
+        try:
+            job = Job("/v1/embed", {"n": 0})
+            with pytest.raises(ServiceError) as excinfo:
+                dispatcher.submit(job).result(timeout=10)
+            assert excinfo.value.status == 404
+            assert job.attempts == 1
+            stats = dispatcher.stats()
+            assert stats["requeues"] == 0
+            assert stats["errors"] == 1
+        finally:
+            dispatcher.close()
+
+    def test_close_fails_parked_jobs(self):
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("dead", _dead_url(), capacity=1)],
+            retry=RetryPolicy(max_attempts=5, base_delay=30.0,
+                              jitter=0.0, seed=7),
+            poll_interval=0.01,
+        )
+        job = Job("/v1/embed", {"n": 0})
+        future = dispatcher.submit(job)
+        # Let the first attempt fail and park the job on its 30s
+        # requeue delay, then shut down underneath it.
+        assert _wait_for(lambda: dispatcher.stats()["requeues"] == 1)
+        dispatcher.close()
+        with pytest.raises(DispatchOverload, match="closed"):
+            future.result(timeout=5)
+        with pytest.raises(RuntimeError, match="closed"):
+            dispatcher.submit(Job("/v1/embed", {"n": 1}))
+
+
+# ---------------------------------------------------------------------------
+# Fleet files and specs
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerSpecs:
+    def test_load_workers_roundtrip(self, tmp_path):
+        path = tmp_path / "workers.json"
+        path.write_text(json.dumps({"workers": [
+            {"name": "alpha", "url": "http://127.0.0.1:8101", "capacity": 4},
+            {"name": "beta", "url": "http://127.0.0.1:8102"},
+        ]}))
+        specs = load_workers(str(path))
+        assert specs == [
+            WorkerSpec("alpha", "http://127.0.0.1:8101", 4),
+            WorkerSpec("beta", "http://127.0.0.1:8102", 2),
+        ]
+
+    @pytest.mark.parametrize("doc,message", [
+        ({}, "non-empty 'workers'"),
+        ({"workers": []}, "non-empty 'workers'"),
+        ({"workers": [{"url": "http://x"}]}, "non-empty 'name'"),
+        ({"workers": [{"name": "a"}]}, "needs a 'url'"),
+        ({"workers": [{"name": "a", "url": "http://x", "capacity": 0}]},
+         "positive int"),
+        ({"workers": [{"name": "a", "url": "http://x"},
+                      {"name": "a", "url": "http://y"}]}, "duplicate"),
+    ])
+    def test_load_workers_rejects_bad_fleets(self, tmp_path, doc, message):
+        path = tmp_path / "workers.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match=message):
+            load_workers(str(path))
+
+    def test_route_priority_defaults(self):
+        assert Job("/v1/recognize", {}).priority == 2
+        assert Job("/v1/embed", {}).priority == 1
+        assert Job("/v1/other", {}).priority == 0
+        assert Job("/v1/embed", {}, priority=9).priority == 9
+
+    def test_fleet_needs_a_worker(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            FleetDispatcher([])
+
+
+# ---------------------------------------------------------------------------
+# ServiceClient: the Retry-After surfacing the dispatcher depends on
+# ---------------------------------------------------------------------------
+
+
+class TestServiceClientRetryAfter:
+    def test_request_ex_returns_the_final_retry_after(self, stub):
+        stub.scripted.append((503, {"error": "draining"},
+                              {"Retry-After": "1.5"}))
+        client = ServiceClient(stub.url, retry=RetryPolicy(max_attempts=1))
+        status, doc, retry_after = client.request_ex(
+            "POST", "/v1/embed", {"n": 0}
+        )
+        assert status == 503
+        assert doc["error"] == "draining"
+        assert retry_after == 1.5
+
+    def test_embed_error_carries_retry_after(self, stub):
+        stub.scripted.append((503, {"error": "draining"},
+                              {"Retry-After": "2"}))
+        client = ServiceClient(stub.url, retry=RetryPolicy(max_attempts=1))
+        with pytest.raises(ServiceError) as excinfo:
+            client.embed("a" * 64, "c0", 1)
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after == 2.0
+
+    def test_unparseable_retry_after_is_none(self, stub):
+        stub.scripted.append((503, {"error": "draining"},
+                              {"Retry-After": "soon"}))
+        client = ServiceClient(stub.url, retry=RetryPolicy(max_attempts=1))
+        _, _, retry_after = client.request_ex("POST", "/v1/embed", {})
+        assert retry_after is None
+
+    def test_internal_retries_still_honor_the_header(self, stub):
+        stub.scripted.append((503, {"error": "draining"},
+                              {"Retry-After": "0.4"}))
+        naps = []
+        client = ServiceClient(
+            stub.url,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.001,
+                              max_delay=0.001, jitter=0.0),
+            sleep=naps.append,
+        )
+        status, doc, _ = client.request_ex("POST", "/v1/embed", {"n": 1})
+        assert status == 200
+        assert naps == [0.4]

@@ -1,0 +1,233 @@
+"""Tests for the sharded artifact fabric (`repro.serve.fabric`)."""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.bytecode_wm.keys import WatermarkKey
+from repro.obs.metrics import MetricsRegistry
+from repro.pipeline import prepare
+from repro.serve.fabric import (
+    FABRIC_MANIFEST,
+    HashRing,
+    ShardedArtifactStore,
+    is_fabric,
+    open_store,
+)
+from repro.serve.store import ArtifactStore, StoreError
+from repro.workloads import collatz_module, gcd_module
+
+KEY = WatermarkKey(secret=b"fabric-key", inputs=[25, 10])
+BITS = 16
+PIECES = 8
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry():
+    previous = obs.set_registry(MetricsRegistry())
+    yield
+    obs.set_registry(previous)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return prepare(gcd_module(), KEY, BITS, PIECES)
+
+
+@pytest.fixture()
+def fabric(tmp_path):
+    return ShardedArtifactStore(str(tmp_path / "fabric"), shards=3)
+
+
+_names = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+    min_size=1, max_size=6, unique=True,
+)
+
+
+class TestHashRing:
+    @given(shards=_names, key=st.text(min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_route_deterministic_in_membership_set(self, shards, key):
+        # Insertion order must not matter: the ring is a function of
+        # the membership *set*.
+        forward = HashRing(shards)
+        backward = HashRing(list(reversed(shards)))
+        assert forward.route(key) == backward.route(key)
+
+    @given(shards=_names, keys=st.lists(st.text(min_size=1, max_size=32),
+                                        min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_growing_moves_only_to_the_new_shard(self, shards, keys):
+        # Consistent hashing's whole point: adding a shard relocates
+        # keys only *onto* the newcomer, never between old shards.
+        ring = HashRing(shards)
+        grown = ring.with_shard("zz-new")
+        for key in keys:
+            before, after = ring.route(key), grown.route(key)
+            if after != before:
+                assert after == "zz-new"
+
+    @given(shards=_names, keys=st.lists(st.text(min_size=1, max_size=32),
+                                        min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_remove_is_the_inverse_of_add(self, shards, keys):
+        ring = HashRing(shards)
+        roundtripped = ring.with_shard("zz-new").without_shard("zz-new")
+        for key in keys:
+            assert ring.route(key) == roundtripped.route(key)
+
+    def test_duplicate_shards_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["a", "a"])
+
+    def test_empty_ring_routes_nowhere(self):
+        with pytest.raises(StoreError, match="no shards"):
+            HashRing([]).route("anything")
+
+
+class TestFabricStore:
+    def test_put_load_roundtrip_routes_to_one_shard(self, fabric, prepared):
+        record = fabric.put(prepared, label="gcd v1")
+        assert record.digest == prepared.fingerprint()
+        assert fabric.load(record.digest).fingerprint() == record.digest
+        owner = fabric.route(record.digest)
+        # The blob lives on exactly the shard the ring names.
+        assert record.digest in fabric.shard(owner)
+        others = [n for n in fabric.shard_names if n != owner]
+        assert all(record.digest not in fabric.shard(n) for n in others)
+
+    def test_get_or_prepare_hits_across_reopen(self, tmp_path, prepared):
+        root = str(tmp_path / "fabric")
+        fabric = ShardedArtifactStore(root, shards=2)
+        _, hit = fabric.get_or_prepare(gcd_module(), KEY, BITS, pieces=PIECES)
+        assert not hit
+        reopened = open_store(root)
+        assert isinstance(reopened, ShardedArtifactStore)
+        _, hit = reopened.get_or_prepare(
+            gcd_module(), KEY, BITS, pieces=PIECES
+        )
+        assert hit
+
+    def test_planner_sized_pieces_route_to_the_owning_shard(self, fabric):
+        # Regression: with pieces=None the planner picks the count,
+        # and the artifact's concrete fingerprint is the address.
+        # Routing by the unresolved digest put it on the wrong shard.
+        prepared, hit = fabric.get_or_prepare(gcd_module(), KEY, BITS)
+        assert not hit
+        record = fabric.record(prepared.fingerprint())
+        assert record.digest == prepared.fingerprint()
+        assert fabric.verify() == []
+        _, hit = fabric.get_or_prepare(gcd_module(), KEY, BITS)
+        assert hit
+
+    def test_open_store_detects_layout(self, tmp_path, prepared):
+        fabric_root = str(tmp_path / "fabric")
+        plain_root = str(tmp_path / "plain")
+        ShardedArtifactStore(fabric_root, shards=2)
+        ArtifactStore(plain_root)
+        assert is_fabric(fabric_root)
+        assert not is_fabric(plain_root)
+        assert isinstance(open_store(fabric_root), ShardedArtifactStore)
+        assert isinstance(open_store(plain_root), ArtifactStore)
+
+    def test_open_store_refuses_to_shard_a_plain_store(self, tmp_path):
+        root = str(tmp_path / "plain")
+        ArtifactStore(root)
+        with pytest.raises(StoreError, match="single store"):
+            open_store(root, create=True, shards=2)
+
+    def test_manifest_records_membership(self, fabric):
+        with open(os.path.join(fabric.root, FABRIC_MANIFEST)) as fp:
+            doc = json.load(fp)
+        assert doc["version"] == 1
+        assert doc["shards"] == ["shard-00", "shard-01", "shard-02"]
+
+    def test_quarantine_rides_the_owning_shard(self, fabric, prepared):
+        # PR 5's hardening is per shard: corrupt the blob where it
+        # lives and the owning shard quarantines it on load.
+        record = fabric.put(prepared)
+        owner = fabric.shard(fabric.route(record.digest))
+        blob = owner._blob_path(record.digest)
+        with open(blob, "ab") as fp:
+            fp.write(b"rot")
+        with pytest.raises(StoreError, match="integrity check"):
+            fabric.load(record.digest)
+        assert [q.digest for q in fabric.quarantined()] == [record.digest]
+
+
+class TestRebalancing:
+    def _fill(self, fabric, count=6):
+        digests = []
+        for index in range(count):
+            prepared, _ = fabric.get_or_prepare(
+                collatz_module() if index % 2 else gcd_module(),
+                WatermarkKey(secret=f"k{index}".encode(), inputs=[25, 10]),
+                BITS, pieces=PIECES,
+            )
+            digests.append(prepared.fingerprint())
+        return digests
+
+    def test_add_shard_moves_only_the_new_arc(self, fabric):
+        digests = self._fill(fabric)
+        old_ring = fabric.ring
+        report = fabric.add_shard()
+        assert report.added == "shard-03"
+        # Minimal movement, asserted: everything that moved landed on
+        # the new shard, and it is exactly the re-routed set.
+        expected = {d for d in digests
+                    if fabric.ring.route(d) != old_ring.route(d)}
+        assert set(report.moved) == expected
+        for digest, (source, destination) in report.moved.items():
+            assert destination == "shard-03"
+            assert source == old_ring.route(digest)
+        assert report.kept == len(digests) - len(report.moved)
+        assert fabric.verify() == []
+        for digest in digests:
+            assert fabric.load(digest).fingerprint() == digest
+
+    def test_remove_shard_is_the_inverse(self, fabric):
+        digests = self._fill(fabric)
+        placement = {d: fabric.route(d) for d in digests}
+        grow = fabric.add_shard()
+        shrink = fabric.remove_shard("shard-03")
+        assert shrink.removed == "shard-03"
+        # The departing shard's keys scatter back to exactly where
+        # they came from; nothing else ever moved.
+        assert set(shrink.moved) == set(grow.moved)
+        assert {d: fabric.route(d) for d in digests} == placement
+        assert fabric.verify() == []
+
+    def test_interrupted_move_is_flagged_not_lost(self, fabric, prepared):
+        record = fabric.put(prepared)
+        source = fabric.route(record.digest)
+        # Simulate a crash mid-rebalance: the blob was adopted by a
+        # wrong shard but never evicted from the right one.
+        other = next(n for n in fabric.shard_names if n != source)
+        data = fabric.shard(source).export_blob(record.digest)
+        fabric.shard(other).adopt(*data)
+        problems = fabric.verify()
+        assert any("stale placement" in p for p in problems)
+        # The artifact is still loadable from its true owner.
+        assert fabric.load(record.digest).fingerprint() == record.digest
+
+    def test_cannot_remove_last_shard(self, tmp_path):
+        fabric = ShardedArtifactStore(str(tmp_path / "f"), shards=1)
+        with pytest.raises(StoreError, match="last shard"):
+            fabric.remove_shard("shard-00")
+
+    def test_records_merge_fabric_wide(self, fabric):
+        digests = self._fill(fabric, count=4)
+        listed = [r.digest for r in fabric.records()]
+        assert sorted(listed) == sorted(digests)
+        assert len(fabric) == 4
+
+    def test_resolve_prefix_across_shards(self, fabric, prepared):
+        record = fabric.put(prepared)
+        assert fabric.resolve(record.digest[:12]) == record.digest
+        with pytest.raises(StoreError, match="no artifact"):
+            fabric.resolve("ffffffffffff")
