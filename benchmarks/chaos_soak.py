@@ -1,0 +1,497 @@
+"""CI chaos gate: soak a self-healing fleet and prove it heals.
+
+The self-healing claim behind :class:`repro.serve.dispatch.
+HealthMonitor` is that a fleet survives real worker failure without
+losing, duplicating, or meaningfully delaying jobs. This soak proves
+it the same way ``fleet_gate.py`` proves scaling — with processes and
+wall clocks, not prose:
+
+1. prepare a pinned-seed artifact into a fresh **2-shard fabric**;
+2. boot **three real worker daemons** as separate processes;
+3. run a closed-loop embed/recognize load for ``--duration`` seconds
+   while chaos runs on a deterministic relative schedule:
+
+   * one worker is **SIGTERMed** mid-soak (graceful drain: real 503 +
+     Retry-After responses) and later restarted;
+   * another is **SIGKILLed** (connection refused, no goodbye) and
+     later restarted;
+   * a pinned-seed probability :class:`~repro.faults.FaultPlan` keeps
+     injecting ``fleet.send`` failures and delays, plus ``fleet.probe``
+     delays, throughout;
+
+4. assert **zero lost jobs** (every submission resolved), **zero
+   duplicated callbacks** (exactly-once resolution under
+   eject-requeues), at least one **ejection** and one **readmission**,
+   every worker **healthy again** at the end, and a passing
+   ``dispatch_p95`` + ``fleet_error_rate`` SLO verdict over the
+   journal;
+5. write a ``chaos-soak.json`` report (CI uploads it).
+
+``--no-eject`` runs the identical soak with the health monitor
+disabled — dead workers keep receiving jobs until each job's retry
+budget dies on them — and must exit 1. CI runs both directions to
+prove the gate actually gates.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_soak.py [--no-eject]
+        [--duration SECONDS] [--report FILE] [--seed N]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro import faults, obs
+from repro.bytecode_wm.keys import WatermarkKey
+from repro.faults import FaultPlan, FaultRule
+from repro.faults.retry import RetryPolicy
+from repro.obs.journal import HubConfig, TelemetryHub, read_events
+from repro.obs.slo import Objective, SLOEngine
+from repro.pipeline import prepare
+from repro.serve import (
+    DispatchOverload,
+    FleetDispatcher,
+    Job,
+    ServiceClient,
+    WorkerSpec,
+    open_store,
+)
+from repro.workloads import gcd_module
+
+SEED = 2004
+KEY = WatermarkKey(secret=b"chaos-soak", inputs=[25, 10])
+SHARDS = 2
+WORKERS = ("alpha", "beta", "gamma")
+BOOT_TIMEOUT = 30.0
+#: Closed-loop concurrency: enough to keep 3 one-slot workers busy,
+#: small enough that accounting stays legible in the report.
+MAX_OUTSTANDING = 8
+#: SLO verdict targets: the p95 of a single send (gcd embeds are tens
+#: of ms; the allowance absorbs injected 150 ms stalls), and the
+#: terminal failure budget the healed fleet must stay under.
+DISPATCH_P95_TARGET = 5.0
+ERROR_RATE_TARGET = 0.02
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn_worker(store_root, port):
+    """One worker daemon in its own interpreter, quick to drain."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--store", store_root,
+         "--port", str(port), "--workers", "1", "--executor", "thread",
+         "--drain-timeout", "1.0"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_healthy(url, deadline):
+    client = ServiceClient(url, retry=RetryPolicy(max_attempts=1))
+    while time.monotonic() < deadline:
+        try:
+            if client.healthz().get("status") == "ok":
+                return True
+        except Exception:
+            pass
+        time.sleep(0.2)
+    return False
+
+
+class Accounting:
+    """Exactly-once ledger: every submitted job must resolve once."""
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.resolutions = {}   # job_id -> callback count
+        self.ok = 0
+        self.failed = 0
+        self.rejected = 0       # shed / brownout / closed
+        self.failures = []      # sample of terminal errors
+
+    def on_success(self, job, doc):
+        with self.lock:
+            self.resolutions[job.job_id] = (
+                self.resolutions.get(job.job_id, 0) + 1
+            )
+            self.ok += 1
+
+    def on_error(self, job, exc):
+        with self.lock:
+            self.resolutions[job.job_id] = (
+                self.resolutions.get(job.job_id, 0) + 1
+            )
+            if isinstance(exc, DispatchOverload):
+                self.rejected += 1
+            else:
+                self.failed += 1
+                if len(self.failures) < 8:
+                    self.failures.append(f"{job.job_id}: {exc}")
+
+
+class Chaos(threading.Thread):
+    """Kill and resurrect workers on a relative schedule.
+
+    Times are fractions of the soak duration, so a quick local run and
+    a longer CI run exercise the same story: SIGTERM ``beta`` early
+    (graceful drain — the fleet sees honest 503s before the port goes
+    dark), SIGKILL ``gamma`` mid-soak (no goodbye at all), restart
+    both with time left for readmission.
+    """
+
+    SCHEDULE = (
+        ("beta", "sigterm", 0.20),
+        ("gamma", "sigkill", 0.45),
+        ("beta", "restart", 0.50),
+        ("gamma", "restart", 0.70),
+    )
+
+    def __init__(self, procs, ports, store_root, start, duration):
+        super().__init__(name="chaos", daemon=True)
+        self.procs = procs          # name -> Popen, mutated on restart
+        self.ports = ports
+        self.store_root = store_root
+        self.start_time = start
+        self.duration = duration
+        self.log = []
+
+    def run(self):
+        for name, action, when in self.SCHEDULE:
+            delay = self.start_time + when * self.duration - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            proc = self.procs[name]
+            if action == "sigterm":
+                proc.terminate()
+                proc.wait(timeout=30)
+            elif action == "sigkill":
+                proc.kill()
+                proc.wait(timeout=30)
+            else:
+                self.procs[name] = spawn_worker(
+                    self.store_root, self.ports[name]
+                )
+            self.log.append({
+                "worker": name, "action": action,
+                "at_seconds": round(time.monotonic() - self.start_time, 2),
+            })
+            print(f"chaos: {action} {name} "
+                  f"at t+{self.log[-1]['at_seconds']:.1f}s")
+
+
+def drive_load(dispatcher, digest, module_text, ledger, duration, seed):
+    """Closed-loop load: embeds and recognitions, bounded outstanding.
+
+    Returns the list of submitted job ids. Submission is paced by
+    completion (at most ``MAX_OUTSTANDING`` in the air), so a stalled
+    fleet slows the loop instead of ballooning the queue — the same
+    back-pressure a well-behaved client applies.
+    """
+    submitted = []
+    outstanding = []
+    deadline = time.monotonic() + duration
+    index = 0
+    while time.monotonic() < deadline:
+        outstanding = [f for f in outstanding if not f.done()]
+        if len(outstanding) >= MAX_OUTSTANDING:
+            time.sleep(0.005)
+            continue
+        job_id = f"soak-{index:05d}"
+        if index % 3 == 2:
+            job = Job(
+                route="/v1/recognize",
+                payload={"artifact": digest, "module": module_text},
+                job_id=job_id,
+                on_success=ledger.on_success, on_error=ledger.on_error,
+            )
+        else:
+            job = Job(
+                route="/v1/embed",
+                payload={
+                    "artifact": digest,
+                    "copy_id": job_id,
+                    "watermark": (seed + index) % (1 << 16),
+                    "seed": index,
+                },
+                job_id=job_id,
+                on_success=ledger.on_success, on_error=ledger.on_error,
+            )
+        try:
+            outstanding.append(dispatcher.submit(job))
+        except RuntimeError:
+            break  # closed under our feet; the harness is tearing down
+        submitted.append(job_id)
+        index += 1
+    for future in outstanding:
+        try:
+            future.result(timeout=60)
+        except Exception:
+            pass  # recorded via on_error
+    return submitted
+
+
+def wait_all_healthy(monitor, timeout):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        states = monitor.states()
+        if all(state == "healthy" for state in states.values()):
+            return states
+        time.sleep(0.2)
+    return monitor.states()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--no-eject", action="store_true",
+        help="disable the health monitor; the soak must then FAIL",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=30.0,
+        help="seconds of sustained load (default %(default)s)",
+    )
+    parser.add_argument(
+        "--report", default="chaos-soak.json",
+        help="where to write the soak report (default %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=SEED,
+        help="fault-plan / retry / probe seed (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="chaos-soak-")
+    journal_path = os.path.join(workdir, "journal.jsonl")
+    obs.set_hub(TelemetryHub(HubConfig(journal_path=journal_path)))
+    problems = []
+    report = {
+        "seed": args.seed,
+        "duration_seconds": args.duration,
+        "eject": not args.no_eject,
+        "workers": list(WORKERS),
+        "shards": SHARDS,
+    }
+    procs = {}
+    ledger = Accounting()
+    submitted = []
+    dispatcher = None
+    chaos = None
+    try:
+        store_root = f"{workdir}/store"
+        store = open_store(store_root, create=True, shards=SHARDS)
+        store.put(prepare(gcd_module(), KEY, 16, 8), label="chaos-soak")
+        digest = store.records()[0].digest
+        report["artifact"] = digest
+
+        ports = {name: free_port() for name in WORKERS}
+        specs = []
+        deadline = time.monotonic() + BOOT_TIMEOUT
+        for name in WORKERS:
+            procs[name] = spawn_worker(store_root, ports[name])
+            specs.append(WorkerSpec(
+                name, f"http://127.0.0.1:{ports[name]}", capacity=1
+            ))
+        for spec in specs:
+            if not wait_healthy(spec.url, deadline):
+                raise RuntimeError(
+                    f"worker {spec.name} never became healthy at {spec.url}"
+                )
+
+        # One clean embed up front: its module text feeds the
+        # recognition third of the load.
+        seed_client = ServiceClient(specs[0].url)
+        status, doc, _ = seed_client.request_ex("POST", "/v1/embed", {
+            "artifact": digest, "copy_id": "soak-seed",
+            "watermark": 0x5EED, "seed": 0,
+        })
+        if status != 200:
+            raise RuntimeError(f"seed embed failed ({status}): {doc}")
+        module_text = doc["module"]
+
+        # Probability chaos rides the whole soak: flaky sends, slow
+        # sends, slow probes — all off one pinned seed.
+        faults.install(FaultPlan([
+            FaultRule(site="fleet.send", action="raise", times=None,
+                      probability=0.04),
+            FaultRule(site="fleet.send", action="delay", times=None,
+                      probability=0.05, delay_seconds=0.15),
+            FaultRule(site="fleet.probe", action="delay", times=None,
+                      probability=0.05, delay_seconds=0.05),
+        ], seed=args.seed))
+
+        dispatcher = FleetDispatcher(
+            specs,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.05,
+                              max_delay=0.5, seed=args.seed),
+            poll_interval=0.02,
+            eject=not args.no_eject,
+            probe_interval=0.25,
+            probe_timeout=1.0,
+            # 3 consecutive failures: a dead worker's refusals trip it
+            # in milliseconds, while the 4%-probability injected send
+            # faults almost never line up three in a row on one worker
+            # — chaos should eject the dead, not the unlucky.
+            eject_threshold=3,
+            readmit_after=1.0,
+            health_seed=args.seed,
+        )
+
+        start = time.monotonic()
+        chaos = Chaos(procs, ports, store_root, start, args.duration)
+        chaos.start()
+        submitted = drive_load(
+            dispatcher, digest, module_text, ledger, args.duration,
+            args.seed,
+        )
+        chaos.join(timeout=60)
+        report["chaos_timeline"] = chaos.log
+
+        # Stop injecting before the recovery grace: readmission should
+        # be judged on a quiet network, like a real incident ending.
+        faults.clear()
+        if dispatcher.monitor is not None:
+            final_states = wait_all_healthy(dispatcher.monitor, timeout=15.0)
+            report["final_worker_states"] = final_states
+            report["ejections"] = dispatcher.monitor.ejections
+            report["readmissions"] = dispatcher.monitor.readmissions
+            if dispatcher.monitor.ejections < 1:
+                problems.append(
+                    "no worker was ever ejected — the chaos never bit, "
+                    "the soak proved nothing"
+                )
+            if dispatcher.monitor.readmissions < 1:
+                problems.append("no ejected worker was ever readmitted")
+            for name, state in final_states.items():
+                if state != "healthy":
+                    problems.append(
+                        f"worker {name} is {state!r} after recovery grace"
+                    )
+        report["dispatcher_stats"] = dispatcher.stats()
+    except Exception as exc:
+        problems.append(f"soak aborted: {exc}")
+    finally:
+        faults.clear()
+        if dispatcher is not None:
+            dispatcher.close()
+        hub = obs.get_hub()
+        if hub is not None:
+            hub.close()
+        obs.set_hub(None)
+        for proc in procs.values():
+            proc.terminate()
+        for proc in procs.values():
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    # -- verdicts ----------------------------------------------------------
+
+    with ledger.lock:
+        resolved = dict(ledger.resolutions)
+        totals = {
+            "submitted": len(submitted),
+            "ok": ledger.ok,
+            "failed": ledger.failed,
+            "rejected": ledger.rejected,
+        }
+        failures = list(ledger.failures)
+    report["totals"] = totals
+    print(f"soak: {totals['submitted']} jobs submitted, "
+          f"{totals['ok']} ok, {totals['failed']} failed, "
+          f"{totals['rejected']} rejected")
+
+    if totals["submitted"] == 0:
+        problems.append("no jobs were submitted; the soak never ran")
+    lost = [job_id for job_id in submitted if job_id not in resolved]
+    if lost:
+        problems.append(
+            f"{len(lost)} job(s) lost (submitted, never resolved): "
+            f"{lost[:5]}"
+        )
+    duplicated = {j: n for j, n in resolved.items() if n > 1}
+    if duplicated:
+        problems.append(
+            f"{len(duplicated)} job(s) resolved more than once: "
+            f"{dict(list(duplicated.items())[:5])}"
+        )
+    if totals["submitted"]:
+        error_rate = ledger.failed / totals["submitted"]
+        report["error_rate"] = error_rate
+        if error_rate > ERROR_RATE_TARGET:
+            problems.append(
+                f"{ledger.failed}/{totals['submitted']} jobs failed "
+                f"terminally ({error_rate:.1%} > "
+                f"{ERROR_RATE_TARGET:.0%} budget)"
+            )
+        for failure in failures[:4]:
+            problems.append(f"sample failure: {failure}")
+    if ledger.rejected:
+        # A brownout with only one worker dead at a time means the
+        # monitor over-ejected; surface it.
+        problems.append(
+            f"{ledger.rejected} submission(s) rejected "
+            f"(shed/brownout) during a survivable failure"
+        )
+
+    events = read_events(journal_path) if os.path.exists(journal_path) else []
+    slo = SLOEngine([
+        Objective(
+            name="chaos-dispatch-p95", kind="dispatch_p95",
+            target=DISPATCH_P95_TARGET,
+            description="one fleet send stays fast even mid-chaos",
+        ),
+        Objective(
+            name="chaos-fleet-error-rate", kind="fleet_error_rate",
+            target=ERROR_RATE_TARGET,
+            description="terminal dispatch failures stay inside budget",
+        ),
+    ]).report(events)
+    report["slo"] = slo
+    for status in slo["objectives"]:
+        name = status["objective"]["name"]
+        print(f"slo: {name}: "
+              f"{'met' if status['met'] else 'BREACHED'} — "
+              f"{status['detail']}")
+        if not status["met"]:
+            problems.append(f"SLO {name} breached: {status['detail']}")
+    if not any(
+        s["samples"] for s in slo["objectives"]
+        if s["objective"]["name"] == "chaos-dispatch-p95"
+    ):
+        problems.append("no fleet.dispatch samples reached the journal")
+
+    report["problems"] = problems
+    with open(args.report, "w") as fp:
+        json.dump(report, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"report: {args.report}")
+    shutil.rmtree(workdir, ignore_errors=True)
+
+    print()
+    for problem in problems:
+        print(f"PROBLEM: {problem}")
+    if problems:
+        print("\nchaos soak: FAILED")
+        return 1
+    print(f"\nchaos soak: survived {report.get('ejections', 0)} ejection(s) "
+          f"with zero lost/duplicated jobs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

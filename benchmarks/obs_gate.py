@@ -5,10 +5,14 @@ One self-contained proof that the telemetry hub works end to end:
 1. prepare a pinned-seed artifact into a fresh store;
 2. boot a real `ServerThread` with a journal directory;
 3. drive embed/recognize load through `ServiceClient`;
-4. scrape `/metrics` and fail on any exposition-conformance problem;
-5. read `/v1/obs/events` and `/v1/obs/spans` and fail if the journal
+4. drive a second burst through a one-worker `FleetDispatcher`
+   pointed at the same daemon, so the `fleet-dispatch-p95` and
+   `fleet-error-rate` objectives are judged over real sends rather
+   than vacuously met on zero samples;
+5. scrape `/metrics` and fail on any exposition-conformance problem;
+6. read `/v1/obs/events` and `/v1/obs/spans` and fail if the journal
    or the trace trees are empty;
-6. exit with the SLO verdict from `/v1/obs/slo` — 0 when every
+7. exit with the SLO verdict from `/v1/obs/slo` — 0 when every
    objective is met, 1 on any breach.
 
 `--inject-faults` arms a fault plan that makes embeds fail, which must
@@ -34,6 +38,7 @@ from repro.obs.promcheck import check_exposition
 from repro.pipeline import prepare
 from repro.serve import ArtifactStore, ServerConfig, ServerThread
 from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.dispatch import FleetDispatcher, Job, WorkerSpec
 from repro.workloads import gcd_module
 
 SEED = 2004
@@ -54,6 +59,38 @@ def drive_load(client, digest):
         except ServiceError as exc:
             failures += 1
             print(f"  embed copy-{index:04d}: HTTP {exc.status}")
+    return failures
+
+
+def drive_fleet(port, digest):
+    """Push embeds through a one-worker fleet aimed back at the booted
+    daemon, so ``fleet.dispatch`` telemetry lands in the same hub and
+    the fleet SLOs are evaluated over real samples.  Terminal failures
+    are expected under an armed fault plan and must not abort the gate.
+    """
+    dispatcher = FleetDispatcher(
+        [WorkerSpec(name="self", url=f"http://127.0.0.1:{port}")],
+        retry=RetryPolicy(max_attempts=2, base_delay=0.05, seed=SEED),
+        poll_interval=0.02,
+        probe_interval=0.25,
+    )
+    futures = []
+    try:
+        for index in range(COPIES):
+            futures.append(dispatcher.submit(Job(
+                route="/v1/embed",
+                payload={
+                    "artifact": digest,
+                    "copy_id": f"fleet-{index:04d}",
+                    "watermark": SEED + 100 + index,
+                    "seed": index,
+                },
+                job_id=f"fleet-{index:04d}",
+            )))
+        dispatcher.drain(timeout=60.0)
+    finally:
+        dispatcher.close()
+    failures = sum(1 for f in futures if f.exception() is not None)
     return failures
 
 
@@ -92,6 +129,10 @@ def main(argv=None):
             failures = drive_load(client, digest)
             print(f"load driven: {COPIES} embeds, {failures} failed")
 
+            fleet_failures = drive_fleet(server.service.port, digest)
+            print(f"fleet driven: {COPIES} embeds, "
+                  f"{fleet_failures} failed")
+
             exposition = client.metrics()
             for problem in check_exposition(exposition):
                 problems.append(f"/metrics: {problem}")
@@ -121,6 +162,16 @@ def main(argv=None):
         problems.append("journal file holds no events")
     if health["slo"]["met"] != slo["met"]:
         problems.append("/healthz and /v1/obs/slo disagree on the verdict")
+
+    by_name = {s["objective"]["name"]: s for s in slo["objectives"]}
+    for name in ("fleet-dispatch-p95", "fleet-error-rate"):
+        status = by_name.get(name)
+        if status is None:
+            problems.append(f"SLO spec is missing the {name} objective")
+        elif not args.inject_faults and status["samples"] == 0:
+            problems.append(
+                f"{name} judged zero samples despite fleet load"
+            )
 
     print()
     for status in slo["objectives"]:

@@ -77,7 +77,14 @@ from .pipeline import (
     prepare,
     run_batch,
 )
-from .serve import ServerConfig, StoreError, open_store, serve
+from .serve import (
+    ServerConfig,
+    ServiceClient,
+    ServiceError,
+    StoreError,
+    open_store,
+    serve,
+)
 from .vm import VMError, assemble, disassemble, run_module, verify_module
 
 ATTACKS = {
@@ -392,6 +399,69 @@ def cmd_obs_trace(args) -> int:
     return 0
 
 
+def cmd_fleet_status(args) -> int:
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        body = client.healthz()
+    except (OSError, ServiceError) as exc:
+        print(f"front-end unreachable: {exc}", file=sys.stderr)
+        return 2
+    fleet = body.get("fleet")
+    if not isinstance(fleet, dict):
+        print(f"{args.url} is not a fleet front-end "
+              "(no 'fleet' stats in /healthz)", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(fleet, indent=2, sort_keys=True))
+    else:
+        workers = fleet.get("workers") or {}
+        in_flight = fleet.get("in_flight") or {}
+        print(f"front-end {args.url}: {body.get('status', '?')}")
+        for name in sorted(set(workers) | set(in_flight)):
+            print(f"  {name:<16} {workers.get(name, 'unknown'):<8} "
+                  f"in-flight {in_flight.get(name, 0)}")
+        print(f"pending {fleet.get('pending', 0)}  "
+              f"completed {fleet.get('completed', 0)}  "
+              f"errors {fleet.get('errors', 0)}  "
+              f"requeues {fleet.get('requeues', 0)}  "
+              f"shed {fleet.get('shed', 0)}  "
+              f"brownouts {fleet.get('brownouts', 0)}  "
+              f"ejections {fleet.get('ejections', 0)}  "
+              f"readmissions {fleet.get('readmissions', 0)}")
+    workers = fleet.get("workers") or {}
+    return 1 if any(s == "ejected" for s in workers.values()) else 0
+
+
+def cmd_fleet_rebalance(args) -> int:
+    if args.action == "remove-shard" and not args.shard:
+        print("remove-shard requires --shard", file=sys.stderr)
+        return 2
+    client = ServiceClient(args.url, timeout=args.timeout)
+    payload = {"action": args.action}
+    if args.shard:
+        payload["shard"] = args.shard
+    try:
+        status, doc, _ = client.request_ex(
+            "POST", "/v1/store/rebalance", payload
+        )
+    except (OSError, ServiceError) as exc:
+        print(f"front-end unreachable: {exc}", file=sys.stderr)
+        return 2
+    if status != 200:
+        print(f"rebalance failed ({status}): "
+              f"{doc.get('error', doc)}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    report = doc.get("report") or {}
+    moved = report.get("moved") or {}
+    print(f"{args.action}: moved {len(moved)} record(s), "
+          f"kept {report.get('kept', 0)}")
+    print("shards: " + ", ".join(doc.get("shards") or []))
+    return 0
+
+
 def cmd_campaign(args) -> int:
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint", file=sys.stderr)
@@ -454,6 +524,7 @@ def cmd_serve(args) -> int:
             request_timeout=args.timeout,
             executor=args.executor,
             self_check=not args.no_self_check,
+            drain_timeout=args.drain_timeout,
             journal_dir=args.journal,
             slo_spec=args.slo,
             fleet=args.fleet,
@@ -866,6 +937,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker pool flavour (default process)")
     p.add_argument("--no-self-check", action="store_true",
                    help="skip the in-worker recognize pass after embeds")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="graceful-shutdown budget for in-flight jobs "
+                        "(default 10; also the Retry-After a draining "
+                        "daemon advertises)")
     p.add_argument("--obs-out", default=None, metavar="FILE",
                    help="on shutdown, write spans + metrics as JSON "
                         "lines to FILE (plus FILE's .prom sibling)")
@@ -974,6 +1050,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace id (a unique prefix is enough)")
     o.add_argument("--journal", required=True, metavar="PATH")
     o.set_defaults(fn=cmd_obs_trace)
+
+    p = sub.add_parser(
+        "fleet",
+        help="inspect and operate a fleet front-end over HTTP",
+    )
+    fsub = p.add_subparsers(dest="fleet_command", required=True)
+
+    f = fsub.add_parser(
+        "status",
+        help="worker health states + dispatcher counters from /healthz "
+             "(exit 1 if any worker is ejected, 2 if not a fleet)",
+    )
+    f.add_argument("--url", required=True, metavar="URL",
+                   help="front-end base URL, e.g. http://127.0.0.1:8765")
+    f.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS")
+    f.add_argument("--json", action="store_true",
+                   help="print the raw fleet stats document")
+    f.set_defaults(fn=cmd_fleet_status)
+
+    f = fsub.add_parser(
+        "rebalance",
+        help="add or remove a fabric shard behind a live front-end "
+             "(admission pauses for the duration of the move)",
+    )
+    f.add_argument("action", choices=["add-shard", "remove-shard"])
+    f.add_argument("--url", required=True, metavar="URL")
+    f.add_argument("--shard", default=None, metavar="NAME",
+                   help="shard name (required for remove-shard; "
+                        "add-shard auto-names when omitted)")
+    f.add_argument("--timeout", type=float, default=60.0, metavar="SECONDS")
+    f.add_argument("--json", action="store_true",
+                   help="print the full rebalance report document")
+    f.set_defaults(fn=cmd_fleet_rebalance)
 
     return parser
 

@@ -86,6 +86,8 @@ KNOWN_KINDS: Tuple[str, ...] = (
     "store.quarantine",  # the store quarantined a corrupt blob
     "campaign.cell",  # one campaign cell finished
     "fleet.dispatch",  # one fleet send: worker, route, outcome, seconds
+    "fleet.worker",   # a worker health state change: state, previous
+    "store.rebalance",  # an online shard add/remove: action, moved
 )
 
 

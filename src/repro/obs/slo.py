@@ -35,6 +35,12 @@ Objective kinds
     dispatcher's tail, measured from hand-off to a worker until its
     response, requeues included as separate samples. Same 5% tail
     allowance as ``latency_p95``.
+``fleet_error_rate``
+    The fraction of *terminal* ``fleet.dispatch`` outcomes that are
+    not ``ok`` must be **at most** ``target``. Intermediate outcomes
+    (``requeued``, ``superseded`` — the self-healing machinery doing
+    its job) are excluded: only what the caller actually saw counts
+    against the budget. Burn is observed rate over target.
 
 An objective with no events in its window reports ``no data`` and
 counts as met — absence of traffic is not an outage — but carries
@@ -66,7 +72,7 @@ __all__ = [
 
 #: Valid objective kinds; anything else is a spec error.
 OBJECTIVE_KINDS = ("latency_p95", "error_rate", "recovery_rate",
-                   "retry_budget", "dispatch_p95")
+                   "retry_budget", "dispatch_p95", "fleet_error_rate")
 
 #: Tail allowance for latency objectives: up to this fraction of
 #: requests may exceed the p95 target before the burn rate passes 1.
@@ -94,7 +100,7 @@ class Objective:
             )
         if self.window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
-        if self.kind in ("error_rate", "recovery_rate"):
+        if self.kind in ("error_rate", "recovery_rate", "fleet_error_rate"):
             if not 0.0 <= self.target <= 1.0:
                 raise ValueError(f"{self.kind} target must be in [0, 1]")
         elif self.target <= 0:
@@ -275,6 +281,37 @@ def _evaluate_one(
             ),
         )
 
+    if objective.kind == "fleet_error_rate":
+        terminal = [
+            e for e in events
+            if e.kind == "fleet.dispatch"
+            and str(e.attrs.get("outcome")) not in ("requeued", "superseded")
+            and (
+                objective.route is None
+                or str(e.attrs.get("route")) == objective.route
+            )
+        ]
+        if not terminal:
+            return _no_data(objective)
+        bad = sum(
+            1 for e in terminal if str(e.attrs.get("outcome")) != "ok"
+        )
+        rate = bad / len(terminal)
+        burn = rate / objective.target if objective.target > 0 else (
+            0.0 if bad == 0 else math.inf
+        )
+        return SLOStatus(
+            objective=objective,
+            met=rate <= objective.target,
+            value=rate,
+            samples=len(terminal),
+            burn_rate=burn,
+            detail=(
+                f"{bad}/{len(terminal)} terminal dispatch(es) failed "
+                f"({rate:.1%} vs {objective.target:.1%} budget)"
+            ),
+        )
+
     # retry_budget
     hits = [e for e in events if e.kind == "batch.retry"]
     spent = float(sum(float(e.attrs.get("count", 1)) for e in hits))
@@ -354,6 +391,14 @@ def default_objectives() -> List[Objective]:
             kind="dispatch_p95",
             target=30.0,
             description="p95 fleet send latency stays under 30s",
+        ),
+        Objective(
+            name="fleet-error-rate",
+            kind="fleet_error_rate",
+            target=0.02,
+            description=(
+                "at most 2% of terminal fleet dispatches may fail"
+            ),
         ),
     ]
 

@@ -28,7 +28,8 @@ service:
 * :mod:`repro.serve.dispatch` — pluggable job dispatch behind the
   daemon: the in-process pool (:class:`LocalDispatcher`) or a
   :class:`FleetDispatcher` routing to N worker daemons with bounded
-  in-flight, requeue-on-loss, and priority load-shed.
+  in-flight, requeue-on-loss, priority load-shed, and a
+  :class:`HealthMonitor` that probes, ejects, and readmits workers.
 
 Typical use::
 
@@ -57,6 +58,7 @@ from .dispatch import (
     Dispatcher,
     DispatchOverload,
     FleetDispatcher,
+    HealthMonitor,
     Job,
     LocalDispatcher,
     WorkerSpec,
@@ -84,6 +86,7 @@ __all__ = [
     "DispatchOverload",
     "FleetDispatcher",
     "HashRing",
+    "HealthMonitor",
     "Job",
     "LocalDispatcher",
     "QuarantineRecord",

@@ -13,13 +13,17 @@ circuit, its failure re-opens it for another full window.
 The clock is injectable so tests drive the state machine with a fake
 instead of sleeping through reset windows. State transitions feed the
 ambient metrics registry
-(``repro_http_circuit_transitions_total{route,state}``).
+(``repro_http_circuit_transitions_total{route,state}``) — unless the
+owner supplies ``on_transition``, which replaces the route-flavoured
+telemetry entirely. That is how the fleet's per-worker health state
+machine (:class:`~repro.serve.dispatch.HealthMonitor`) reuses these
+exact semantics while reporting in worker vocabulary instead.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 from ..obs.journal import emit as emit_event
 from ..obs.metrics import get_registry
@@ -46,6 +50,7 @@ class CircuitBreaker:
         reset_after: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
         name: str = "",
+        on_transition: Optional[Callable[[str], None]] = None,
     ):
         if threshold < 1:
             raise ValueError("threshold must be positive")
@@ -54,6 +59,7 @@ class CircuitBreaker:
         self.threshold = threshold
         self.reset_after = reset_after
         self.name = name
+        self._on_transition = on_transition
         self._clock = clock
         self._state = CLOSED
         self._failures = 0
@@ -76,6 +82,9 @@ class CircuitBreaker:
 
     def _transition(self, state: str) -> None:
         self._state = state
+        if self._on_transition is not None:
+            self._on_transition(state)
+            return
         get_registry().counter(
             "repro_http_circuit_transitions_total",
             "Circuit breaker state transitions",

@@ -83,7 +83,7 @@ from ..pipeline.batch import CopySpec, service_embed_copy, service_recognize
 from .circuit import CircuitBreaker
 from .client import ServiceError
 from .dispatch import DispatchOverload, FleetDispatcher, Job, load_workers
-from .fabric import open_store
+from .fabric import ShardedArtifactStore, open_store
 from .store import StoreError
 
 #: The service surface: ``(method, path) -> description``. The docs
@@ -98,6 +98,8 @@ ROUTES: Dict[Tuple[str, str], str] = {
     ("GET", "/v1/obs/spans"): "recent trace trees from the span ring",
     ("POST", "/v1/embed"): "mint one fingerprinted copy from an artifact",
     ("POST", "/v1/recognize"): "recover a mark against an artifact's key",
+    ("POST", "/v1/store/rebalance"):
+        "add/remove a fabric shard online (admission pauses briefly)",
 }
 
 _REASONS: Dict[int, str] = {
@@ -329,6 +331,13 @@ class ServerConfig:
     #: Fleet front-end backlog bound: pending jobs beyond this are
     #: load-shed by route priority (503 + Retry-After).
     fleet_max_pending: int = 256
+    #: Self-healing: probe workers, eject the unhealthy, readmit the
+    #: recovered. Off restores blind routing (every job burns its
+    #: retry budget against a dead worker) — mostly for the chaos
+    #: soak's control arm.
+    fleet_eject: bool = True
+    #: Seconds between health-probe sweeps (seeded jitter on top).
+    fleet_probe_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -347,6 +356,8 @@ class ServerConfig:
             raise ValueError("drain_timeout must be non-negative")
         if self.fleet_max_pending < 1:
             raise ValueError("fleet_max_pending must be positive")
+        if self.fleet_probe_interval <= 0:
+            raise ValueError("fleet_probe_interval must be positive")
 
 
 class WatermarkService:
@@ -368,6 +379,7 @@ class WatermarkService:
         self._inflight = 0
         self._max_inflight = config.workers + config.queue_depth
         self._draining = False
+        self._rebalancing = False
         self._idle = asyncio.Event()
         self._idle.set()
         self._breakers: Dict[str, CircuitBreaker] = {
@@ -457,6 +469,8 @@ class WatermarkService:
                 self._fleet_specs,
                 request_timeout=self.config.request_timeout,
                 max_pending=self.config.fleet_max_pending,
+                eject=self.config.fleet_eject,
+                probe_interval=self.config.fleet_probe_interval,
             )
         self._executor = self._make_executor()
         self._server = await asyncio.start_server(
@@ -580,6 +594,8 @@ class WatermarkService:
                     response = self._handle_obs_slo()
                 elif request.path == "/v1/embed":
                     response = await self._handle_embed(request)
+                elif request.path == "/v1/store/rebalance":
+                    response = await self._handle_rebalance(request)
                 else:
                     response = await self._handle_recognize(request)
             except BadRequest as exc:
@@ -604,6 +620,7 @@ class WatermarkService:
         slo = self.slo.report(self.hub.tail(limit=self.hub.config.ring_events))
         body: Dict[str, Any] = {
             "status": "draining" if self._draining else "ok",
+            "rebalancing": self._rebalancing,
             "artifacts": len(self.store),
             "inflight": self._inflight,
             "capacity": self._max_inflight,
@@ -681,6 +698,79 @@ class WatermarkService:
             {"artifacts": [r.to_dict() for r in self.store.records()]},
         )
 
+    # -- online store rebalancing ------------------------------------------
+
+    def _admission_gate(self) -> None:
+        """Pause embed/recognize admission while a shard moves.
+
+        The fabric's adopt-then-evict moves are crash-safe, but a
+        request resolving a digest mid-move could see the ring in
+        transition; a brief 503 + Retry-After is cheaper than a
+        spurious 404.
+        """
+        if self._rebalancing:
+            raise BadRequest(
+                503, "store rebalance in progress; admission paused",
+                retry_after=2.0,
+            )
+
+    async def _handle_rebalance(self, request: Request) -> Response:
+        """Online ``add_shard``/``remove_shard`` behind the daemon.
+
+        Admission pauses for the duration (the fabric's adopt-then-
+        evict already makes the move itself crash-safe); obs routes
+        and ``/healthz`` stay live so the move is observable.
+        """
+        doc = request.json()
+        action = doc.get("action")
+        if action not in ("add-shard", "remove-shard"):
+            raise BadRequest(
+                400, "'action' must be 'add-shard' or 'remove-shard'"
+            )
+        shard = doc.get("shard")
+        if shard is not None and not isinstance(shard, str):
+            raise BadRequest(400, "'shard' must be a string when given")
+        if action == "remove-shard" and not shard:
+            raise BadRequest(400, "remove-shard requires 'shard'")
+        if not isinstance(self.store, ShardedArtifactStore):
+            raise BadRequest(
+                400, "store is a plain directory, not a sharded fabric"
+            )
+        if self._rebalancing:
+            raise BadRequest(
+                409, "a rebalance is already in progress", retry_after=2.0,
+            )
+        fabric = self.store
+        if action == "add-shard":
+            work = functools.partial(fabric.add_shard, shard)
+        else:
+            work = functools.partial(fabric.remove_shard, str(shard))
+        self._rebalancing = True
+        try:
+            report = await asyncio.get_running_loop().run_in_executor(
+                None, work
+            )
+        except (StoreError, ValueError) as exc:
+            # A bad membership change (duplicate shard, last shard) is
+            # the caller's error, not a missing resource: 400, not the
+            # generic StoreError->404 mapping upstream.
+            raise BadRequest(400, str(exc)) from None
+        finally:
+            self._rebalancing = False
+        self.hub.emit(
+            "store.rebalance",
+            shard or "auto",
+            action=action,
+            moved=len(report.moved),
+            kept=report.kept,
+            shards=len(fabric.shard_names),
+        )
+        return json_response(200, {
+            "action": action,
+            "report": report.to_dict(),
+            "shards": fabric.shard_names,
+        })
+
     # -- worker-pool endpoints ---------------------------------------------
 
     def _resolve_artifact(self, doc: Dict[str, Any]) -> str:
@@ -713,9 +803,10 @@ class WatermarkService:
         try:
             return await asyncio.wrap_future(self._fleet.submit(job))
         except DispatchOverload as exc:
+            # The dispatcher's own words: a priority shed and a fleet
+            # brownout are different situations for the client.
             raise BadRequest(
-                503, "fleet saturated; request shed by priority",
-                retry_after=exc.retry_after,
+                503, str(exc), retry_after=exc.retry_after,
             ) from None
         except (OSError, faults.FaultError) as exc:
             raise BadRequest(
@@ -723,6 +814,7 @@ class WatermarkService:
             ) from None
 
     async def _handle_embed(self, request: Request) -> Response:
+        self._admission_gate()
         doc = request.json()
         digest = self._resolve_artifact(doc)
         record = self.store.record(digest)
@@ -825,6 +917,7 @@ class WatermarkService:
         return json_response(200, body)
 
     async def _handle_recognize(self, request: Request) -> Response:
+        self._admission_gate()
         doc = request.json()
         digest = self._resolve_artifact(doc)
         module_text = doc.get("module")

@@ -27,10 +27,22 @@ caller-owned; completion *order* under a fleet is inherently racy,
 which is why callers that need stable output (the campaign runner,
 ``run_batch``) sort by job key after the fact.
 
-The transport declares a :mod:`repro.faults` site — ``fleet.send``,
-keyed by worker name — so worker loss is injectable: a pinned
-:class:`~repro.faults.FaultPlan` can kill the first K sends to one
-worker and a test can watch the requeue machinery recover.
+The fleet is **self-healing**: a :class:`HealthMonitor` drives a
+per-worker state machine (``healthy → suspect → ejected → half-open
+probe → readmitted``) off the same circuit-breaker semantics the
+daemon uses per route (:mod:`repro.serve.circuit`), fed by a
+background ``/healthz`` prober on a seeded-jitter interval *and* by
+passive send outcomes. An ejected worker stops receiving jobs and its
+in-flight jobs are immediately re-planned onto live peers; when every
+worker is ejected the dispatcher browns out — submissions fail fast
+with :class:`DispatchOverload` (a 503 + ``Retry-After`` at the
+front-end) instead of building an unservable queue.
+
+The transport declares :mod:`repro.faults` sites — ``fleet.send``,
+keyed by worker name, and ``fleet.probe`` for the health prober — so
+worker loss is injectable: a pinned :class:`~repro.faults.FaultPlan`
+can kill the first K sends to one worker (or every probe) and a test
+can watch the requeue/ejection machinery recover.
 """
 
 from __future__ import annotations
@@ -38,6 +50,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import json
+import random
 import threading
 import time
 from concurrent.futures import Executor, Future, ThreadPoolExecutor
@@ -48,15 +61,22 @@ from .. import faults, obs
 from ..faults.retry import RetryPolicy
 from ..obs.metrics import get_registry
 from ..pipeline.batch import CopySpec, service_embed_copy, service_recognize
+from .circuit import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from .client import ServiceClient, ServiceError
 
 __all__ = [
     "Dispatcher",
     "DispatchOverload",
     "FleetDispatcher",
+    "HealthMonitor",
     "Job",
     "LocalDispatcher",
     "ROUTE_PRIORITY",
+    "WORKER_EJECTED",
+    "WORKER_HEALTHY",
+    "WORKER_PROBING",
+    "WORKER_STATE_CODES",
+    "WORKER_SUSPECT",
     "WorkerSpec",
     "load_workers",
 ]
@@ -103,22 +123,47 @@ class Job:
     attempts: int = 0
     worker: str = ""
     future: "Future[Dict[str, Any]]" = field(default_factory=Future)
+    _resolved: bool = field(default=False, repr=False, compare=False)
+    _resolve_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.priority is None:
             self.priority = ROUTE_PRIORITY.get(self.route, 0)
 
-    def _succeed(self, doc: Dict[str, Any]) -> None:
+    def _claim(self) -> bool:
+        """Take the one-and-only right to resolve this job.
+
+        Exactly-once matters under self-healing: an ejection re-plans
+        a worker's in-flight jobs, so a straggler send and its
+        replacement can both come back with an outcome. Whichever
+        claims first wins; the loser is a no-op — callbacks never fire
+        twice and the future settles once.
+        """
+        with self._resolve_lock:
+            if self._resolved:
+                return False
+            self._resolved = True
+            return True
+
+    def _succeed(self, doc: Dict[str, Any]) -> bool:
+        if not self._claim():
+            return False
         if self.on_success is not None:
             self.on_success(self, doc)
         if not self.future.done():
             self.future.set_result(doc)
+        return True
 
-    def _fail(self, exc: BaseException) -> None:
+    def _fail(self, exc: BaseException) -> bool:
+        if not self._claim():
+            return False
         if self.on_error is not None:
             self.on_error(self, exc)
         if not self.future.done():
             self.future.set_exception(exc)
+        return True
 
 
 class Dispatcher(Protocol):
@@ -269,6 +314,257 @@ def load_workers(path: str) -> List[WorkerSpec]:
     return specs
 
 
+# ---------------------------------------------------------------------------
+# Health: per-worker probes, ejection, readmission
+# ---------------------------------------------------------------------------
+
+WORKER_HEALTHY = "healthy"
+WORKER_SUSPECT = "suspect"
+WORKER_PROBING = "probing"
+WORKER_EJECTED = "ejected"
+
+#: Gauge encoding for ``repro_fleet_worker_state``.
+WORKER_STATE_CODES: Dict[str, int] = {
+    WORKER_HEALTHY: 0,
+    WORKER_SUSPECT: 1,
+    WORKER_PROBING: 2,
+    WORKER_EJECTED: 3,
+}
+
+_WORKER_STATE_HELP = (
+    "Fleet worker health (0 healthy, 1 suspect, 2 probing, 3 ejected)"
+)
+
+
+class HealthMonitor:
+    """Per-worker health from active ``/healthz`` probes + passive sends.
+
+    One :class:`~repro.serve.circuit.CircuitBreaker` per worker reuses
+    the daemon's per-route circuit semantics for the worker life
+    cycle::
+
+        healthy ──(eject_threshold consecutive failures)──► ejected
+        ejected ──(readmit_after elapses)──► probing (half-open)
+        probing ──(one probe succeeds)──► healthy (readmitted)
+        probing ──(the probe fails)──► ejected (another full window)
+
+    with ``suspect`` the closed-but-bruised shade in between: at least
+    one consecutive failure, threshold not yet reached. Failure
+    signals arrive from two directions — a background prober hits each
+    worker's ``/healthz`` on a seeded-jitter interval (the
+    ``fleet.probe`` fault site lets tests stall or kill probes
+    deterministically), and the dispatcher reports every send outcome
+    via :meth:`record_send`, so a dying worker is caught between probe
+    ticks too.
+
+    State *changes* set the ``repro_fleet_worker_state`` gauge and
+    emit ``fleet.worker`` journal events, and the owner's
+    ``on_eject``/``on_readmit`` hooks fire **outside** the monitor
+    lock: the dispatcher's hooks take its own lock, and keeping the
+    two locks un-nested in this direction makes the dispatcher→monitor
+    call ordering deadlock-free.
+
+    The monitor is usable standalone: docs and tests drive it with a
+    fake ``probe`` callable and ``clock`` and never call
+    :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        workers: List[WorkerSpec],
+        probe: Callable[[WorkerSpec], None],
+        eject_threshold: int = 3,
+        readmit_after: float = 5.0,
+        probe_interval: float = 1.0,
+        probe_jitter: float = 0.25,
+        seed: int = 2004,
+        on_eject: Optional[Callable[[str], None]] = None,
+        on_readmit: Optional[Callable[[str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if probe_interval <= 0:
+            raise ValueError("probe_interval must be positive")
+        if not 0.0 <= probe_jitter < 1.0:
+            raise ValueError("probe_jitter must be in [0, 1)")
+        self.workers = list(workers)
+        self.probe_interval = probe_interval
+        self.probe_jitter = probe_jitter
+        self._probe = probe
+        self._rng = random.Random(seed)
+        self._on_eject = on_eject
+        self._on_readmit = on_readmit
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {
+            w.name: CircuitBreaker(
+                threshold=eject_threshold,
+                reset_after=readmit_after,
+                clock=clock,
+                name=w.name,
+                # Worker transitions are reported below in worker
+                # vocabulary; suppress the route-flavoured telemetry.
+                on_transition=lambda state: None,
+            )
+            for w in self.workers
+        }
+        self._reported = {w.name: WORKER_HEALTHY for w in self.workers}
+        self._ejections = 0
+        self._readmissions = 0
+        self._stop = threading.Event()
+        self._prober: Optional[threading.Thread] = None
+        gauge = get_registry().gauge(
+            "repro_fleet_worker_state", _WORKER_STATE_HELP
+        )
+        for w in self.workers:
+            gauge.set(WORKER_STATE_CODES[WORKER_HEALTHY], worker=w.name)
+
+    # -- life cycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background prober (idempotent)."""
+        if self._prober is not None:
+            return
+        self._prober = threading.Thread(
+            target=self._probe_loop, name="repro-fleet-prober", daemon=True
+        )
+        self._prober.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._prober is not None:
+            self._prober.join(timeout=5.0)
+            self._prober = None
+
+    # -- queries -----------------------------------------------------------
+
+    def available(self, worker: str) -> bool:
+        """May the dispatcher hand this worker a job right now?
+
+        Only a closed breaker takes traffic: an ejected worker's
+        half-open slot is spent on a health probe, never a real job.
+        """
+        with self._lock:
+            return self._breakers[worker].state == CLOSED
+
+    def any_available(self) -> bool:
+        with self._lock:
+            return any(b.state == CLOSED for b in self._breakers.values())
+
+    def retry_after(self) -> float:
+        """Seconds until the fleet could take work again (brownout hint)."""
+        with self._lock:
+            return min(b.retry_after() for b in self._breakers.values())
+
+    def state(self, worker: str) -> str:
+        with self._lock:
+            return self._derived(self._breakers[worker])
+
+    def states(self) -> Dict[str, str]:
+        """Live derived state per worker (for stats/healthz/CLI)."""
+        with self._lock:
+            return {
+                name: self._derived(breaker)
+                for name, breaker in self._breakers.items()
+            }
+
+    @property
+    def ejections(self) -> int:
+        with self._lock:
+            return self._ejections
+
+    @property
+    def readmissions(self) -> int:
+        with self._lock:
+            return self._readmissions
+
+    # -- signals -----------------------------------------------------------
+
+    def record_send(self, worker: str, ok: bool) -> None:
+        """Passive signal from the dispatcher: how a real send went."""
+        self._signal(worker, ok, "send")
+
+    def probe_all(self) -> None:
+        """One synchronous probe sweep — the loop body, also the
+        entry point for tests/docs driving the monitor by hand."""
+        for spec in self.workers:
+            if self._stop.is_set():
+                return
+            self.probe_one(spec)
+
+    def probe_one(self, spec: WorkerSpec) -> None:
+        with self._lock:
+            breaker = self._breakers[spec.name]
+            if breaker.state == OPEN:
+                return  # mid-window: too early for the half-open probe
+            if breaker.state == HALF_OPEN and not breaker.allow():
+                return  # another probe already owns the half-open slot
+        try:
+            faults.check("fleet.probe", worker=spec.name)
+            self._probe(spec)
+        except (OSError, faults.FaultError, ServiceError) as exc:
+            self._signal(spec.name, False, f"probe: {exc}")
+        else:
+            self._signal(spec.name, True, "probe")
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _derived(breaker: CircuitBreaker) -> str:
+        state = breaker.state
+        if state == OPEN:
+            return WORKER_EJECTED
+        if state == HALF_OPEN:
+            return WORKER_PROBING
+        if breaker.failures > 0:
+            return WORKER_SUSPECT
+        return WORKER_HEALTHY
+
+    def _signal(self, worker: str, ok: bool, reason: str) -> None:
+        with self._lock:
+            breaker = self._breakers[worker]
+            before = self._reported[worker]
+            if ok:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+            after = self._derived(breaker)
+            if after == before:
+                return
+            self._reported[worker] = after
+            readmitted = (
+                before in (WORKER_EJECTED, WORKER_PROBING)
+                and after in (WORKER_HEALTHY, WORKER_SUSPECT)
+            )
+            if after == WORKER_EJECTED:
+                self._ejections += 1
+            if readmitted:
+                self._readmissions += 1
+        # Telemetry and hooks run after the lock is released; hooks
+        # may take the dispatcher's lock (requeueing, notifying).
+        get_registry().gauge(
+            "repro_fleet_worker_state", _WORKER_STATE_HELP
+        ).set(WORKER_STATE_CODES[after], worker=worker)
+        obs.emit(
+            "fleet.worker", worker,
+            worker=worker, state=after, previous=before,
+            readmitted=readmitted, reason=reason,
+        )
+        if after == WORKER_EJECTED and self._on_eject is not None:
+            self._on_eject(worker)
+        if readmitted and self._on_readmit is not None:
+            self._on_readmit(worker)
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self._next_delay()):
+            self.probe_all()
+
+    def _next_delay(self) -> float:
+        """Seeded jitter keeps a fleet of probers from phase-locking."""
+        if self.probe_jitter <= 0.0:
+            return self.probe_interval
+        spread = self._rng.uniform(-self.probe_jitter, self.probe_jitter)
+        return self.probe_interval * (1.0 + spread)
+
+
 class FleetDispatcher:
     """Route jobs to worker daemons; survive the daemons misbehaving.
 
@@ -291,6 +587,16 @@ class FleetDispatcher:
     When the pending queue reaches ``max_pending``, the
     lowest-priority job (submission order breaking ties, newest
     first) is shed with :class:`DispatchOverload`.
+
+    With ``eject=True`` (the default) a :class:`HealthMonitor` rides
+    along: ejected workers are skipped by assignment, their in-flight
+    jobs immediately re-planned onto live peers, and a fleet-wide
+    brownout (every worker ejected) fast-fails submissions with
+    :class:`DispatchOverload` instead of letting the queue build up
+    against nobody. ``eject=False`` restores the old behavior — every
+    routed job burns its full retry budget against a dead worker —
+    and exists mostly so ``benchmarks/chaos_soak.py --no-eject`` can
+    prove the difference.
     """
 
     def __init__(
@@ -301,6 +607,12 @@ class FleetDispatcher:
         max_pending: int = 256,
         request_timeout: float = 60.0,
         client_factory: Optional[Callable[[WorkerSpec], ServiceClient]] = None,
+        eject: bool = True,
+        probe_interval: float = 1.0,
+        probe_timeout: float = 2.0,
+        eject_threshold: int = 3,
+        readmit_after: float = 5.0,
+        health_seed: int = 2004,
     ):
         if not workers:
             raise ValueError("a fleet needs at least one worker")
@@ -324,10 +636,17 @@ class FleetDispatcher:
         # readiness (not_before) is checked at assignment time.
         self._pending: List[Tuple[int, int, float, Job]] = []
         self._seq = itertools.count()
+        # Assignment tokens per worker, keyed by id(job): an ejection
+        # clears a worker's map, so a straggler send coming back with
+        # a stale token knows its books were already settled.
+        self._assigned: Dict[str, Dict[int, Tuple[Job, int]]] = {
+            w.name: {} for w in self.workers
+        }
         self._completed = 0
         self._errors = 0
         self._shed = 0
         self._requeues = 0
+        self._brownouts = 0
         self._closed = False
         self._pool = ThreadPoolExecutor(
             max_workers=sum(w.capacity for w in self.workers),
@@ -337,10 +656,61 @@ class FleetDispatcher:
             target=self._poll_loop, name="repro-fleet-poller", daemon=True
         )
         self._poller.start()
+        self._monitor: Optional[HealthMonitor] = None
+        if eject:
+            self._probe_clients = {
+                w.name: ServiceClient(
+                    w.url, timeout=probe_timeout,
+                    retry=RetryPolicy(max_attempts=1),
+                )
+                for w in self.workers
+            }
+            self._monitor = HealthMonitor(
+                self.workers,
+                probe=self._probe_worker,
+                eject_threshold=eject_threshold,
+                readmit_after=readmit_after,
+                probe_interval=probe_interval,
+                seed=health_seed,
+                on_eject=self._eject_worker,
+                on_readmit=self._readmit_worker,
+            )
+            self._monitor.start()
+
+    @property
+    def monitor(self) -> Optional[HealthMonitor]:
+        return self._monitor
 
     # -- public surface ----------------------------------------------------
 
     def submit(self, job: Job) -> "Future[Dict[str, Any]]":
+        monitor = self._monitor
+        if monitor is not None and not monitor.any_available():
+            # Fleet-wide brownout: every worker is ejected. Queueing
+            # would only build a backlog nobody can serve — degrade to
+            # an immediate overload with the earliest readmission as
+            # the Retry-After hint.
+            retry_after = max(monitor.retry_after(), self.poll_interval)
+            with self._wake:
+                if self._closed:
+                    raise RuntimeError("dispatcher is closed")
+                self._brownouts += 1
+                if not job.job_id:
+                    job.job_id = f"job-{next(self._seq)}"
+            get_registry().counter(
+                "repro_fleet_brownouts_total",
+                "Submissions fast-failed while every worker was ejected",
+            ).inc(route=job.route)
+            obs.emit(
+                "fleet.dispatch", job.job_id,
+                route=job.route, outcome="brownout",
+                retry_after=retry_after,
+            )
+            job._fail(DispatchOverload(
+                f"fleet brownout: all {len(self.workers)} workers ejected",
+                retry_after=retry_after,
+            ))
+            return job.future
         with self._wake:
             if self._closed:
                 raise RuntimeError("dispatcher is closed")
@@ -359,7 +729,7 @@ class FleetDispatcher:
 
     def stats(self) -> Dict[str, Any]:
         with self._lock:
-            return {
+            doc: Dict[str, Any] = {
                 "mode": "fleet",
                 "pending": len(self._pending),
                 "in_flight": dict(self._in_flight),
@@ -367,13 +737,29 @@ class FleetDispatcher:
                 "errors": self._errors,
                 "shed": self._shed,
                 "requeues": self._requeues,
+                "brownouts": self._brownouts,
             }
+        monitor = self._monitor
+        if monitor is not None:
+            doc["workers"] = monitor.states()
+            doc["ejections"] = monitor.ejections
+            doc["readmissions"] = monitor.readmissions
+        return doc
 
     def drain(self, timeout: float = 60.0) -> bool:
-        """Block until the queue and every in-flight slot are empty."""
+        """Block until the queue and every in-flight slot are empty.
+
+        Returns False without waiting once :meth:`close` has run —
+        a closed dispatcher will never drain, it already failed its
+        queue.
+        """
         deadline = time.monotonic() + timeout
         with self._wake:
+            if self._closed:
+                return False
             while self._pending or any(self._in_flight.values()):
+                if self._closed:
+                    return False
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     return False
@@ -382,10 +768,14 @@ class FleetDispatcher:
 
     def close(self) -> None:
         with self._wake:
+            if self._closed:
+                return
             self._closed = True
             abandoned = [entry[3] for entry in self._pending]
             self._pending.clear()
             self._wake.notify_all()
+        if self._monitor is not None:
+            self._monitor.stop()
         for job in abandoned:
             job._fail(DispatchOverload("dispatcher closed", retry_after=0.0))
         self._poller.join(timeout=5.0)
@@ -405,13 +795,12 @@ class FleetDispatcher:
         ]
         victim_entry = max(candidates, key=lambda e: (e[0], e[1]))
         if victim_entry[3] is not incoming:
+            # Only evict the loser here; the caller pushes the
+            # incoming job through its normal path. (Pushing it here
+            # too used to double-enqueue the job: the duplicate entry
+            # inflated the queue and could be shed — or sent — twice.)
             self._pending.remove(victim_entry)
             heapq.heapify(self._pending)
-            heapq.heappush(
-                self._pending,
-                (-int(incoming.priority or 0), next(self._seq), 0.0,
-                 incoming),
-            )
         victim = victim_entry[3]
         self._shed += 1
         get_registry().counter(
@@ -427,10 +816,17 @@ class FleetDispatcher:
         ))
 
     def _pick_worker(self) -> Optional[str]:
-        """Least-loaded worker with a free slot (stable tie-break)."""
+        """Least-loaded *available* worker with a free slot.
+
+        Ejected workers are invisible here; their only traffic until
+        readmission is the monitor's half-open health probe.
+        """
+        monitor = self._monitor
         best: Optional[str] = None
         best_load = 10**9
         for spec in self.workers:
+            if monitor is not None and not monitor.available(spec.name):
+                continue
             load = self._in_flight[spec.name]
             if load < self._capacity[spec.name] and load < best_load:
                 best, best_load = spec.name, load
@@ -442,35 +838,56 @@ class FleetDispatcher:
                 if self._closed:
                     return
                 now = time.monotonic()
-                entry = self._next_ready(now)
+                entry, next_ready = self._next_ready(now)
                 if entry is None:
-                    self._wake.wait(self.poll_interval)
+                    if next_ready is not None:
+                        # Everything pending is parked on a requeue
+                        # delay: sleep until the earliest one comes
+                        # due (submissions still notify us awake).
+                        self._wake.wait(max(0.0, next_ready - now))
+                    else:
+                        self._wake.wait(self.poll_interval)
                     continue
                 worker = self._pick_worker()
                 if worker is None:
-                    # All slots busy: put it back, wait for a completion.
+                    # All slots busy (or every worker ejected): put it
+                    # back, wait for a completion or readmission.
                     heapq.heappush(self._pending, entry)
                     self._wake.wait(self.poll_interval)
                     continue
                 job = entry[3]
                 self._in_flight[worker] += 1
-            self._pool.submit(self._send, job, worker)
+                token = next(self._seq)
+                self._assigned[worker][id(job)] = (job, token)
+            self._pool.submit(self._send, job, worker, token)
 
-    def _next_ready(self, now: float) -> Optional[Tuple[int, int, float, Job]]:
-        """Pop the best pending entry whose requeue delay has elapsed."""
+    def _next_ready(
+        self, now: float
+    ) -> Tuple[Optional[Tuple[int, int, float, Job]], Optional[float]]:
+        """Pop the best ready entry; also report the earliest deferred
+        ``not_before`` so the poller can sleep exactly that long.
+
+        Entries whose job already resolved elsewhere — shed while
+        parked, failed by ``close``, or finished by a straggler send
+        after an ejection re-planned it — are discarded on the way
+        through.
+        """
         deferred: List[Tuple[int, int, float, Job]] = []
         picked: Optional[Tuple[int, int, float, Job]] = None
         while self._pending:
             entry = heapq.heappop(self._pending)
+            if entry[3]._resolved:
+                continue
             if entry[2] <= now:
                 picked = entry
                 break
             deferred.append(entry)
         for entry in deferred:
             heapq.heappush(self._pending, entry)
-        return picked
+        earliest = min((e[2] for e in deferred), default=None)
+        return picked, earliest
 
-    def _send(self, job: Job, worker: str) -> None:
+    def _send(self, job: Job, worker: str, token: int) -> None:
         job.attempts += 1
         job.worker = worker
         started = time.monotonic()
@@ -480,7 +897,7 @@ class FleetDispatcher:
                 "POST", job.route, job.payload
             )
         except (OSError, faults.FaultError) as exc:
-            self._after_send(job, worker, started, error=exc,
+            self._after_send(job, worker, started, token, error=exc,
                             retry_after=None)
             return
         if status in (429, 503):
@@ -488,24 +905,25 @@ class FleetDispatcher:
                 status, str(doc.get("error", "worker saturated")), doc,
                 retry_after=retry_after,
             )
-            self._after_send(job, worker, started, error=exc,
+            self._after_send(job, worker, started, token, error=exc,
                             retry_after=retry_after)
             return
         if status not in (200, 422):
             self._after_send(
-                job, worker, started, fatal=ServiceError(
+                job, worker, started, token, fatal=ServiceError(
                     status, str(doc.get("error", "")), doc,
                     retry_after=retry_after,
                 ),
             )
             return
-        self._after_send(job, worker, started, result=doc)
+        self._after_send(job, worker, started, token, result=doc)
 
     def _after_send(
         self,
         job: Job,
         worker: str,
         started: float,
+        token: int,
         result: Optional[Dict[str, Any]] = None,
         error: Optional[BaseException] = None,
         fatal: Optional[BaseException] = None,
@@ -514,42 +932,61 @@ class FleetDispatcher:
         seconds = time.monotonic() - started
         registry = get_registry()
         requeued = False
+        superseded = False
         with self._wake:
             self._in_flight[worker] -= 1
-            if error is not None and self.retry.retries_left(job.attempts):
-                delay = self.retry.delay(job.attempts)
-                if retry_after is not None:
-                    # The worker named its price (503 Retry-After from
-                    # an open circuit); honor it over private backoff.
-                    delay = max(delay, retry_after)
-                self._requeues += 1
-                requeued = True
-                heapq.heappush(
-                    self._pending,
-                    (-int(job.priority or 0), next(self._seq),
-                     time.monotonic() + delay, job),
-                )
-            elif error is None and fatal is None:
-                self._completed += 1
-            else:
-                self._errors += 1
+            current = self._assigned[worker].get(id(job))
+            superseded = current is None or current[1] != token
+            if not superseded:
+                del self._assigned[worker][id(job)]
+                if error is not None and self.retry.retries_left(job.attempts):
+                    delay = self.retry.delay(job.attempts)
+                    if retry_after is not None:
+                        # The worker named its price (503 Retry-After
+                        # from an open circuit); honor it over private
+                        # backoff.
+                        delay = max(delay, retry_after)
+                    self._requeues += 1
+                    requeued = True
+                    heapq.heappush(
+                        self._pending,
+                        (-int(job.priority or 0), next(self._seq),
+                         time.monotonic() + delay, job),
+                    )
+                elif error is None and fatal is None:
+                    self._completed += 1
+                else:
+                    self._errors += 1
             self._wake.notify()
-        outcome = (
-            "ok" if result is not None
-            else "requeued" if requeued
-            else "error"
-        )
         # Resolve the job before any telemetry: a metrics/journal
         # hiccup must never leave a caller waiting on the future.
-        if result is not None:
-            job._succeed(result)
-        elif requeued:
-            pass  # the poller will try again after the delay
-        elif fatal is not None:
-            job._fail(fatal)
+        if superseded:
+            # An ejection re-planned this job while the send was in
+            # the air; its failure was accounted for then. A straggler
+            # that actually *finished* the work still gets to resolve
+            # the job — exactly-once claiming makes the race harmless,
+            # and the re-planned pending copy is discarded by
+            # ``_next_ready`` once the future is seen resolved.
+            outcome = "superseded"
+            if result is not None and job._succeed(result):
+                outcome = "ok"
+                with self._lock:
+                    self._completed += 1
         else:
-            assert error is not None
-            job._fail(error)
+            outcome = (
+                "ok" if result is not None
+                else "requeued" if requeued
+                else "error"
+            )
+            if result is not None:
+                job._succeed(result)
+            elif requeued:
+                pass  # the poller will try again after the delay
+            elif fatal is not None:
+                job._fail(fatal)
+            else:
+                assert error is not None
+                job._fail(error)
         registry.histogram(
             "repro_fleet_dispatch_seconds",
             "Wall time of one fleet send (submit to response)",
@@ -567,3 +1004,73 @@ class FleetDispatcher:
             route=job.route, worker=worker, outcome=outcome,
             seconds=seconds, attempt=job.attempts,
         )
+        # Passive health signal, after all books are settled: the
+        # monitor's eject hook takes the dispatcher lock, so it must
+        # not run while this thread holds it.
+        monitor = self._monitor
+        if monitor is not None:
+            if error is None:
+                alive = True  # a real response, success or fatal status
+            elif isinstance(error, ServiceError) and error.status == 429:
+                alive = True  # saturated is busy, not sick: it answered
+            else:
+                alive = False  # connection loss, injected fault, or 503
+            monitor.record_send(worker, alive)
+
+    # -- health integration ------------------------------------------------
+
+    def _probe_worker(self, spec: WorkerSpec) -> None:
+        """Active probe: GET the worker's /healthz, drain-aware.
+
+        A worker that answers but reports a non-``ok`` status (e.g.
+        ``draining`` during graceful shutdown) counts as unhealthy —
+        it is about to 503 real jobs anyway, so stop routing to it
+        now instead of flapping through its drain window.
+        """
+        status, doc, _ = self._probe_clients[spec.name].request_ex(
+            "GET", "/healthz"
+        )
+        if status != 200:
+            raise ServiceError(
+                status, str(doc.get("error", "unhealthy")), doc
+            )
+        reported = doc.get("status", "ok")
+        if reported != "ok":
+            raise ServiceError(503, f"worker reports {reported!r}", doc)
+
+    def _eject_worker(self, worker: str) -> None:
+        """Eject hook: re-plan everything in flight on that worker.
+
+        The straggler sends themselves cannot be recalled (an HTTP
+        read has no abort), but their assignment tokens are
+        invalidated so whatever they report is ignored — except a
+        late *success*, which still resolves the job exactly once.
+        """
+        requeued: List[Job] = []
+        with self._wake:
+            if self._closed:
+                return
+            orphans = list(self._assigned[worker].values())
+            self._assigned[worker].clear()
+            for job, _token in orphans:
+                if job._resolved:
+                    continue
+                self._requeues += 1
+                heapq.heappush(
+                    self._pending,
+                    (-int(job.priority or 0), next(self._seq), 0.0, job),
+                )
+                requeued.append(job)
+            if requeued:
+                self._wake.notify()
+        for job in requeued:
+            obs.emit(
+                "fleet.dispatch", job.job_id,
+                route=job.route, worker=worker, outcome="requeued",
+                reason="worker-ejected", attempt=job.attempts,
+            )
+
+    def _readmit_worker(self, worker: str) -> None:
+        """Readmit hook: a worker came back — wake the poller."""
+        with self._wake:
+            self._wake.notify()

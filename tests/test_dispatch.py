@@ -14,17 +14,25 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import faults, obs
 from repro.bytecode_wm.keys import WatermarkKey
 from repro.faults import FaultPlan, FaultRule
 from repro.faults.retry import RetryPolicy
+from repro.obs.journal import HubConfig, TelemetryHub
 from repro.obs.metrics import MetricsRegistry
 from repro.pipeline import prepare
 from repro.serve.client import ServiceClient, ServiceError
 from repro.serve.dispatch import (
+    WORKER_EJECTED,
+    WORKER_HEALTHY,
+    WORKER_PROBING,
+    WORKER_STATE_CODES,
+    WORKER_SUSPECT,
     DispatchOverload,
     FleetDispatcher,
+    HealthMonitor,
     Job,
     LocalDispatcher,
     WorkerSpec,
@@ -58,6 +66,13 @@ class _StubHandler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length", "0"))
         payload = json.loads(self.rfile.read(length) or b"{}")
         status, doc, headers = self.server.stub.respond(self.path, payload)
+        self._reply(status, doc, headers)
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        status, doc, headers = self.server.stub.respond_get(self.path)
+        self._reply(status, doc, headers)
+
+    def _reply(self, status, doc, headers):
         body = json.dumps(doc).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -76,14 +91,19 @@ class StubWorker:
 
     Responses come from ``scripted`` (a deque of ``(status, doc,
     headers)``, popped per request) and fall back to a 200 echo.
-    ``gate`` (when set) blocks every request until released, and the
-    ``max_active`` high-water mark records true concurrency.
+    ``gate`` (when set) blocks every POST until released, and the
+    ``max_active`` high-water mark records true concurrency. Health
+    probes (GET /healthz) bypass the gate and answer from the
+    ``healthy`` flag, so a test can script probe verdicts while real
+    sends stay blocked.
     """
 
     def __init__(self):
         self.scripted = collections.deque()
         self.requests = []
         self.gate = None
+        self.healthy = True
+        self.probes = 0
         self.max_active = 0
         self._active = 0
         self._lock = threading.Lock()
@@ -113,6 +133,13 @@ class StubWorker:
         finally:
             with self._lock:
                 self._active -= 1
+
+    def respond_get(self, path):
+        with self._lock:
+            self.probes += 1
+            if self.healthy:
+                return 200, {"status": "ok"}, {}
+            return 503, {"status": "draining", "error": "draining"}, {}
 
     def close(self):
         self._server.shutdown()
@@ -428,6 +455,432 @@ class TestFleetDispatcher:
             future.result(timeout=5)
         with pytest.raises(RuntimeError, match="closed"):
             dispatcher.submit(Job("/v1/embed", {"n": 1}))
+
+    def test_requeue_wakes_for_the_deadline_not_the_poll_tick(self, stub):
+        # Satellite regression: a parked requeue must be retried when
+        # its not_before comes due, not when a sleepy poll tick
+        # happens by. With a 5s poll interval, only deadline-driven
+        # wakeups explain sub-second completion.
+        stub.scripted.append((503, {"error": "draining"},
+                              {"Retry-After": "0.2"}))
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=1)],
+            retry=RetryPolicy(max_attempts=3, base_delay=0.001,
+                              max_delay=0.001, jitter=0.0, seed=7),
+            poll_interval=5.0,
+        )
+        try:
+            started = time.monotonic()
+            doc = dispatcher.submit(Job("/v1/embed", {"n": 0})).result(
+                timeout=10
+            )
+            elapsed = time.monotonic() - started
+            assert doc["echo"] == {"n": 0}
+            assert dispatcher.stats()["requeues"] == 1
+            assert 0.2 <= elapsed < 2.0
+        finally:
+            dispatcher.close()
+
+    def test_drain_after_close_returns_false_immediately(self, stub):
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=1)],
+            retry=_fast_retry(),
+        )
+        assert dispatcher.drain(timeout=5.0)
+        dispatcher.close()
+        started = time.monotonic()
+        assert dispatcher.drain(timeout=30.0) is False
+        assert time.monotonic() - started < 1.0
+
+
+# ---------------------------------------------------------------------------
+# HealthMonitor: the worker state machine, driven by hand
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestHealthMonitor:
+    @staticmethod
+    def _flaky_probe(ok):
+        """A probe whose verdict the test flips via the `ok` dict."""
+        def probe(spec):
+            if not ok.get(spec.name, False):
+                raise OSError("connection refused")
+        return probe
+
+    def test_state_machine_walks_the_full_cycle(self):
+        clock = FakeClock()
+        ok = {"w": False}
+        monitor = HealthMonitor(
+            [WorkerSpec("w", "http://unused")], self._flaky_probe(ok),
+            eject_threshold=2, readmit_after=10.0, clock=clock,
+        )
+        assert monitor.state("w") == WORKER_HEALTHY
+        assert monitor.available("w") and monitor.any_available()
+        monitor.probe_all()
+        assert monitor.state("w") == WORKER_SUSPECT
+        monitor.probe_all()
+        assert monitor.state("w") == WORKER_EJECTED
+        assert not monitor.available("w") and not monitor.any_available()
+        assert monitor.ejections == 1
+        assert 0 < monitor.retry_after() <= 10.0
+        # Mid-window the breaker is open: probes are skipped outright.
+        monitor.probe_all()
+        assert monitor.ejections == 1
+        clock.advance(10.0)
+        assert monitor.state("w") == WORKER_PROBING
+        ok["w"] = True
+        monitor.probe_all()
+        assert monitor.state("w") == WORKER_HEALTHY
+        assert monitor.available("w")
+        assert monitor.readmissions == 1
+
+    def test_failed_half_open_probe_reopens_a_full_window(self):
+        clock = FakeClock()
+        monitor = HealthMonitor(
+            [WorkerSpec("w", "http://unused")], self._flaky_probe({}),
+            eject_threshold=2, readmit_after=10.0, clock=clock,
+        )
+        monitor.probe_all()
+        monitor.probe_all()
+        clock.advance(10.0)
+        assert monitor.state("w") == WORKER_PROBING
+        monitor.probe_all()  # the half-open probe fails
+        assert monitor.state("w") == WORKER_EJECTED
+        clock.advance(5.0)
+        assert monitor.state("w") == WORKER_EJECTED
+        clock.advance(5.0)
+        assert monitor.state("w") == WORKER_PROBING
+
+    def test_passive_sends_eject_and_hooks_fire(self):
+        clock = FakeClock()
+        ejected, readmitted = [], []
+        monitor = HealthMonitor(
+            [WorkerSpec("w", "http://unused")], lambda spec: None,
+            eject_threshold=2, readmit_after=10.0, clock=clock,
+            on_eject=ejected.append, on_readmit=readmitted.append,
+        )
+        monitor.record_send("w", False)
+        assert ejected == []
+        monitor.record_send("w", False)
+        assert ejected == ["w"]
+        clock.advance(10.0)
+        monitor.probe_all()  # the always-ok probe readmits
+        assert readmitted == ["w"]
+        assert monitor.states() == {"w": WORKER_HEALTHY}
+
+    def test_one_success_clears_the_suspect_count(self):
+        monitor = HealthMonitor(
+            [WorkerSpec("w", "http://unused")], lambda spec: None,
+            eject_threshold=2, readmit_after=10.0, clock=FakeClock(),
+        )
+        monitor.record_send("w", False)
+        assert monitor.state("w") == WORKER_SUSPECT
+        monitor.record_send("w", True)
+        assert monitor.state("w") == WORKER_HEALTHY
+        # The count reset: one more failure is suspect again, not an
+        # ejection — only *consecutive* failures eject.
+        monitor.record_send("w", False)
+        assert monitor.state("w") == WORKER_SUSPECT
+        assert monitor.ejections == 0
+
+    def test_state_changes_emit_events_and_set_the_gauge(self):
+        hub = TelemetryHub(HubConfig())
+        previous = obs.set_hub(hub)
+        try:
+            clock = FakeClock()
+            ok = {"w": False}
+            monitor = HealthMonitor(
+                [WorkerSpec("w", "http://unused")], self._flaky_probe(ok),
+                eject_threshold=2, readmit_after=10.0, clock=clock,
+            )
+            monitor.probe_all()
+            monitor.probe_all()
+            clock.advance(10.0)
+            ok["w"] = True
+            monitor.probe_all()
+        finally:
+            obs.set_hub(previous)
+        events = hub.tail(kind="fleet.worker")
+        assert [e.attrs["state"] for e in events] == [
+            WORKER_SUSPECT, WORKER_EJECTED, WORKER_HEALTHY,
+        ]
+        assert [e.attrs["readmitted"] for e in events] == [
+            False, False, True,
+        ]
+        assert events[1].attrs["previous"] == WORKER_SUSPECT
+        assert events[1].attrs["reason"].startswith("probe:")
+        gauge = obs.get_registry().gauge("repro_fleet_worker_state")
+        assert gauge.value(worker="w") == WORKER_STATE_CODES[WORKER_HEALTHY]
+
+    def test_probe_fault_site_kills_probes_deterministically(self):
+        # The probe callable itself always succeeds; only the armed
+        # `fleet.probe` site explains the ejection.
+        plan = FaultPlan([
+            FaultRule(site="fleet.probe", action="raise", times=None),
+        ], seed=3)
+        monitor = HealthMonitor(
+            [WorkerSpec("w", "http://unused")], lambda spec: None,
+            eject_threshold=2, readmit_after=10.0, clock=FakeClock(),
+        )
+        with faults.injected(plan):
+            monitor.probe_all()
+            monitor.probe_all()
+        assert monitor.state("w") == WORKER_EJECTED
+
+    def test_rejects_bad_probe_parameters(self):
+        with pytest.raises(ValueError, match="probe_interval"):
+            HealthMonitor([WorkerSpec("w", "http://x")], lambda s: None,
+                          probe_interval=0.0)
+        with pytest.raises(ValueError, match="probe_jitter"):
+            HealthMonitor([WorkerSpec("w", "http://x")], lambda s: None,
+                          probe_jitter=1.0)
+
+    def test_state_codes_are_distinct(self):
+        assert set(WORKER_STATE_CODES) == {
+            WORKER_HEALTHY, WORKER_SUSPECT, WORKER_PROBING, WORKER_EJECTED,
+        }
+        assert len(set(WORKER_STATE_CODES.values())) == 4
+
+
+# ---------------------------------------------------------------------------
+# Self-healing fleet: ejection, requeue, brownout, readmission end to end
+# ---------------------------------------------------------------------------
+
+
+class TestSelfHealingFleet:
+    def test_dead_worker_is_ejected_and_jobs_land_live(self, stub):
+        # Passive send failures alone must eject the dead worker
+        # (probes are parked on a 30s interval), after which every
+        # job completes on the live peer.
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("live", stub.url, capacity=2),
+             WorkerSpec("dead", _dead_url(), capacity=2)],
+            retry=_fast_retry(attempts=10), poll_interval=0.01,
+            eject_threshold=1, probe_interval=30.0, readmit_after=60.0,
+        )
+        try:
+            futures = [
+                dispatcher.submit(Job("/v1/embed", {"n": n}))
+                for n in range(6)
+            ]
+            results = [f.result(timeout=15) for f in futures]
+            assert sorted(r["echo"]["n"] for r in results) == list(range(6))
+            assert _wait_for(
+                lambda: dispatcher.stats()["workers"]["dead"]
+                == WORKER_EJECTED
+            )
+            stats = dispatcher.stats()
+            assert stats["workers"]["live"] == WORKER_HEALTHY
+            assert stats["ejections"] >= 1
+            assert stats["completed"] == 6
+        finally:
+            dispatcher.close()
+
+    def test_brownout_fast_fails_new_submissions(self):
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("dead", _dead_url(), capacity=1)],
+            retry=_fast_retry(attempts=10), poll_interval=0.01,
+            eject_threshold=2, probe_interval=0.05, readmit_after=60.0,
+        )
+        parked = dispatcher.submit(Job("/v1/embed", {"n": 0}))
+        assert _wait_for(
+            lambda: dispatcher.stats()["workers"]["dead"] == WORKER_EJECTED
+        )
+        with pytest.raises(DispatchOverload, match="brownout") as excinfo:
+            dispatcher.submit(Job("/v1/embed", {"n": 1})).result(timeout=5)
+        assert excinfo.value.retry_after > 0
+        assert dispatcher.stats()["brownouts"] == 1
+        # The job already queued rides out the brownout parked; close
+        # fails it like any other abandoned work.
+        dispatcher.close()
+        with pytest.raises(DispatchOverload, match="closed"):
+            parked.result(timeout=5)
+
+    def test_recovered_worker_is_readmitted(self, stub):
+        stub.healthy = False
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("alpha", stub.url, capacity=2)],
+            retry=_fast_retry(), poll_interval=0.01,
+            eject_threshold=2, probe_interval=0.05, readmit_after=0.2,
+        )
+        try:
+            assert _wait_for(
+                lambda: dispatcher.stats()["workers"]["alpha"]
+                == WORKER_EJECTED
+            )
+            with pytest.raises(DispatchOverload, match="brownout"):
+                dispatcher.submit(
+                    Job("/v1/embed", {"n": 0})
+                ).result(timeout=5)
+            stub.healthy = True
+            assert _wait_for(
+                lambda: dispatcher.stats()["workers"]["alpha"]
+                == WORKER_HEALTHY
+            )
+            assert dispatcher.stats()["readmissions"] == 1
+            doc = dispatcher.submit(
+                Job("/v1/embed", {"n": 1})
+            ).result(timeout=10)
+            assert doc["echo"] == {"n": 1}
+        finally:
+            dispatcher.close()
+
+    def test_ejection_requeues_in_flight_exactly_once(self):
+        # Jobs stuck on a gated worker must be re-planned onto the
+        # live peer when the gated worker is ejected — and when the
+        # stragglers finally come back, exactly-once claiming keeps
+        # the books straight: one success callback per job, no
+        # double-counted completions.
+        stub_a, stub_b = StubWorker(), StubWorker()
+        stub_a.gate = threading.Event()
+        counts = collections.Counter()
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("a", stub_a.url, capacity=2),
+             WorkerSpec("b", stub_b.url, capacity=2)],
+            retry=_fast_retry(attempts=6), poll_interval=0.01,
+            eject_threshold=2, probe_interval=0.05, readmit_after=60.0,
+        )
+        try:
+            futures = [
+                dispatcher.submit(Job(
+                    "/v1/embed", {"n": n},
+                    on_success=lambda job, doc: counts.update([job.job_id]),
+                ))
+                for n in range(4)
+            ]
+            # Two jobs land on each worker; a's two hang on the gate.
+            assert _wait_for(
+                lambda: dispatcher.stats()["in_flight"]["a"] == 2
+            )
+            stub_a.healthy = False  # probes now fail; a gets ejected
+            assert _wait_for(
+                lambda: dispatcher.stats()["workers"]["a"] == WORKER_EJECTED
+            )
+            results = [f.result(timeout=15) for f in futures]
+            assert sorted(r["echo"]["n"] for r in results) == [0, 1, 2, 3]
+            stats = dispatcher.stats()
+            assert stats["requeues"] >= 2
+            assert stats["ejections"] == 1
+            # Release the stragglers; their late 200s are superseded
+            # and must not double-resolve or double-count anything.
+            stub_a.gate.set()
+            assert _wait_for(
+                lambda: dispatcher.stats()["in_flight"]["a"] == 0
+            )
+            stats = dispatcher.stats()
+            assert stats["completed"] == 4
+            assert stats["errors"] == 0
+            assert len(counts) == 4
+            assert set(counts.values()) == {1}
+        finally:
+            stub_a.gate.set()
+            dispatcher.close()
+            stub_a.close()
+            stub_b.close()
+
+
+# ---------------------------------------------------------------------------
+# Shed and close invariants, property-tested against a model
+# ---------------------------------------------------------------------------
+
+
+class _BlockingClient:
+    """Stands in for ServiceClient: every send parks until released,
+    so the pending queue is fully test-controlled."""
+
+    def __init__(self, release):
+        self._release = release
+
+    def request_ex(self, method, path, payload=None):
+        self._release.wait(timeout=30.0)
+        return 200, {"ok": True}, None
+
+
+def _shed_model(priorities, max_pending):
+    """Reference model of `_shed_one`: the victim is the lowest
+    priority, newest submission among equals (FIFO under shed)."""
+    pending = []  # (neg_priority, order) entries still queued
+    shed = set()
+    for order, priority in enumerate(priorities):
+        entry = (-priority, order)
+        if len(pending) >= max_pending:
+            victim = max(pending + [entry])
+            if victim != entry:
+                pending.remove(victim)
+                pending.append(entry)
+            shed.add(victim[1])
+        else:
+            pending.append(entry)
+    return shed
+
+
+class TestShedProperties:
+    @given(priorities=st.lists(st.integers(0, 3), max_size=10))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_shed_matches_the_model_and_close_fails_the_rest(
+        self, priorities
+    ):
+        max_pending = 3
+        release = threading.Event()
+        errors = collections.Counter()
+        dispatcher = FleetDispatcher(
+            [WorkerSpec("w", "http://unused", capacity=1)],
+            retry=_fast_retry(), poll_interval=0.01,
+            max_pending=max_pending, eject=False,
+            client_factory=lambda spec: _BlockingClient(release),
+        )
+        try:
+            # Occupy the only slot so everything after stays pending.
+            plug = dispatcher.submit(Job("/v1/recognize", {"plug": True}))
+            assert _wait_for(
+                lambda: dispatcher.stats()["in_flight"]["w"] == 1
+            )
+            futures = [
+                dispatcher.submit(Job(
+                    "/v1/embed", {"n": order}, priority=priority,
+                    on_error=lambda job, exc: errors.update(
+                        [job.payload["n"]]
+                    ),
+                ))
+                for order, priority in enumerate(priorities)
+            ]
+            expected_shed = _shed_model(priorities, max_pending)
+            for order, future in enumerate(futures):
+                if order in expected_shed:
+                    with pytest.raises(DispatchOverload, match="saturated"):
+                        future.result(timeout=5)
+                else:
+                    assert not future.done()
+            assert dispatcher.stats()["shed"] == len(expected_shed)
+            # Unblock the plug just before close so the pool can wind
+            # down; _closed is already set, so nothing pending gets
+            # re-assigned in the gap.
+            threading.Timer(0.1, release.set).start()
+            dispatcher.close()
+            assert plug.result(timeout=10) == {"ok": True}
+            for order, future in enumerate(futures):
+                if order not in expected_shed:
+                    with pytest.raises(DispatchOverload, match="closed"):
+                        future.result(timeout=5)
+            # Every non-plug job failed exactly once — shed and close
+            # both resolve through the same exactly-once claim.
+            assert len(errors) == len(priorities)
+            assert not errors or set(errors.values()) == {1}
+        finally:
+            release.set()
+            dispatcher.close()
 
 
 # ---------------------------------------------------------------------------

@@ -158,6 +158,57 @@ class TestRetryBudget:
         assert not status.met and status.burn_rate == pytest.approx(2.2)
 
 
+def dispatch(outcome, route="/v1/embed", seconds=0.1, unix=1000.0):
+    return Event(kind="fleet.dispatch", name="job", unix=unix,
+                 attrs={"route": route, "outcome": outcome,
+                        "seconds": seconds})
+
+
+class TestFleetErrorRate:
+    OBJ = Objective(name="fer", kind="fleet_error_rate", target=0.5)
+
+    def test_self_healing_outcomes_are_not_errors(self):
+        # Requeues and superseded stragglers are the machinery doing
+        # its job, not caller-visible failures: they must not count
+        # as samples at all.
+        events = [dispatch("ok"), dispatch("requeued"),
+                  dispatch("requeued"), dispatch("superseded")]
+        [status] = evaluate_objectives([self.OBJ], events)
+        assert status.met and status.value == 0.0
+        assert status.samples == 1
+
+    def test_terminal_failures_breach(self):
+        events = [dispatch("ok"), dispatch("error"), dispatch("error"),
+                  dispatch("brownout")]
+        [status] = evaluate_objectives([self.OBJ], events)
+        assert not status.met
+        assert status.value == 0.75
+        assert status.burn_rate == pytest.approx(1.5)
+
+    def test_shed_and_brownout_count_against_the_budget(self):
+        events = [dispatch("shed"), dispatch("brownout")]
+        [status] = evaluate_objectives([self.OBJ], events)
+        assert status.value == 1.0 and status.samples == 2
+
+    def test_route_filter(self):
+        objective = Objective(name="fer", kind="fleet_error_rate",
+                              target=0.5, route="/v1/recognize")
+        events = [dispatch("error", route="/v1/embed")]
+        [status] = evaluate_objectives([objective], events)
+        assert status.met and status.samples == 0
+
+    def test_target_is_a_bounded_rate(self):
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="fleet_error_rate", target=1.5)
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="fleet_error_rate", target=-0.1)
+
+    def test_default_set_judges_the_fleet(self):
+        names = {o.name: o for o in default_objectives()}
+        assert names["fleet-error-rate"].kind == "fleet_error_rate"
+        assert names["fleet-dispatch-p95"].kind == "dispatch_p95"
+
+
 class TestWindowing:
     def test_old_events_age_out(self):
         objective = Objective(name="err", kind="error_rate", target=0.1,
@@ -190,6 +241,7 @@ class TestNoData:
     @pytest.mark.parametrize("kind,target", [
         ("latency_p95", 1.0), ("error_rate", 0.1),
         ("recovery_rate", 0.9), ("retry_budget", 5.0),
+        ("dispatch_p95", 1.0), ("fleet_error_rate", 0.1),
     ])
     def test_empty_window_is_met_with_zero_samples(self, kind, target):
         objective = Objective(name="x", kind=kind, target=target)

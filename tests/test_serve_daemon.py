@@ -353,3 +353,107 @@ class TestSpanGrafting:
         assert copy_span.parent_id == request_span.span_id
         assert copy_span.trace_id == request_span.trace_id
         assert by_name["copy.embed"].parent_id == copy_span.span_id
+
+
+class TestOnlineRebalance:
+    @pytest.fixture()
+    def fabric_root(self, tmp_path):
+        from repro.serve.fabric import ShardedArtifactStore
+
+        root = str(tmp_path / "fabric")
+        fabric = ShardedArtifactStore(root, shards=2)
+        fabric.put(prepare(gcd_module(), KEY, BITS, PIECES), label="gcd")
+        return root
+
+    def test_add_then_remove_shard_online(self, fabric_root):
+        with ServerThread(thread_config(fabric_root)) as server:
+            digest = server.service.store.records()[0].digest
+
+            status, doc, _ = request(server, "POST", "/v1/store/rebalance",
+                                     {"action": "add-shard"})
+            assert status == 200
+            assert doc["action"] == "add-shard"
+            assert doc["report"]["added"] == "shard-02"
+            assert doc["shards"] == ["shard-00", "shard-01", "shard-02"]
+
+            status, health, _ = request(server, "GET", "/healthz")
+            assert status == 200
+            assert health["rebalancing"] is False
+            assert health["artifacts"] == 1
+
+            # The artifact survived the move (wherever it landed) and
+            # the daemon serves from the grown ring without a restart.
+            status, embed, _ = request(server, "POST", "/v1/embed", {
+                "artifact": digest, "copy_id": "post-add", "watermark": 3,
+            })
+            assert status == 200 and embed["verified"] is True
+
+            status, doc, _ = request(server, "POST", "/v1/store/rebalance",
+                                     {"action": "remove-shard",
+                                      "shard": "shard-02"})
+            assert status == 200
+            assert doc["report"]["removed"] == "shard-02"
+            assert doc["shards"] == ["shard-00", "shard-01"]
+            status, embed, _ = request(server, "POST", "/v1/embed", {
+                "artifact": digest, "copy_id": "post-remove", "watermark": 4,
+            })
+            assert status == 200 and embed["verified"] is True
+
+    def test_rebalance_emits_a_journal_event(self, fabric_root):
+        with ServerThread(thread_config(fabric_root)) as server:
+            status, _, _ = request(server, "POST", "/v1/store/rebalance",
+                                   {"action": "add-shard", "shard": "extra"})
+            assert status == 200
+            events = server.service.hub.tail(kind="store.rebalance")
+            assert len(events) == 1
+            assert events[0].attrs["action"] == "add-shard"
+            assert events[0].attrs["shards"] == 3
+
+    @pytest.mark.parametrize("doc,fragment", [
+        ({}, "action"),
+        ({"action": "explode"}, "action"),
+        ({"action": "remove-shard"}, "requires 'shard'"),
+        ({"action": "add-shard", "shard": 7}, "must be a string"),
+        ({"action": "add-shard", "shard": "shard-00"}, "already in fabric"),
+        ({"action": "remove-shard", "shard": "ghost"}, "no shard"),
+    ])
+    def test_rebalance_rejects_bad_requests(self, fabric_root, doc, fragment):
+        with ServerThread(thread_config(fabric_root)) as server:
+            status, body, _ = request(
+                server, "POST", "/v1/store/rebalance", doc
+            )
+            assert status == 400
+            assert fragment in body["error"]
+
+    def test_plain_store_cannot_rebalance(self, store_root):
+        with ServerThread(thread_config(store_root)) as server:
+            status, body, _ = request(server, "POST", "/v1/store/rebalance",
+                                      {"action": "add-shard"})
+            assert status == 400
+            assert "not a sharded fabric" in body["error"]
+
+    def test_admission_pauses_while_rebalancing(self, fabric_root):
+        with ServerThread(thread_config(fabric_root)) as server:
+            digest = server.service.store.records()[0].digest
+            server.service._rebalancing = True
+            try:
+                status, body, response = request(
+                    server, "POST", "/v1/embed",
+                    {"artifact": digest, "copy_id": "x", "watermark": 1},
+                )
+                assert status == 503
+                assert "admission paused" in body["error"]
+                assert response.getheader("Retry-After") is not None
+                status, health, _ = request(server, "GET", "/healthz")
+                assert status == 200
+                assert health["rebalancing"] is True
+                status, body, _ = request(server, "POST",
+                                          "/v1/store/rebalance",
+                                          {"action": "add-shard"})
+                assert status == 409
+            finally:
+                server.service._rebalancing = False
+            status, embed, _ = request(server, "POST", "/v1/embed", {
+                "artifact": digest, "copy_id": "x", "watermark": 1,
+            })
+            assert status == 200
